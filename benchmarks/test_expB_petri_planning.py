@@ -1,0 +1,134 @@
+"""EXP-B — Petri-net derivation planning (§2.1.6).
+
+Measures reachability and back-propagation planning cost as the
+derivation net grows (chain depth; OR-fanout width), verifies planner
+success/failure against ground truth, and runs the ablation of the
+paper's modification #1: under classical *consuming* semantics, plans
+that reuse an input fail.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core import DerivationNet
+from repro.errors import DerivationError, UnderivableError
+
+
+def _chain(depth: int) -> DerivationNet:
+    """base -> P1 -> c1 -> P2 -> ... -> c_depth."""
+    net = DerivationNet()
+    previous = "base"
+    for i in range(depth):
+        net.add_transition(f"P{i}", [(previous, 1)], f"c{i}")
+        previous = f"c{i}"
+    return net
+
+
+def _fanout(width: int) -> DerivationNet:
+    """`width` alternative processes derive the goal; only one viable."""
+    net = DerivationNet()
+    for i in range(width):
+        net.add_transition(f"via{i}", [(f"src{i}", 1)], "goal")
+    return net
+
+
+def _diamond_ladder(levels: int) -> DerivationNet:
+    """Stacked diamonds: each level joins two branches of the previous."""
+    net = DerivationNet()
+    net.add_place("L0")
+    for level in range(1, levels + 1):
+        below = f"L{level - 1}"
+        net.add_transition(f"l{level}", [(below, 1)], f"A{level}")
+        net.add_transition(f"r{level}", [(below, 1)], f"B{level}")
+        net.add_transition(
+            f"join{level}", [(f"A{level}", 1), (f"B{level}", 1)], f"L{level}"
+        )
+    return net
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64, 256])
+def test_expB_chain_planning_scaling(benchmark, depth):
+    net = _chain(depth)
+    plan = benchmark(net.backward_plan, f"c{depth - 1}", {"base": 1})
+    assert plan.length == depth
+
+
+@pytest.mark.parametrize("width", [4, 32, 256])
+def test_expB_fanout_or_choice(benchmark, width):
+    net = _fanout(width)
+    # Only the last alternative's source is stored.
+    marking = {f"src{width - 1}": 1}
+    plan = benchmark(net.backward_plan, "goal", marking)
+    assert plan.steps == (f"via{width - 1}",)
+
+
+@pytest.mark.parametrize("levels", [2, 6, 12])
+def test_expB_diamond_ladder(benchmark, levels):
+    net = _diamond_ladder(levels)
+    plan = benchmark(net.backward_plan, f"L{levels}", {"L0": 1})
+    assert plan.length == 3 * levels
+
+
+@pytest.mark.parametrize("depth", [16, 128])
+def test_expB_forward_reachability(benchmark, depth):
+    net = _chain(depth)
+    assert benchmark(net.reachable, {"base": 1}, f"c{depth - 1}")
+
+
+def test_expB_failure_detection(benchmark):
+    """Back-propagation 'stops at some base class and we fail' — the
+    planner must report failure, not loop."""
+    net = _chain(32)
+
+    def fail():
+        try:
+            net.backward_plan("c31", {})
+        except UnderivableError:
+            return True
+        return False
+
+    assert benchmark(fail)
+
+
+def test_expB_consuming_ablation(benchmark):
+    """Ablating modification #1 (non-consuming tokens): every plan that
+    reuses an input place breaks under classical semantics."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for levels in (1, 2, 4):
+        net = _diamond_ladder(levels)
+        plan = net.backward_plan(f"L{levels}", {"L0": 1})
+        final = net.replay(plan, {"L0": 1}, consuming=False)
+        nonconsuming_ok = final.get(f"L{levels}", 0) > 0
+        try:
+            net.replay(plan, {"L0": 1}, consuming=True)
+            consuming_ok = True
+        except DerivationError:
+            consuming_ok = False
+        rows.append((f"{levels} diamond level(s)", plan.length,
+                     "ok" if nonconsuming_ok else "FAIL",
+                     "ok" if consuming_ok else "FAIL (token consumed)"))
+    report("EXP-B ablation: non-consuming vs consuming firing", rows,
+           header=("net", "plan steps", "paper semantics",
+                   "classical semantics"))
+    # Paper semantics always succeed; classical always fail on diamonds.
+    assert all(row[2] == "ok" for row in rows)
+    assert all(row[3] != "ok" for row in rows)
+
+
+def test_expB_guard_pruning(benchmark):
+    """Modification #3: guards prune enabled transitions, shrinking the
+    search: a guarded producer is skipped for an unguarded alternative."""
+    net = DerivationNet()
+    net.add_transition("guarded", [("a", 1)], "goal",
+                       guard=lambda m: False)
+    net.add_transition("open", [("b", 1)], "goal")
+
+    def plan():
+        closure = net.forward_closure({"a": 1, "b": 1})
+        return closure
+
+    closure = benchmark(plan)
+    assert closure.get("goal", 0) > 0
+    # With only the guarded path available, the goal is unreachable.
+    assert net.forward_closure({"a": 1}).get("goal", 0) == 0

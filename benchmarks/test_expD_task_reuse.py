@@ -1,0 +1,121 @@
+"""EXP-D — task memoization: avoiding duplicate experiments (§1, §4.2).
+
+"Experiment management also helps avoid unnecessary duplication of
+experiments and may encourage the reuse of aspects of previously
+performed experiments."  The task log memoizes (process, inputs) pairs;
+this experiment measures the hit rate and speedup on a repeated-
+derivation workload, with the no-reuse configuration as the ablation.
+"""
+
+import time
+
+from conftest import report
+
+from repro.figures import build_figure2, populate_scenes
+
+
+def _catalog(size=32):
+    catalog = build_figure2()
+    populate_scenes(catalog, seed=81, size=size, years=(1988, 1989))
+    return catalog
+
+
+def _classification_workload(kernel, reuse: bool, repetitions: int = 5):
+    """`repetitions` scientists each derive the same 1988 land cover."""
+    scenes = [
+        o for o in kernel.store.objects("landsat_tm_rectified")
+        if o["timestamp"].year == 1988
+    ]
+    results = []
+    for _ in range(repetitions):
+        results.append(kernel.derivations.execute_process(
+            "P20", {"bands": scenes}, reuse=reuse,
+        ))
+    return results
+
+
+def test_expD_with_memoization(benchmark):
+    catalog = _catalog()
+
+    def run():
+        return _classification_workload(catalog.kernel, reuse=True)
+
+    results = benchmark(run)
+    assert results[0].output.oid == results[-1].output.oid
+
+
+def test_expD_without_memoization(benchmark):
+    catalog = _catalog()
+
+    def run():
+        return _classification_workload(catalog.kernel, reuse=False)
+
+    results = benchmark(run)
+    assert results[0].output.oid != results[-1].output.oid
+
+
+def test_expD_hit_rate_and_speedup(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    catalog = _catalog()
+    kernel = catalog.kernel
+
+    start = time.perf_counter()
+    memoized = _classification_workload(kernel, reuse=True, repetitions=8)
+    t_memo = time.perf_counter() - start
+    hits = sum(1 for r in memoized if r.reused)
+
+    fresh = _catalog()
+    start = time.perf_counter()
+    _classification_workload(fresh.kernel, reuse=False, repetitions=8)
+    t_none = time.perf_counter() - start
+
+    speedup = t_none / t_memo
+    report("EXP-D: task reuse on an 8x repeated classification", [
+        ("memoized", f"{hits}/8 hits", f"{t_memo * 1e3:.1f} ms", "-"),
+        ("recompute", "0/8 hits", f"{t_none * 1e3:.1f} ms",
+         f"{speedup:.1f}x slower"),
+    ], header=("mode", "task-log hits", "wall-clock", "relative"))
+    assert hits == 7  # all but the first derivation reused
+    assert speedup > 2.0
+
+
+def test_expD_storage_growth(benchmark):
+    """Memoization also bounds storage: repeated derivations add no new
+    objects, recomputation adds one per run."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    catalog = _catalog(size=16)
+    kernel = catalog.kernel
+    _classification_workload(kernel, reuse=True, repetitions=6)
+    with_memo = kernel.store.count("land_cover_c20")
+
+    fresh = _catalog(size=16)
+    _classification_workload(fresh.kernel, reuse=False, repetitions=6)
+    without = fresh.kernel.store.count("land_cover_c20")
+
+    report("EXP-D: stored land-cover objects after 6 repeated runs", [
+        ("memoized", with_memo), ("recompute", without),
+    ], header=("mode", "objects"))
+    assert with_memo == 1
+    assert without == 6
+
+
+def test_expD_different_inputs_never_reused(benchmark):
+    """Memoization must not over-share: the 1989 scenes get their own
+    derivation."""
+    catalog = _catalog(size=16)
+    kernel = catalog.kernel
+    by_year = {
+        year: [o for o in kernel.store.objects("landsat_tm_rectified")
+               if o["timestamp"].year == year]
+        for year in (1988, 1989)
+    }
+
+    def run():
+        a = kernel.derivations.execute_process(
+            "P20", {"bands": by_year[1988]})
+        b = kernel.derivations.execute_process(
+            "P20", {"bands": by_year[1989]})
+        return a, b
+
+    a, b = benchmark(run)
+    assert a.output.oid != b.output.oid

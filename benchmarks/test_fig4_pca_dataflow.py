@@ -1,0 +1,90 @@
+"""FIG-4 — regenerate the PCA compound-operator dataflow network.
+
+Builds the five-node network exactly as the figure draws it, verifies it
+against the direct PCA computation, exercises the SET OF threshold
+semantics, and measures the dataflow-engine overhead vs. the fused
+implementation.
+"""
+
+import numpy as np
+import pytest
+from conftest import report
+
+from repro.adt import make_standard_registries
+from repro.figures import build_figure4
+from repro.gis import SceneGenerator, pca, register_gis_operators
+
+
+@pytest.fixture()
+def operators():
+    _, ops = make_standard_registries()
+    register_gis_operators(ops)
+    return ops
+
+
+def _images(n=4, size=32):
+    generator = SceneGenerator(seed=12, nrow=size, ncol=size)
+    return [generator.band("africa", 1985 + i, 7, "nir") for i in range(n)]
+
+
+def test_fig4_build_network(benchmark, operators):
+    net = benchmark(build_figure4, operators)
+    assert net.schedule() == ["to_matrices", "covariance", "eigenvector",
+                              "combined", "to_images"]
+    rows = [
+        (name, net.node(name).operator,
+         ",".join(src.name for src in net.node(name).inputs))
+        for name in net.node_names
+    ]
+    report("Figure 4: PCA dataflow network", rows,
+           header=("node", "operator", "inputs"))
+
+
+def test_fig4_network_execution(benchmark, operators):
+    net = build_figure4(operators)
+    images = _images()
+
+    def run():
+        return net.execute(images=images)
+
+    out = benchmark(run)
+    direct, _ = pca(images, 1)
+    assert np.allclose(out[0].data, direct[0].data, atol=1e-5)
+
+
+def test_fig4_direct_pca_baseline(benchmark, operators):
+    """The fused implementation, for overhead comparison with the
+    network execution above."""
+    images = _images()
+
+    def run():
+        return pca(images, 1)
+
+    components, eigenvalues = benchmark(run)
+    assert eigenvalues[0] > 0
+
+
+@pytest.mark.parametrize("n_images", [2, 4, 8])
+def test_fig4_threshold_scaling(benchmark, operators, n_images):
+    """§2.1.6 modification 2: 'two input data images are enough, but more
+    than two images are usually used' — the network accepts any count at
+    or above the threshold."""
+    net = build_figure4(operators)
+    images = _images(n=n_images)
+    out = benchmark(net.execute, images=images)
+    assert len(out) == 1
+    assert out[0].shape == images[0].shape
+
+
+def test_fig4_registered_as_operator(benchmark, operators):
+    """§2.1.5: the network becomes a self-contained compound operator."""
+    net = build_figure4(operators, name="pca_fig4")
+    net.as_operator("setof image")
+    images = _images(n=3)
+
+    def run():
+        return operators.apply("pca_fig4", images)
+
+    out = benchmark(run)
+    direct, _ = pca(images, 1)
+    assert np.allclose(out[0].data, direct[0].data, atol=1e-5)

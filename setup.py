@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environment lacks the
+``wheel`` package, so PEP 660 editable wheels cannot be built)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Reproduction of *Managing Derived Data in the Gaea Scientific DBMS*
+(Hachem, Qiu, Gennert, Ward — VLDB 1993).
+
+The package rebuilds the Gaea kernel from scratch in Python:
+
+* :mod:`repro.adt` — system-level semantics: the ADT facility (primitive
+  classes, operators, compound-operator dataflow networks);
+* :mod:`repro.spatial` / :mod:`repro.temporal` — the two classic extents;
+* :mod:`repro.storage` — the POSTGRES-substitute no-overwrite engine;
+* :mod:`repro.core` — the paper's contribution: concepts, processes,
+  tasks, Petri-net derivation modeling, the retrieval planner, the
+  experiment manager, and the metadata-manager facade;
+* :mod:`repro.query` — the GaeaQL interpreter (parser/optimizer/executor);
+* :mod:`repro.gis` — the global-change workload substrate (synthetic
+  scenes, NDVI, classification, PCA/SPCA, climate indexes);
+* :mod:`repro.baseline` — the IDRISI/GRASS-style file-based comparison
+  system;
+* :mod:`repro.figures` — programmatic builders regenerating the paper's
+  figures.
+
+Quickstart::
+
+    from repro import open_session
+
+    session = open_session()
+    session.execute('''
+        DEFINE CLASS landsat_tm (
+          ATTRIBUTES: band = char16; data = image;
+          SPATIAL EXTENT: spatialextent = box;
+          TEMPORAL EXTENT: timestamp = abstime;
+        )
+    ''')
+"""
+
+from .core import open_kernel
+from .query import open_session
+
+__version__ = "1.0.0"
+
+__all__ = ["open_kernel", "open_session", "__version__"]

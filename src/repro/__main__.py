@@ -1,0 +1,115 @@
+"""GaeaQL command-line interface.
+
+Run a script:              python -m repro script.gql
+Interactive session:       python -m repro
+Load a checkpoint first:   python -m repro --checkpoint db.ckpt [script.gql]
+Save on exit:              python -m repro --save db.ckpt script.gql
+
+Statements end at a blank line in interactive mode (GaeaQL statements are
+multi-line); ``\\q`` quits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.persistence import load_kernel, save_kernel
+from .errors import GaeaError
+from .query.executor import QueryResult
+from .query.session import GaeaSession, open_session
+
+__all__ = ["main"]
+
+
+def _render(result: QueryResult) -> str:
+    if result.kind == "objects":
+        lines = [f"[{result.path}] {len(result.objects)} object(s)"]
+        for obj in result.objects:
+            summary = ", ".join(
+                f"{key}={value}" for key, value in obj.values.items()
+                if not hasattr(value, "data")
+            )
+            lines.append(f"  oid {obj.oid} ({obj.class_name}): {summary}")
+        return "\n".join(lines)
+    return result.message
+
+
+def _execute(session: GaeaSession, source: str, out) -> bool:
+    """Run *source*; returns False when a statement failed."""
+    try:
+        for result in session.execute(source):
+            print(_render(result), file=out)
+    except GaeaError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=out)
+        return False
+    return True
+
+
+def _repl(session: GaeaSession) -> None:
+    print("Gaea — GaeaQL interactive session "
+          "(blank line executes, \\q quits)")
+    buffer: list[str] = []
+    while True:
+        prompt = "gaea> " if not buffer else "  ... "
+        try:
+            line = input(prompt)
+        except EOFError:
+            break
+        if line.strip() == "\\q":
+            break
+        if line.strip() == "" and buffer:
+            _execute(session, "\n".join(buffer), sys.stdout)
+            buffer = []
+        elif line.strip():
+            buffer.append(line)
+    if buffer:
+        _execute(session, "\n".join(buffer), sys.stdout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="GaeaQL interpreter (Gaea scientific DBMS reproduction)",
+    )
+    parser.add_argument("script", nargs="?",
+                        help="GaeaQL script to execute (default: REPL)")
+    parser.add_argument("--checkpoint", metavar="PATH",
+                        help="load this kernel checkpoint before running")
+    parser.add_argument("--save", metavar="PATH",
+                        help="save a kernel checkpoint after running")
+    args = parser.parse_args(argv)
+
+    if args.checkpoint:
+        try:
+            kernel = load_kernel(args.checkpoint)
+        except (GaeaError, OSError) as exc:
+            print(f"error: cannot load {args.checkpoint}: {exc}",
+                  file=sys.stderr)
+            return 2
+        session = GaeaSession(kernel=kernel)
+    else:
+        session = open_session()
+
+    ok = True
+    if args.script:
+        try:
+            with open(args.script) as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.script}: {exc}",
+                  file=sys.stderr)
+            return 2
+        ok = _execute(session, source, sys.stdout)
+    else:
+        _repl(session)
+
+    if args.save:
+        save_kernel(session.kernel, args.save)
+        print(f"checkpoint saved to {args.save}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""System-level semantics layer: the ADT facility (paper §2.1.3).
+
+This package substitutes for the POSTGRES ADT facility the Gaea prototype
+was built on: a dynamically extensible registry of *primitive classes*
+(value-identified abstract data types) and the *operators* encapsulating
+them, plus compound operators expressed as dataflow networks (Figure 4).
+
+Typical setup::
+
+    from repro.adt import make_standard_registries
+
+    types, ops = make_standard_registries()
+    ops.apply("img_nrow", some_image)
+"""
+
+from .builtin_ops import register_builtin_operators
+from .dataflow import DataflowNetwork, Node
+from .image import Image, PIXTYPE_DTYPES, register_image_class
+from .matrix import Matrix, register_matrix_class
+from .operators import Operator, OperatorRegistry, Signature, TypeTerm
+from .primitives import register_scalar_primitives
+from .registry import PrimitiveClass, TypeRegistry
+from .values import Representation, value_key
+from .vector import Vector, register_vector_class
+
+__all__ = [
+    "DataflowNetwork",
+    "Image",
+    "Matrix",
+    "Node",
+    "Operator",
+    "OperatorRegistry",
+    "PIXTYPE_DTYPES",
+    "PrimitiveClass",
+    "Representation",
+    "Signature",
+    "TypeRegistry",
+    "TypeTerm",
+    "Vector",
+    "make_standard_registries",
+    "register_builtin_operators",
+    "register_image_class",
+    "register_matrix_class",
+    "register_scalar_primitives",
+    "register_vector_class",
+    "value_key",
+]
+
+
+def make_standard_registries() -> tuple[TypeRegistry, OperatorRegistry]:
+    """Build a type registry with all standard primitive classes and an
+    operator registry with all built-in operators — the system level a
+    fresh Gaea kernel starts from."""
+    types = TypeRegistry()
+    register_scalar_primitives(types)
+    register_image_class(types)
+    register_matrix_class(types)
+    register_vector_class(types)
+    ops = OperatorRegistry(types=types)
+    register_builtin_operators(ops)
+    return types, ops

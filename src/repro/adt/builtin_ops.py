@@ -1,0 +1,220 @@
+"""Built-in operators on the core primitive classes.
+
+Registers the image accessors the paper lists verbatim in §2.1.3
+(``img_nrow``, ``img_ncol``, ``img_type``, ``img_filepath``,
+``img_size_eq``) plus the raster-algebra operators the derivation
+processes in Figure 2 need (subtract/divide for the NDVI-change scenario
+of §1, thresholding for desert classification, ...).  Domain-specific
+analysis operators (NDVI, classification, PCA stages) are registered
+separately by :func:`repro.gis.register_gis_operators`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SignatureMismatchError
+from .image import Image
+from .matrix import Matrix
+from .operators import OperatorRegistry
+from .vector import Vector
+
+__all__ = ["register_builtin_operators"]
+
+
+def _require_same_size(img1: Image, img2: Image, op_name: str) -> None:
+    if not img1.size_eq(img2):
+        raise SignatureMismatchError(
+            f"{op_name}: image sizes differ ({img1.shape} vs {img2.shape})"
+        )
+
+
+def _img_add(img1: Image, img2: Image) -> Image:
+    _require_same_size(img1, img2, "img_add")
+    return Image.from_array(
+        img1.data.astype(np.float64) + img2.data.astype(np.float64), "float4"
+    )
+
+
+def _img_subtract(img1: Image, img2: Image) -> Image:
+    _require_same_size(img1, img2, "img_subtract")
+    return Image.from_array(
+        img1.data.astype(np.float64) - img2.data.astype(np.float64), "float4"
+    )
+
+
+def _img_multiply(img1: Image, img2: Image) -> Image:
+    _require_same_size(img1, img2, "img_multiply")
+    return Image.from_array(
+        img1.data.astype(np.float64) * img2.data.astype(np.float64), "float4"
+    )
+
+
+def _img_divide(img1: Image, img2: Image) -> Image:
+    """Pixelwise ratio with zero-denominator pixels mapped to 0 — the
+    'divide the NDVI of 1989 by that of 1988' scenario (paper §1)."""
+    _require_same_size(img1, img2, "img_divide")
+    num = img1.data.astype(np.float64)
+    den = img2.data.astype(np.float64)
+    out = np.zeros_like(num)
+    np.divide(num, den, out=out, where=den != 0)
+    return Image.from_array(out, "float4")
+
+
+def _img_scale(img: Image, factor: float) -> Image:
+    return Image.from_array(img.data.astype(np.float64) * factor, "float4")
+
+
+def _img_offset(img: Image, delta: float) -> Image:
+    return Image.from_array(img.data.astype(np.float64) + delta, "float4")
+
+
+def _img_threshold(img: Image, cutoff: float) -> Image:
+    """Binary mask: 1 where pixel < cutoff, else 0 (e.g. rainfall <
+    250 mm/year for hot trade-wind deserts, paper §2.1.1)."""
+    return Image.from_array((img.data.astype(np.float64) < cutoff), "char")
+
+
+def _img_threshold_above(img: Image, cutoff: float) -> Image:
+    """Binary mask: 1 where pixel >= cutoff, else 0."""
+    return Image.from_array((img.data.astype(np.float64) >= cutoff), "char")
+
+
+def _img_and(img1: Image, img2: Image) -> Image:
+    _require_same_size(img1, img2, "img_and")
+    return Image.from_array(
+        (img1.data != 0) & (img2.data != 0), "char"
+    )
+
+
+def _img_or(img1: Image, img2: Image) -> Image:
+    _require_same_size(img1, img2, "img_or")
+    return Image.from_array(
+        (img1.data != 0) | (img2.data != 0), "char"
+    )
+
+
+def _img_mean(img: Image) -> float:
+    return float(np.mean(img.data.astype(np.float64)))
+
+
+def _img_std(img: Image) -> float:
+    return float(np.std(img.data.astype(np.float64)))
+
+
+def _img_min(img: Image) -> float:
+    return float(np.min(img.data.astype(np.float64)))
+
+
+def _img_max(img: Image) -> float:
+    return float(np.max(img.data.astype(np.float64)))
+
+
+def _img_cast(img: Image, pixtype: str) -> Image:
+    return Image.from_array(img.data, pixtype)
+
+
+def _mat_transpose(mat: Matrix) -> Matrix:
+    return Matrix.from_array(mat.data.T)
+
+
+def _mat_multiply(mat1: Matrix, mat2: Matrix) -> Matrix:
+    if mat1.ncol != mat2.nrow:
+        raise SignatureMismatchError(
+            f"mat_multiply: inner dimensions differ ({mat1.shape} x {mat2.shape})"
+        )
+    return Matrix.from_array(mat1.data @ mat2.data)
+
+
+def _vec_dot(vec1: Vector, vec2: Vector) -> float:
+    if len(vec1) != len(vec2):
+        raise SignatureMismatchError(
+            f"vec_dot: lengths differ ({len(vec1)} vs {len(vec2)})"
+        )
+    return float(np.dot(vec1.data, vec2.data))
+
+
+def _vec_norm(vec: Vector) -> float:
+    return float(np.linalg.norm(vec.data))
+
+
+def register_builtin_operators(ops: OperatorRegistry) -> None:
+    """Register all built-in operators into *ops*.
+
+    Requires the scalar, image, matrix and vector primitive classes to be
+    registered in ``ops.types`` already.
+    """
+    # -- the paper's §2.1.3 accessors ----------------------------------------
+    ops.register("img_nrow", ["image"], "int4", lambda img: img.nrow,
+                 doc="return # of rows")
+    ops.register("img_ncol", ["image"], "int4", lambda img: img.ncol,
+                 doc="return # of columns")
+    ops.register("img_type", ["image"], "char16", lambda img: img.pixtype,
+                 doc="return a pixel's data type")
+    ops.register("img_filepath", ["image"], "text", lambda img: img.filepath,
+                 doc="return the file name which stores the data")
+    ops.register("img_size_eq", ["image", "image"], "bool",
+                 lambda a, b: a.size_eq(b),
+                 doc="check if 2 image sizes are equal")
+
+    # -- raster algebra --------------------------------------------------------
+    ops.register("img_add", ["image", "image"], "image", _img_add,
+                 doc="pixelwise sum")
+    ops.register("img_subtract", ["image", "image"], "image", _img_subtract,
+                 doc="pixelwise difference (NDVI-change by subtraction, §1)")
+    ops.register("img_multiply", ["image", "image"], "image", _img_multiply,
+                 doc="pixelwise product")
+    ops.register("img_divide", ["image", "image"], "image", _img_divide,
+                 doc="pixelwise ratio (NDVI-change by division, §1)")
+    ops.register("img_scale", ["image", "float8"], "image", _img_scale,
+                 doc="multiply all pixels by a constant")
+    ops.register("img_offset", ["image", "float8"], "image", _img_offset,
+                 doc="add a constant to all pixels")
+    ops.register("img_threshold", ["image", "float8"], "image", _img_threshold,
+                 doc="binary mask of pixels below a cutoff")
+    ops.register("img_threshold_above", ["image", "float8"], "image",
+                 _img_threshold_above,
+                 doc="binary mask of pixels at/above a cutoff")
+    ops.register("img_and", ["image", "image"], "image", _img_and,
+                 doc="pixelwise logical AND of masks")
+    ops.register("img_or", ["image", "image"], "image", _img_or,
+                 doc="pixelwise logical OR of masks")
+    ops.register("img_cast", ["image", "char16"], "image", _img_cast,
+                 doc="cast pixels to another pixtype")
+
+    # -- image statistics --------------------------------------------------------
+    ops.register("img_mean", ["image"], "float8", _img_mean,
+                 doc="mean pixel value")
+    ops.register("img_std", ["image"], "float8", _img_std,
+                 doc="pixel standard deviation")
+    ops.register("img_min", ["image"], "float8", _img_min,
+                 doc="minimum pixel value")
+    ops.register("img_max", ["image"], "float8", _img_max,
+                 doc="maximum pixel value")
+
+    # -- scalar comparisons (used by template assertions) ----------------------
+    ops.register("str_eq", ["text", "text"], "bool",
+                 lambda a, b: a == b,
+                 doc="string equality (assertion helper)")
+    ops.register("num_eq", ["float8", "float8"], "bool",
+                 lambda a, b: a == b,
+                 doc="numeric equality (assertion helper)")
+    ops.register("num_le", ["float8", "float8"], "bool",
+                 lambda a, b: a <= b,
+                 doc="numeric <= (assertion helper)")
+    ops.register("time_eq", ["abstime", "abstime"], "bool",
+                 lambda a, b: a == b,
+                 doc="timestamp equality (assertion helper)")
+    ops.register("box_overlaps", ["box", "box"], "bool",
+                 lambda a, b: a.overlaps(b),
+                 doc="spatial overlap (assertion helper)")
+
+    # -- matrix / vector helpers ---------------------------------------------------
+    ops.register("mat_transpose", ["matrix"], "matrix", _mat_transpose,
+                 doc="matrix transpose")
+    ops.register("mat_multiply", ["matrix", "matrix"], "matrix", _mat_multiply,
+                 doc="matrix product")
+    ops.register("vec_dot", ["vector", "vector"], "float8", _vec_dot,
+                 doc="dot product")
+    ops.register("vec_norm", ["vector"], "float8", _vec_norm,
+                 doc="Euclidean norm")

@@ -1,0 +1,224 @@
+"""Compound operators as dataflow networks (paper §2.1.3, Figure 4).
+
+A *compound operator* "is composed of a network of intercommunicating
+operators ... a data flow network of functional operators that are applied
+on primitive classes".  Figure 4 shows PCA as such a network:
+
+    SET OF image -> convert-image-matrix -> SET OF matrix
+                 -> compute-covariance   -> matrix
+                 -> get-eigen-vector     -> vector
+    (vector, SET OF matrix) -> linear-combination -> SET OF matrix
+                 -> convert-matrix-image -> SET OF image
+
+The network here is a DAG of :class:`Node` objects, each bound to a
+registered operator.  Node inputs are named ports wired either to another
+node's output or to a network-level input.  Execution topologically
+schedules the nodes and applies each operator through the
+:class:`~repro.adt.operators.OperatorRegistry`, so every arc is
+type-checked.  A finished network can itself be registered as an operator
+(:meth:`DataflowNetwork.as_operator`) — "a self-contained compound
+operator that can be applied as a primitive mapping function" (§2.1.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from graphlib import CycleError, TopologicalSorter
+from typing import Any
+
+from ..errors import DataflowCycleError, DataflowWiringError
+from .operators import OperatorRegistry
+
+__all__ = ["Node", "DataflowNetwork"]
+
+
+@dataclass(frozen=True)
+class _Source:
+    """Where a node input comes from: a network input or a node output."""
+
+    kind: str  # "input" | "node"
+    name: str
+
+
+@dataclass
+class Node:
+    """One operator application inside a dataflow network."""
+
+    name: str
+    operator: str
+    inputs: list[_Source] = field(default_factory=list)
+
+
+@dataclass
+class DataflowNetwork:
+    """A DAG of operator applications usable as a compound operator.
+
+    Build with :meth:`add_input`, :meth:`add_node`, :meth:`set_output`;
+    run with :meth:`execute`.
+    """
+
+    name: str
+    operators: OperatorRegistry
+    doc: str = ""
+    _inputs: list[str] = field(default_factory=list)
+    _input_types: dict[str, str] = field(default_factory=dict)
+    _nodes: dict[str, Node] = field(default_factory=dict)
+    _output_node: str | None = None
+
+    # -- construction ---------------------------------------------------------
+
+    def add_input(self, name: str, type_term: str) -> None:
+        """Declare a network-level input port with a type term
+        (e.g. ``"setof image"``)."""
+        if name in self._input_types:
+            raise DataflowWiringError(f"duplicate network input {name!r}")
+        self._inputs.append(name)
+        self._input_types[name] = type_term
+
+    def add_node(self, name: str, operator: str,
+                 inputs: list[str]) -> Node:
+        """Add a node applying *operator* to the named sources.
+
+        Each source is either ``"@portname"`` (a network input) or a node
+        name (that node's output).
+        """
+        if name in self._nodes:
+            raise DataflowWiringError(f"duplicate node name {name!r}")
+        self.operators.overloads(operator)  # raises if unknown
+        sources = []
+        for src in inputs:
+            if src.startswith("@"):
+                port = src[1:]
+                if port not in self._input_types:
+                    raise DataflowWiringError(
+                        f"node {name!r} references unknown network input "
+                        f"{port!r}"
+                    )
+                sources.append(_Source(kind="input", name=port))
+            else:
+                if src not in self._nodes:
+                    raise DataflowWiringError(
+                        f"node {name!r} references unknown node {src!r} "
+                        "(nodes must be added in dependency order)"
+                    )
+                sources.append(_Source(kind="node", name=src))
+        node = Node(name=name, operator=operator, inputs=sources)
+        self._nodes[name] = node
+        return node
+
+    def set_output(self, node_name: str) -> None:
+        """Declare which node's output is the network output."""
+        if node_name not in self._nodes:
+            raise DataflowWiringError(f"unknown output node {node_name!r}")
+        self._output_node = node_name
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def input_names(self) -> list[str]:
+        """Declared network input ports, in declaration order."""
+        return list(self._inputs)
+
+    @property
+    def node_names(self) -> list[str]:
+        """All node names, in insertion order."""
+        return list(self._nodes)
+
+    def node(self, name: str) -> Node:
+        """The node called *name*."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise DataflowWiringError(f"unknown node {name!r}") from None
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Node-to-node arcs ``(producer, consumer)``."""
+        out = []
+        for node in self._nodes.values():
+            for src in node.inputs:
+                if src.kind == "node":
+                    out.append((src.name, node.name))
+        return out
+
+    def schedule(self) -> list[str]:
+        """Topological execution order of node names."""
+        graph: dict[str, set[str]] = {name: set() for name in self._nodes}
+        for producer, consumer in self.edges():
+            graph[consumer].add(producer)
+        try:
+            return list(TopologicalSorter(graph).static_order())
+        except CycleError as exc:
+            raise DataflowCycleError(str(exc)) from exc
+
+    def validate(self) -> None:
+        """Check the network is complete: an output is set, every node
+        reachable, no cycles."""
+        if self._output_node is None:
+            raise DataflowWiringError(f"network {self.name!r} has no output node")
+        self.schedule()
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, **bindings: Any) -> Any:
+        """Run the network with network inputs bound by name.
+
+        Returns the output node's value.  Intermediate values are
+        type-checked by the operator registry at every application.
+        """
+        self.validate()
+        missing = [port for port in self._inputs if port not in bindings]
+        if missing:
+            raise DataflowWiringError(
+                f"missing bindings for network input(s): {missing}"
+            )
+        extra = [key for key in bindings if key not in self._input_types]
+        if extra:
+            raise DataflowWiringError(f"unknown network input(s): {extra}")
+
+        values: dict[str, Any] = {}
+        for node_name in self.schedule():
+            node = self._nodes[node_name]
+            args = []
+            for src in node.inputs:
+                if src.kind == "input":
+                    args.append(bindings[src.name])
+                else:
+                    args.append(values[src.name])
+            values[node_name] = self.operators.apply(node.operator, *args)
+        assert self._output_node is not None
+        return values[self._output_node]
+
+    def trace(self, **bindings: Any) -> dict[str, Any]:
+        """Like :meth:`execute` but returns every node's value by name —
+        used by tests and by provenance recording."""
+        self.validate()
+        values: dict[str, Any] = {}
+        for node_name in self.schedule():
+            node = self._nodes[node_name]
+            args = [
+                bindings[src.name] if src.kind == "input" else values[src.name]
+                for src in node.inputs
+            ]
+            values[node_name] = self.operators.apply(node.operator, *args)
+        return values
+
+    # -- promotion to an operator --------------------------------------------------
+
+    def as_operator(self, result_type: str) -> None:
+        """Register this network as a first-class operator.
+
+        The compound operator takes the network inputs (in declaration
+        order) with their declared type terms and returns *result_type* —
+        §2.1.5: compound operators "can be applied as a primitive mapping
+        function between two primitive classes."
+        """
+        self.validate()
+        arg_types = [self._input_types[port] for port in self._inputs]
+
+        def run(*args: Any) -> Any:
+            return self.execute(**dict(zip(self._inputs, args)))
+
+        self.operators.register(
+            self.name, arg_types, result_type, run,
+            doc=self.doc or f"compound operator ({len(self._nodes)} nodes)",
+        )

@@ -1,0 +1,114 @@
+"""The ``matrix`` primitive class.
+
+Figure 4's PCA dataflow network passes ``SET OF matrix`` between operators
+(convert-image-matrix → compute-covariance → ...).  A matrix is a 2-D
+float64 array wrapped with value identity, mirroring :class:`Image` but
+without pixel-type bookkeeping — matrices are analysis intermediates, not
+stored rasters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import ValueRepresentationError
+from .values import value_key as _value_key
+
+__all__ = ["Matrix", "register_matrix_class"]
+
+
+@dataclass(frozen=True)
+class Matrix:
+    """An immutable 2-D float64 matrix with value identity."""
+
+    data: np.ndarray
+    _key: Any = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.data, np.ndarray) or self.data.ndim != 2:
+            raise ValueRepresentationError("matrix data must be a 2-D numpy array")
+        frozen = np.ascontiguousarray(self.data, dtype=np.float64)
+        frozen.setflags(write=False)
+        object.__setattr__(self, "data", frozen)
+
+    @property
+    def nrow(self) -> int:
+        """Number of rows."""
+        return int(self.data.shape[0])
+
+    @property
+    def ncol(self) -> int:
+        """Number of columns."""
+        return int(self.data.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(nrow, ncol)``."""
+        return (self.nrow, self.ncol)
+
+    @staticmethod
+    def from_array(array: Any) -> "Matrix":
+        """Build from any array-like (cast to float64)."""
+        return Matrix(data=np.asarray(array, dtype=np.float64))
+
+    @staticmethod
+    def validate(value: Any) -> "Matrix":
+        """Validator used by the ``matrix`` primitive class."""
+        if isinstance(value, Matrix):
+            return value
+        if isinstance(value, np.ndarray):
+            return Matrix.from_array(value)
+        if isinstance(value, (list, tuple)):
+            return Matrix.from_array(value)
+        raise ValueRepresentationError(
+            f"matrix: cannot build from {type(value).__name__}"
+        )
+
+    @staticmethod
+    def parse(text: str) -> "Matrix":
+        """Parse a row-major external representation like
+        ``[[1,2],[3,4]]``."""
+        import ast
+
+        try:
+            rows = ast.literal_eval(text.strip())
+        except (ValueError, SyntaxError) as exc:
+            raise ValueRepresentationError(f"bad matrix literal {text!r}") from exc
+        return Matrix.from_array(rows)
+
+    def __str__(self) -> str:
+        return "[" + ",".join(
+            "[" + ",".join(repr(float(x)) for x in row) + "]" for row in self.data
+        ) + "]"
+
+    def value_key(self) -> Any:
+        """Content-based identity key."""
+        if self._key is None:
+            object.__setattr__(self, "_key", ("matrix", _value_key(self.data)))
+        return self._key
+
+    def __hash__(self) -> int:
+        return hash(self.value_key())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        return self.value_key() == other.value_key()
+
+
+def register_matrix_class(registry) -> None:
+    """Register ``matrix`` into a :class:`~repro.adt.registry.TypeRegistry`."""
+    from .registry import PrimitiveClass
+    from .values import Representation
+
+    registry.register(
+        PrimitiveClass(
+            name="matrix",
+            validate=Matrix.validate,
+            representation=Representation(parse=Matrix.parse, format=str),
+            doc="2-D float64 matrix (PCA intermediates, Figure 4).",
+        )
+    )

@@ -1,0 +1,236 @@
+"""Operators: functions encapsulating primitive classes (paper §2.1.3).
+
+"Following Postgres, functions on primitive classes are called operators."
+An operator has a *signature* over primitive-class names and a Python
+callable implementing it.  The registry supports the browsing the paper
+promises (§4.2): look up operators applicable to a primitive class, or
+find the classes having a given operator.
+
+Signatures use two type-term forms:
+
+* a plain primitive-class name, e.g. ``"image"``;
+* ``"setof <name>"`` — a sequence of that class, as in Figure 4's
+  ``SET OF image`` / ``SET OF matrix`` arcs.  A ``setof`` term may carry a
+  minimum cardinality, the *threshold* semantics of the modified Petri net
+  (§2.1.6 modification 2: "for PCA, two input data images are enough, but
+  more than two are usually used").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..errors import (
+    OperatorAlreadyRegisteredError,
+    SignatureMismatchError,
+    UnknownOperatorError,
+    ValueRepresentationError,
+)
+from .registry import TypeRegistry
+
+__all__ = ["TypeTerm", "Signature", "Operator", "OperatorRegistry"]
+
+
+@dataclass(frozen=True)
+class TypeTerm:
+    """One argument (or result) slot in an operator signature."""
+
+    type_name: str
+    is_set: bool = False
+    min_cardinality: int = 1
+
+    @staticmethod
+    def parse(term: "str | TypeTerm") -> "TypeTerm":
+        """Parse ``"image"`` or ``"setof image"`` / ``"setof>=2 image"``."""
+        if isinstance(term, TypeTerm):
+            return term
+        parts = term.split()
+        if len(parts) == 1:
+            return TypeTerm(type_name=parts[0])
+        if len(parts) == 2 and parts[0].startswith("setof"):
+            minimum = 1
+            suffix = parts[0][len("setof"):]
+            if suffix.startswith(">="):
+                minimum = int(suffix[2:])
+            elif suffix:
+                raise ValueRepresentationError(f"bad type term {term!r}")
+            return TypeTerm(type_name=parts[1], is_set=True, min_cardinality=minimum)
+        raise ValueRepresentationError(f"bad type term {term!r}")
+
+    def __str__(self) -> str:
+        if not self.is_set:
+            return self.type_name
+        if self.min_cardinality > 1:
+            return f"setof>={self.min_cardinality} {self.type_name}"
+        return f"setof {self.type_name}"
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Argument and result types of an operator."""
+
+    arg_terms: tuple[TypeTerm, ...]
+    result_term: TypeTerm
+
+    @staticmethod
+    def of(arg_types: Sequence[str | TypeTerm], result_type: str | TypeTerm
+           ) -> "Signature":
+        """Build from string terms, e.g. ``Signature.of(["setof image",
+        "int4"], "image")``."""
+        return Signature(
+            arg_terms=tuple(TypeTerm.parse(t) for t in arg_types),
+            result_term=TypeTerm.parse(result_type),
+        )
+
+    @property
+    def arity(self) -> int:
+        """Number of argument slots."""
+        return len(self.arg_terms)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.arg_terms)
+        return f"({args}) -> {self.result_term}"
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A named, typed function over primitive classes."""
+
+    name: str
+    signature: Signature
+    fn: Callable[..., Any]
+    doc: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.name}{self.signature}"
+
+
+@dataclass
+class OperatorRegistry:
+    """Registry of operators, type-checked against a :class:`TypeRegistry`.
+
+    Overloading is supported: the same name may be registered with
+    different signatures; resolution picks the first signature whose
+    arg terms accept the actual values.
+    """
+
+    types: TypeRegistry
+    _by_name: dict[str, list[Operator]] = field(default_factory=dict)
+
+    def register(self, name: str, arg_types: Sequence[str | TypeTerm],
+                 result_type: str | TypeTerm, fn: Callable[..., Any],
+                 doc: str = "") -> Operator:
+        """Register an operator; raises on exact-signature duplicates and
+        on signatures naming unregistered primitive classes."""
+        signature = Signature.of(arg_types, result_type)
+        for term in signature.arg_terms + (signature.result_term,):
+            self.types.get(term.type_name)  # raises UnknownTypeError
+        op = Operator(name=name, signature=signature, fn=fn, doc=doc)
+        bucket = self._by_name.setdefault(name, [])
+        if any(existing.signature == signature for existing in bucket):
+            raise OperatorAlreadyRegisteredError(f"{name}{signature}")
+        bucket.append(op)
+        return op
+
+    def overloads(self, name: str) -> list[Operator]:
+        """All operators registered under *name*."""
+        try:
+            return list(self._by_name[name])
+        except KeyError:
+            raise UnknownOperatorError(name) from None
+
+    def get(self, name: str) -> Operator:
+        """The unique operator called *name* (error when overloaded)."""
+        ops = self.overloads(name)
+        if len(ops) > 1:
+            raise UnknownOperatorError(
+                f"{name} is overloaded ({len(ops)} signatures); use resolve()"
+            )
+        return ops[0]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> list[str]:
+        """All registered operator names."""
+        return list(self._by_name)
+
+    # -- value/type checking --------------------------------------------------
+
+    def _accepts(self, term: TypeTerm, value: Any) -> bool:
+        cls = self.types.get(term.type_name)
+        if term.is_set:
+            if not isinstance(value, (list, tuple)):
+                return False
+            if len(value) < term.min_cardinality:
+                return False
+            return all(cls.accepts(item) for item in value)
+        return cls.accepts(value)
+
+    def _matches(self, op: Operator, args: Sequence[Any]) -> bool:
+        if len(args) != op.signature.arity:
+            return False
+        return all(
+            self._accepts(term, arg)
+            for term, arg in zip(op.signature.arg_terms, args)
+        )
+
+    def resolve(self, name: str, args: Sequence[Any]) -> Operator:
+        """Pick the overload of *name* accepting *args*."""
+        candidates = self.overloads(name)
+        for op in candidates:
+            if self._matches(op, args):
+                return op
+        sigs = "; ".join(str(op.signature) for op in candidates)
+        raise SignatureMismatchError(
+            f"no overload of {name} accepts {len(args)} given argument(s); "
+            f"have: {sigs}"
+        )
+
+    def apply(self, name: str, *args: Any) -> Any:
+        """Type-check *args*, run the operator, and type-check the result."""
+        op = self.resolve(name, args)
+        normalized = []
+        for term, arg in zip(op.signature.arg_terms, args):
+            cls = self.types.get(term.type_name)
+            if term.is_set:
+                normalized.append([cls.validate(item) for item in arg])
+            else:
+                normalized.append(cls.validate(arg))
+        result = op.fn(*normalized)
+        result_term = op.signature.result_term
+        result_cls = self.types.get(result_term.type_name)
+        if result_term.is_set:
+            if not isinstance(result, (list, tuple)):
+                raise SignatureMismatchError(
+                    f"{name} declared {result_term} but returned "
+                    f"{type(result).__name__}"
+                )
+            return [result_cls.validate(item) for item in result]
+        return result_cls.validate(result)
+
+    # -- browsing (paper §4.2) --------------------------------------------------
+
+    def operators_for(self, type_name: str) -> list[Operator]:
+        """Operators applicable to the primitive class *type_name*
+        (appearing in any argument slot, including via subtyping)."""
+        self.types.get(type_name)
+        found = []
+        for ops in self._by_name.values():
+            for op in ops:
+                for term in op.signature.arg_terms:
+                    if self.types.is_subtype(type_name, term.type_name):
+                        found.append(op)
+                        break
+        return found
+
+    def classes_with(self, operator_name: str) -> set[str]:
+        """Primitive-class names appearing in argument slots of the named
+        operator — 'find the primitive classes that have a specific
+        operator' (paper §4.2)."""
+        classes: set[str] = set()
+        for op in self.overloads(operator_name):
+            for term in op.signature.arg_terms:
+                classes.add(term.type_name)
+        return classes

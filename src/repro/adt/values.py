@@ -1,0 +1,98 @@
+"""Value identity and external/internal representations for primitive classes.
+
+The paper (§2.1.3) states that in primitive classes "data objects are value
+identified, i.e., the object identifier for a data object is its value" and
+that every primitive class carries an *external representation* (a parsable
+string form, as in the ``image`` example) and an *internal representation*
+(a concrete structure).
+
+This module provides the small protocol both sides of that split use:
+
+* :func:`value_key` — a hashable identity key for any supported internal
+  value, fulfilling value identification even for numpy arrays (which are
+  not hashable themselves).
+* :class:`Representation` — a pairing of ``parse`` / ``format`` callables
+  used by :class:`repro.adt.registry.PrimitiveClass`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import ValueRepresentationError
+
+__all__ = ["value_key", "Representation", "identity_representation"]
+
+
+def _array_digest(array: np.ndarray) -> str:
+    """Return a stable content digest for a numpy array.
+
+    The digest covers dtype, shape and raw bytes, so two arrays compare
+    equal under :func:`value_key` exactly when they are elementwise
+    identical with the same dtype and shape.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(array.dtype).encode())
+    hasher.update(str(array.shape).encode())
+    hasher.update(np.ascontiguousarray(array).tobytes())
+    return hasher.hexdigest()
+
+
+def value_key(value: Any) -> Any:
+    """Return a hashable identity key for *value*.
+
+    Primitive-class objects are value identified (paper §2.1.3): changing
+    the value always yields a different object.  For plain scalars the
+    value itself is the key; for numpy arrays we use a content digest; for
+    containers we recurse; for objects exposing a ``value_key()`` method
+    (the image/matrix/vector primitive classes) we delegate.
+    """
+    if hasattr(value, "value_key") and callable(value.value_key):
+        return value.value_key()
+    if isinstance(value, np.ndarray):
+        return ("ndarray", _array_digest(value))
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__,) + tuple(value_key(item) for item in value)
+    if isinstance(value, frozenset):
+        return ("frozenset", frozenset(value_key(item) for item in value))
+    if isinstance(value, dict):
+        return (
+            "dict",
+            tuple(sorted((key, value_key(val)) for key, val in value.items())),
+        )
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+@dataclass(frozen=True)
+class Representation:
+    """External/internal representation pair for a primitive class.
+
+    ``parse`` maps an external string to an internal value and ``format``
+    maps the internal value back.  Both raise
+    :class:`~repro.errors.ValueRepresentationError` on malformed input.
+    """
+
+    parse: Callable[[str], Any]
+    format: Callable[[Any], str]
+
+    def roundtrip(self, text: str) -> str:
+        """Parse *text* and format the result (useful for validation)."""
+        return self.format(self.parse(text))
+
+
+def _identity_parse(text: str) -> str:
+    if not isinstance(text, str):
+        raise ValueRepresentationError(f"expected str, got {type(text).__name__}")
+    return text
+
+
+def identity_representation() -> Representation:
+    """A representation whose external and internal forms are the same
+    string — used by character primitive classes such as ``char16``."""
+    return Representation(parse=_identity_parse, format=_identity_parse)

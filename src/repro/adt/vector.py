@@ -1,0 +1,98 @@
+"""The ``vector`` primitive class.
+
+Figure 4's ``get-eigen-vector`` operator produces a ``vector`` that feeds
+``linear-combination``.  We generalize slightly: a Vector wraps a 1-D
+float64 array (a single eigenvector, a set of weights, a spectral
+signature, ...), with value identity like the other array primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import ValueRepresentationError
+from .values import value_key as _value_key
+
+__all__ = ["Vector", "register_vector_class"]
+
+
+@dataclass(frozen=True)
+class Vector:
+    """An immutable 1-D float64 vector with value identity."""
+
+    data: np.ndarray
+    _key: Any = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.data, np.ndarray) or self.data.ndim != 1:
+            raise ValueRepresentationError("vector data must be a 1-D numpy array")
+        frozen = np.ascontiguousarray(self.data, dtype=np.float64)
+        frozen.setflags(write=False)
+        object.__setattr__(self, "data", frozen)
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    @staticmethod
+    def from_array(array: Any) -> "Vector":
+        """Build from any 1-D array-like (cast to float64)."""
+        return Vector(data=np.asarray(array, dtype=np.float64))
+
+    @staticmethod
+    def validate(value: Any) -> "Vector":
+        """Validator used by the ``vector`` primitive class."""
+        if isinstance(value, Vector):
+            return value
+        if isinstance(value, np.ndarray):
+            return Vector.from_array(value)
+        if isinstance(value, (list, tuple)):
+            return Vector.from_array(value)
+        raise ValueRepresentationError(
+            f"vector: cannot build from {type(value).__name__}"
+        )
+
+    @staticmethod
+    def parse(text: str) -> "Vector":
+        """Parse an external representation like ``[1.0, 2.0, 3.0]``."""
+        import ast
+
+        try:
+            items = ast.literal_eval(text.strip())
+        except (ValueError, SyntaxError) as exc:
+            raise ValueRepresentationError(f"bad vector literal {text!r}") from exc
+        return Vector.from_array(items)
+
+    def __str__(self) -> str:
+        return "[" + ",".join(repr(float(x)) for x in self.data) + "]"
+
+    def value_key(self) -> Any:
+        """Content-based identity key."""
+        if self._key is None:
+            object.__setattr__(self, "_key", ("vector", _value_key(self.data)))
+        return self._key
+
+    def __hash__(self) -> int:
+        return hash(self.value_key())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vector):
+            return NotImplemented
+        return self.value_key() == other.value_key()
+
+
+def register_vector_class(registry) -> None:
+    """Register ``vector`` into a :class:`~repro.adt.registry.TypeRegistry`."""
+    from .registry import PrimitiveClass
+    from .values import Representation
+
+    registry.register(
+        PrimitiveClass(
+            name="vector",
+            validate=Vector.validate,
+            representation=Representation(parse=Vector.parse, format=str),
+            doc="1-D float64 vector (eigenvectors, weights, signatures).",
+        )
+    )

@@ -1,0 +1,5 @@
+"""IDRISI/GRASS-style file-based GIS baseline (paper §4.1 comparison)."""
+
+from .filegis import FileGIS, TranscriptEntry
+
+__all__ = ["FileGIS", "TranscriptEntry"]

@@ -1,0 +1,184 @@
+"""The file-based GIS baseline (IDRISI / GRASS stand-in, paper §4.1).
+
+"A typical working scenario for either system is to perform analysis with
+sequences of commands that read data from input files and store results
+into output files."  This module reproduces that working style — and,
+deliberately, its §4.1 shortcomings:
+
+1. *file names are the only identifier* — there is no schema, no range
+   retrieval, and a reused name silently overwrites another user's data;
+2. *no derivation metadata* — only whatever the user encodes in the name;
+3. *the analysis process is managed by hand* — optionally, a transcript
+   file of commands (the paper's "awkward transcript files");
+4. *no abstraction* — applying a procedure to N data sets means
+   re-issuing the commands N times.
+
+EXP-C drives an identical experiment through this baseline and through
+Gaea to quantify the reproducibility difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..adt.image import Image, PIXTYPE_DTYPES
+from ..errors import GaeaError
+
+__all__ = ["FileGIS", "TranscriptEntry"]
+
+
+@dataclass(frozen=True)
+class TranscriptEntry:
+    """One command line the scientist ran (their only provenance)."""
+
+    command: str
+    inputs: tuple[str, ...]
+    output: str
+
+
+@dataclass
+class FileGIS:
+    """A directory of raster files driven by named commands.
+
+    Rasters are stored as ``.npy``-format arrays with a tiny ``.doc``
+    sidecar holding only the shape and pixel type — faithfully *less*
+    metadata than Gaea keeps (IDRISI ``.doc`` files record georeferencing
+    but not derivation).
+    """
+
+    workdir: Path
+    keep_transcript: bool = True
+    transcript: list[TranscriptEntry] = field(default_factory=list)
+    _commands: dict[str, Callable[..., Image]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.workdir = Path(self.workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+
+    # -- the file layer ---------------------------------------------------------
+
+    def _raster_path(self, name: str) -> Path:
+        return self.workdir / f"{name}.img"
+
+    def exists(self, name: str) -> bool:
+        """Whether a raster file with this name exists."""
+        return self._raster_path(name).exists()
+
+    def write_raster(self, name: str, image: Image) -> None:
+        """Store *image* under *name* — silently overwriting any previous
+        raster of the same name (§4.1 shortcoming 1)."""
+        path = self._raster_path(name)
+        with open(path, "wb") as handle:
+            np.save(handle, image.data)
+        doc = self.workdir / f"{name}.doc"
+        doc.write_text(
+            f"rows {image.nrow}\ncols {image.ncol}\ntype {image.pixtype}\n"
+        )
+
+    def read_raster(self, name: str) -> Image:
+        """Load the raster called *name*."""
+        path = self._raster_path(name)
+        if not path.exists():
+            raise GaeaError(f"no raster file {name!r} in {self.workdir}")
+        with open(path, "rb") as handle:
+            data = np.load(handle)
+        if data.dtype not in {dt for dt in PIXTYPE_DTYPES.values()}:
+            data = data.astype(np.float32)
+        return Image(data=data, filepath=str(path))
+
+    def list_rasters(self) -> list[str]:
+        """All raster names in the working directory."""
+        return sorted(p.stem for p in self.workdir.glob("*.img"))
+
+    # -- the command layer ----------------------------------------------------------
+
+    def register_command(self, name: str,
+                         fn: Callable[..., Image]) -> None:
+        """Install an analysis command (module-style, like IDRISI's
+        CLUSTER or OVERLAY).  *fn* takes Images (+ scalars) and returns
+        an Image."""
+        if name in self._commands:
+            raise GaeaError(f"command {name!r} already registered")
+        self._commands[name] = fn
+
+    def run(self, command: str, inputs: list[str], output: str,
+            *params: float) -> Image:
+        """Run *command* over named input rasters into *output*.
+
+        The only record kept (when ``keep_transcript``) is the command
+        line itself — the §4.1 "awkward transcript file".
+        """
+        try:
+            fn = self._commands[command]
+        except KeyError:
+            raise GaeaError(f"unknown command {command!r}") from None
+        images = [self.read_raster(name) for name in inputs]
+        result = fn(*images, *params)
+        self.write_raster(output, result)
+        if self.keep_transcript:
+            rendered = " ".join(
+                [command] + list(inputs) + [output]
+                + [repr(p) for p in params]
+            )
+            self.transcript.append(TranscriptEntry(
+                command=rendered, inputs=tuple(inputs), output=output,
+            ))
+        return result
+
+    # -- what passes for provenance here -----------------------------------------------
+
+    def derivation_of(self, name: str) -> str | None:
+        """Best-effort derivation lookup: grep the transcript.
+
+        Without a transcript (a colleague's directory, say) the answer is
+        ``None`` — the data cannot be meaningfully shared, which is
+        exactly the paper's point.
+        """
+        if not self.keep_transcript:
+            return None
+        for entry in reversed(self.transcript):
+            if entry.output == name:
+                return entry.command
+        return None
+
+    def metadata_of(self, name: str) -> dict[str, str]:
+        """Everything the baseline knows about a raster: the .doc file."""
+        doc = self.workdir / f"{name}.doc"
+        if not doc.exists():
+            raise GaeaError(f"no raster {name!r}")
+        out: dict[str, str] = {}
+        for line in doc.read_text().splitlines():
+            key, _, value = line.partition(" ")
+            out[key] = value
+        return out
+
+    def reproduce(self, name: str) -> Image:
+        """Try to reproduce raster *name* from the transcript.
+
+        Replays the recorded command chain bottom-up.  Raises when any
+        needed step predates the transcript (or there is no transcript) —
+        the failure mode Gaea's task log eliminates.
+        """
+        command = self.derivation_of(name)
+        if command is None:
+            raise GaeaError(
+                f"cannot reproduce {name!r}: no derivation record"
+            )
+        entry = next(
+            e for e in reversed(self.transcript) if e.output == name
+        )
+        for input_name in entry.inputs:
+            if self.derivation_of(input_name) is not None:
+                self.reproduce(input_name)
+            elif not self.exists(input_name):
+                raise GaeaError(
+                    f"cannot reproduce {name!r}: input {input_name!r} "
+                    "missing and underivable"
+                )
+        parts = entry.command.split()
+        params = [float(p) for p in parts[1 + len(entry.inputs) + 1:]]
+        return self.run(parts[0], list(entry.inputs), entry.output, *params)

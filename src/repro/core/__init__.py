@@ -1,0 +1,105 @@
+"""The paper's primary contribution: the three-layer metadata manager.
+
+* high level — concepts and experiments (:mod:`repro.core.concepts`,
+  :mod:`repro.core.experiments`);
+* derivation level — non-primitive classes, processes, tasks, the Petri
+  derivation net and the retrieval planner;
+* facade — :func:`repro.core.metadata_manager.open_kernel`.
+"""
+
+from .classes import ClassRegistry, ClassStore, NonPrimitiveClass, SciObject
+from .compound import CompoundProcess, CompoundRegistry, ExpandedStep, Step
+from .concepts import Concept, ConceptHierarchy
+from .diagrams import lineage_to_dot, lineage_to_text, net_to_dot, net_to_text
+from .derivation import (
+    AnyOf,
+    Apply,
+    Argument,
+    Assertion,
+    AttrRef,
+    Bindings,
+    CardinalityAssertion,
+    CommonSpatialAssertion,
+    CommonTemporalAssertion,
+    Expr,
+    ExprAssertion,
+    Literal,
+    ParamRef,
+    Process,
+    ProcessRegistry,
+)
+from .experiments import Experiment, ExperimentManager
+from .external import (
+    RemoteExecutor,
+    RemoteSite,
+    is_external,
+    record_external_derivation,
+)
+from .interpolation import InterpolationError, TemporalInterpolator
+from .manager import DerivationManager, DerivationResult
+from .metadata_manager import WORLD, MetadataManager, open_kernel
+from .persistence import load_kernel, save_kernel
+from .petri import DerivationNet, DerivationPlan, InputArc, Marking, Transition
+from .planner import RetrievalPlanner, RetrievalResult
+from .provenance import Lineage, ProvenanceBrowser
+from .tasks import Task, TaskLog, TaskStatus, bindings_key
+
+__all__ = [
+    "AnyOf",
+    "Apply",
+    "Argument",
+    "Assertion",
+    "AttrRef",
+    "Bindings",
+    "CardinalityAssertion",
+    "ClassRegistry",
+    "ClassStore",
+    "CommonSpatialAssertion",
+    "CommonTemporalAssertion",
+    "CompoundProcess",
+    "CompoundRegistry",
+    "Concept",
+    "ConceptHierarchy",
+    "DerivationManager",
+    "DerivationNet",
+    "DerivationPlan",
+    "DerivationResult",
+    "ExpandedStep",
+    "Experiment",
+    "ExperimentManager",
+    "Expr",
+    "ExprAssertion",
+    "InputArc",
+    "InterpolationError",
+    "Lineage",
+    "Literal",
+    "Marking",
+    "MetadataManager",
+    "NonPrimitiveClass",
+    "ParamRef",
+    "Process",
+    "ProcessRegistry",
+    "ProvenanceBrowser",
+    "RemoteExecutor",
+    "RemoteSite",
+    "RetrievalPlanner",
+    "RetrievalResult",
+    "SciObject",
+    "Step",
+    "Task",
+    "TaskLog",
+    "TaskStatus",
+    "TemporalInterpolator",
+    "Transition",
+    "WORLD",
+    "bindings_key",
+    "is_external",
+    "lineage_to_dot",
+    "lineage_to_text",
+    "load_kernel",
+    "net_to_dot",
+    "net_to_text",
+    "open_kernel",
+    "record_external_derivation",
+    "save_kernel",
+]

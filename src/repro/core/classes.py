@@ -1,0 +1,314 @@
+"""Non-primitive classes and scientific objects (paper §2.1.1–§2.1.2).
+
+A *non-primitive class* is the derivation-layer unit: a named set of
+attributes typed by primitive classes, plus the two orthogonal extents
+(``SPATIAL EXTENT`` / ``TEMPORAL EXTENT``) and an optional ``DERIVED BY``
+process reference.  The paper's example::
+
+    CLASS landcover (
+      ATTRIBUTES:
+        area = char16; ref_system = char16; ...
+        data = image;
+      SPATIAL EXTENT:  spatialextent = box;
+      TEMPORAL EXTENT: timestamp = abstime;
+      DERIVED BY: unsupervised-classification
+    )
+
+Classes whose objects come from outside the system are *base*; all others
+are "solely defined by their derivation process" (§2.1.2).
+
+The :class:`ClassStore` materializes each class as a storage relation
+(with an ``_oid`` surrogate column) and provides the automatically defined
+retrieval functions (``area(landcover)``-style accessors).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..adt.registry import TypeRegistry
+from ..errors import (
+    ClassAlreadyDefinedError,
+    DerivationError,
+    UnknownClassError,
+)
+from ..spatial.box import Box
+from ..storage.engine import StorageEngine
+from ..temporal.abstime import AbsTime
+
+__all__ = ["NonPrimitiveClass", "SciObject", "ClassRegistry", "ClassStore"]
+
+OID_COLUMN = "_oid"
+
+
+@dataclass(frozen=True)
+class NonPrimitiveClass:
+    """Definition of a non-primitive (scientific object) class."""
+
+    name: str
+    attributes: tuple[tuple[str, str], ...]  # (attr name, primitive type)
+    spatial_attr: str | None = "spatialextent"
+    temporal_attr: str | None = "timestamp"
+    derived_by: str | None = None  # process name; None => base class
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.attributes]
+        if len(names) != len(set(names)):
+            raise DerivationError(f"duplicate attributes in class {self.name!r}")
+        for extent in (self.spatial_attr, self.temporal_attr):
+            if extent is not None and extent not in names:
+                raise DerivationError(
+                    f"class {self.name!r} declares extent attribute "
+                    f"{extent!r} but does not define it"
+                )
+
+    @property
+    def is_base(self) -> bool:
+        """Base classes hold data from outside the system (paper §1)."""
+        return self.derived_by is None
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return tuple(name for name, _ in self.attributes)
+
+    def type_of(self, attr: str) -> str:
+        """Primitive-class name of *attr*."""
+        for name, type_name in self.attributes:
+            if name == attr:
+                return type_name
+        raise DerivationError(f"class {self.name!r} has no attribute {attr!r}")
+
+    def describe(self) -> str:
+        """Render the definition in the paper's CLASS syntax."""
+        lines = [f"CLASS {self.name} ("]
+        lines.append("  ATTRIBUTES:")
+        for name, type_name in self.attributes:
+            if name in (self.spatial_attr, self.temporal_attr):
+                continue
+            lines.append(f"    {name} = {type_name};")
+        if self.spatial_attr is not None:
+            lines.append("  SPATIAL EXTENT:")
+            lines.append(
+                f"    {self.spatial_attr} = {self.type_of(self.spatial_attr)};"
+            )
+        if self.temporal_attr is not None:
+            lines.append("  TEMPORAL EXTENT:")
+            lines.append(
+                f"    {self.temporal_attr} = {self.type_of(self.temporal_attr)};"
+            )
+        if self.derived_by is not None:
+            lines.append(f"  DERIVED BY: {self.derived_by}")
+        lines.append(")")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SciObject:
+    """One scientific data object: an instance of a non-primitive class."""
+
+    class_name: str
+    oid: int
+    values: dict[str, Any]
+
+    def __getitem__(self, attr: str) -> Any:
+        try:
+            return self.values[attr]
+        except KeyError:
+            raise DerivationError(
+                f"object {self.oid} of {self.class_name!r} has no "
+                f"attribute {attr!r}"
+            ) from None
+
+    def get(self, attr: str, default: Any = None) -> Any:
+        """Attribute value with a default."""
+        return self.values.get(attr, default)
+
+
+@dataclass
+class ClassRegistry:
+    """Registry of non-primitive class definitions."""
+
+    types: TypeRegistry
+    _classes: dict[str, NonPrimitiveClass] = field(default_factory=dict)
+
+    def define(self, cls: NonPrimitiveClass) -> NonPrimitiveClass:
+        """Register *cls*, validating its attribute types."""
+        if cls.name in self._classes:
+            raise ClassAlreadyDefinedError(cls.name)
+        for _, type_name in cls.attributes:
+            self.types.get(type_name)
+        self._classes[cls.name] = cls
+        return cls
+
+    def get(self, name: str) -> NonPrimitiveClass:
+        """The class called *name*."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownClassError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __iter__(self) -> Iterator[NonPrimitiveClass]:
+        return iter(self._classes.values())
+
+    def names(self) -> list[str]:
+        """All class names, in definition order."""
+        return list(self._classes)
+
+    def base_classes(self) -> list[NonPrimitiveClass]:
+        """Classes holding externally supplied data."""
+        return [cls for cls in self._classes.values() if cls.is_base]
+
+    def derived_classes(self) -> list[NonPrimitiveClass]:
+        """Classes defined solely by their derivation process."""
+        return [cls for cls in self._classes.values() if not cls.is_base]
+
+
+@dataclass
+class ClassStore:
+    """Object storage for non-primitive classes, backed by the engine.
+
+    Each defined class gets a relation ``cls_<name>`` whose first column
+    is the ``_oid`` surrogate, followed by the class attributes.  Spatial
+    and temporal indexes are attached to the extent attributes when a
+    universe is supplied.
+    """
+
+    engine: StorageEngine
+    registry: ClassRegistry
+    universe: Box | None = None
+    _oid_counter: Iterator[int] = field(default_factory=lambda: itertools.count(1))
+    _oid_index: dict[int, tuple[str, Any]] = field(default_factory=dict)
+
+    @staticmethod
+    def relation_for(class_name: str) -> str:
+        """Storage relation name backing *class_name*."""
+        return f"cls_{class_name}"
+
+    def materialize(self, cls: NonPrimitiveClass) -> None:
+        """Create the backing relation (and extent indexes) for *cls*."""
+        relation = self.relation_for(cls.name)
+        columns = [(OID_COLUMN, "int4")] + list(cls.attributes)
+        self.engine.create_relation(relation, columns)
+        self.engine.create_index(relation, OID_COLUMN)
+        if cls.spatial_attr is not None and self.universe is not None:
+            self.engine.create_spatial_index(relation, cls.spatial_attr,
+                                             universe=self.universe)
+        if cls.temporal_attr is not None:
+            self.engine.create_temporal_index(relation, cls.temporal_attr)
+
+    def store(self, class_name: str, values: dict[str, Any]) -> SciObject:
+        """Insert an object of *class_name*; returns it with a fresh oid."""
+        cls = self.registry.get(class_name)
+        missing = [a for a in cls.attribute_names if a not in values]
+        if missing:
+            raise DerivationError(
+                f"object of {class_name!r} is missing attribute(s): {missing}"
+            )
+        extra = [a for a in values if a not in cls.attribute_names]
+        if extra:
+            raise DerivationError(
+                f"object of {class_name!r} has unknown attribute(s): {extra}"
+            )
+        oid = next(self._oid_counter)
+        row = (oid,) + tuple(values[a] for a in cls.attribute_names)
+        tid = self.engine.insert_row(self.relation_for(class_name), row)
+        self._oid_index[oid] = (class_name, tid)
+        stored = self.engine.fetch(self.relation_for(class_name), tid)
+        obj_values = {a: stored[a] for a in cls.attribute_names}
+        return SciObject(class_name=class_name, oid=oid, values=obj_values)
+
+    def _row_to_object(self, class_name: str, row: Any) -> SciObject:
+        cls = self.registry.get(class_name)
+        values = {a: row[a] for a in cls.attribute_names}
+        return SciObject(class_name=class_name, oid=row[OID_COLUMN], values=values)
+
+    def get(self, oid: int) -> SciObject:
+        """The object with surrogate id *oid*."""
+        try:
+            class_name, tid = self._oid_index[oid]
+        except KeyError:
+            raise UnknownClassError(f"no object with oid {oid}") from None
+        row = self.engine.fetch(self.relation_for(class_name), tid)
+        return self._row_to_object(class_name, row)
+
+    def objects(self, class_name: str) -> list[SciObject]:
+        """All stored objects of *class_name*."""
+        self.registry.get(class_name)
+        relation = self.relation_for(class_name)
+        return [
+            self._row_to_object(class_name, row)
+            for row in self.engine.scan(relation)
+        ]
+
+    def count(self, class_name: str) -> int:
+        """Number of stored objects of *class_name*."""
+        return len(self.objects(class_name))
+
+    def find(self, class_name: str,
+             spatial: Box | None = None,
+             temporal: AbsTime | None = None,
+             predicate: Callable[[SciObject], bool] | None = None
+             ) -> list[SciObject]:
+        """Spatio-temporal retrieval (paper §2.1.5 step 1).
+
+        Uses the extent indexes when the corresponding predicate is given;
+        a residual Python predicate may refine further.
+        """
+        cls = self.registry.get(class_name)
+        relation = self.relation_for(class_name)
+        rows = None
+        if spatial is not None and cls.spatial_attr is not None \
+                and self.universe is not None:
+            rows = self.engine.spatial_lookup(relation, spatial)
+        if temporal is not None and cls.temporal_attr is not None:
+            t_rows = self.engine.temporal_lookup(relation, temporal)
+            if rows is None:
+                rows = t_rows
+            else:
+                tids = {row.tid for row in t_rows}
+                rows = [row for row in rows if row.tid in tids]
+        if rows is None:
+            rows = list(self.engine.scan(relation))
+        objects = [self._row_to_object(class_name, row) for row in rows]
+        if spatial is not None and cls.spatial_attr is not None:
+            objects = [
+                obj for obj in objects
+                if obj[cls.spatial_attr].overlaps(spatial)
+            ]
+        if temporal is not None and cls.temporal_attr is not None:
+            objects = [
+                obj for obj in objects if obj[cls.temporal_attr] == temporal
+            ]
+        if predicate is not None:
+            objects = [obj for obj in objects if predicate(obj)]
+        return objects
+
+    # -- automatically defined retrieval functions (paper §2.1.2) -------------
+
+    def accessor(self, class_name: str, attr: str) -> Callable[[SciObject], Any]:
+        """The auto-defined retrieval function ``attr(class)``.
+
+        'The retrieval functions such as area(landcover) and
+        timestamp(landcover) are automatically defined.'
+        """
+        cls = self.registry.get(class_name)
+        cls.type_of(attr)  # raises when the attribute does not exist
+
+        def access(obj: SciObject) -> Any:
+            if obj.class_name != class_name:
+                raise DerivationError(
+                    f"{attr}({class_name}) applied to an object of "
+                    f"{obj.class_name!r}"
+                )
+            return obj[attr]
+
+        access.__name__ = f"{attr}_{class_name}"
+        access.__doc__ = f"Auto-defined retrieval function {attr}({class_name})."
+        return access

@@ -1,0 +1,198 @@
+"""Compound processes (paper §2.1.2, §2.1.4, Figure 5).
+
+"A compound process is a network of intercommunicating processes ...
+merely an abstraction which can be used to simplify a derivation
+relationship between object classes.  Thus a compound process cannot be
+directly applied, but must be expanded into its primitive processes
+before actual derivation takes place."
+
+A :class:`CompoundProcess` is a DAG of :class:`Step` objects.  Each step
+invokes a process — primitive or another compound (nesting allowed) — and
+wires its arguments either to compound-level arguments (``"@name"``) or to
+the output of an earlier step.  :meth:`CompoundProcess.expand` flattens
+nesting into a topologically ordered list of primitive
+:class:`ExpandedStep` records, which the derivation manager executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CompoundExpansionError, UnknownProcessError
+from .derivation import Argument, ProcessRegistry
+
+__all__ = ["Step", "CompoundProcess", "CompoundRegistry", "ExpandedStep"]
+
+_MAX_NESTING = 32
+
+
+@dataclass(frozen=True)
+class Step:
+    """One sub-process invocation inside a compound.
+
+    ``bindings`` maps the invoked process's argument names to sources:
+    ``"@x"`` for the compound's own argument *x*, or a step name for that
+    step's output object.
+    """
+
+    name: str
+    process: str
+    bindings: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ExpandedStep:
+    """A primitive step after expansion, with globally unique labels.
+
+    ``label`` is the nesting path (``"detect/spca"``); ``bindings``
+    sources refer to compound arguments (``"@x"``) or other expanded-step
+    labels.
+    """
+
+    label: str
+    process: str
+    bindings: dict[str, str]
+
+
+@dataclass(frozen=True)
+class CompoundProcess:
+    """A named network of sub-processes with a single output step."""
+
+    name: str
+    output_class: str
+    arguments: tuple[Argument, ...]
+    steps: tuple[Step, ...]
+    output_step: str
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        names = [step.name for step in self.steps]
+        if len(names) != len(set(names)):
+            raise CompoundExpansionError(
+                f"compound {self.name!r}: duplicate step names"
+            )
+        if self.output_step not in names:
+            raise CompoundExpansionError(
+                f"compound {self.name!r}: output step {self.output_step!r} "
+                "is not a step"
+            )
+        arg_names = {arg.name for arg in self.arguments}
+        seen: set[str] = set()
+        for step in self.steps:
+            for source in step.bindings.values():
+                if source.startswith("@"):
+                    if source[1:] not in arg_names:
+                        raise CompoundExpansionError(
+                            f"compound {self.name!r}: step {step.name!r} "
+                            f"references unknown argument {source!r}"
+                        )
+                elif source not in seen:
+                    raise CompoundExpansionError(
+                        f"compound {self.name!r}: step {step.name!r} "
+                        f"references step {source!r} before it is defined"
+                    )
+            seen.add(step.name)
+
+    def expand(self, primitives: ProcessRegistry,
+               compounds: "CompoundRegistry") -> list[ExpandedStep]:
+        """Flatten to primitive steps in execution order (paper §2.1.4
+        observation 2)."""
+        steps, _ = self._expand(primitives, compounds, prefix="", depth=0)
+        return steps
+
+    def _expand(self, primitives: ProcessRegistry,
+                compounds: "CompoundRegistry", prefix: str, depth: int
+                ) -> tuple[list[ExpandedStep], str]:
+        """Recursive expansion; returns (steps, label of the output step)."""
+        if depth > _MAX_NESTING:
+            raise CompoundExpansionError(
+                f"compound {self.name!r}: nesting exceeds {_MAX_NESTING} "
+                "(recursive compound?)"
+            )
+        expanded: list[ExpandedStep] = []
+        output_labels: dict[str, str] = {}  # local step name -> expanded label
+        for step in self.steps:
+            label = f"{prefix}{step.name}"
+            resolved = {
+                arg: (source if source.startswith("@")
+                      else output_labels[source])
+                for arg, source in step.bindings.items()
+            }
+            if step.process in primitives:
+                expanded.append(ExpandedStep(
+                    label=label, process=step.process, bindings=resolved,
+                ))
+                output_labels[step.name] = label
+            elif step.process in compounds:
+                inner = compounds.get(step.process)
+                inner_steps, inner_output = inner._expand(
+                    primitives, compounds, prefix=f"{label}/", depth=depth + 1,
+                )
+                # Re-wire the inner compound's "@arg" sources to this
+                # step's already-resolved sources.
+                arg_sources = {
+                    arg.name: resolved[arg.name] for arg in inner.arguments
+                }
+                for inner_step in inner_steps:
+                    rewired = {
+                        arg: (arg_sources[source[1:]]
+                              if source.startswith("@") else source)
+                        for arg, source in inner_step.bindings.items()
+                    }
+                    expanded.append(ExpandedStep(
+                        label=inner_step.label, process=inner_step.process,
+                        bindings=rewired,
+                    ))
+                output_labels[step.name] = inner_output
+            else:
+                raise UnknownProcessError(
+                    f"compound {self.name!r}: step {step.name!r} invokes "
+                    f"unknown process {step.process!r}"
+                )
+        return expanded, output_labels[self.output_step]
+
+    def describe(self) -> str:
+        """Render the compound's structure."""
+        lines = [f"DEFINE COMPOUND PROCESS {self.name}",
+                 f"OUTPUT {self.output_class}"]
+        args = ", ".join(str(arg) for arg in self.arguments)
+        lines.append(f"ARGUMENT ( {args} )")
+        lines.append("STEPS {")
+        for step in self.steps:
+            wires = ", ".join(
+                f"{arg}<-{src}" for arg, src in sorted(step.bindings.items())
+            )
+            lines.append(f"  {step.name}: {step.process}({wires})")
+        lines.append("}")
+        lines.append(f"RESULT {self.output_step}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompoundRegistry:
+    """Registry of compound processes."""
+
+    _compounds: dict[str, CompoundProcess] = field(default_factory=dict)
+
+    def define(self, compound: CompoundProcess) -> CompoundProcess:
+        """Register *compound*."""
+        if compound.name in self._compounds:
+            raise CompoundExpansionError(
+                f"compound {compound.name!r} already defined"
+            )
+        self._compounds[compound.name] = compound
+        return compound
+
+    def get(self, name: str) -> CompoundProcess:
+        """The compound called *name*."""
+        try:
+            return self._compounds[name]
+        except KeyError:
+            raise UnknownProcessError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._compounds
+
+    def names(self) -> list[str]:
+        """All compound names."""
+        return list(self._compounds)

@@ -1,0 +1,163 @@
+"""Concepts and the high-level specialization hierarchy (paper §2.1.1).
+
+A *concept* "is a representation of a spatio-temporal entity set, extended
+with an imprecise definition": DESERT means the same thing to every user
+at the highest abstraction, but its derivations differ.  Formally "each
+type of base data and each process for deriving data defines a unique
+class; a concept is simply a set of classes."
+
+Concepts form a specialization (ISA) hierarchy that may be a general DAG
+(paper footnote 4), e.g.::
+
+    Desert
+      ISA-> Hot Trade-Wind Desert  -> {C2, C3, C4, C5}
+      ISA-> Ice/Snow Desert        -> {...}
+
+The hierarchy enforces acyclicity and supports the browsing queries the
+experiment layer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import (
+    ConceptAlreadyDefinedError,
+    ConceptCycleError,
+    UnknownConceptError,
+)
+
+__all__ = ["Concept", "ConceptHierarchy"]
+
+
+@dataclass
+class Concept:
+    """A named concept: a set of member (non-primitive) class names."""
+
+    name: str
+    member_classes: set[str] = field(default_factory=set)
+    doc: str = ""
+
+    def add_class(self, class_name: str) -> None:
+        """Attach a derivation (a class) to this concept."""
+        self.member_classes.add(class_name)
+
+    def __contains__(self, class_name: str) -> bool:
+        return class_name in self.member_classes
+
+
+@dataclass
+class ConceptHierarchy:
+    """The high-level semantic layer: concepts plus ISA edges (a DAG)."""
+
+    _concepts: dict[str, Concept] = field(default_factory=dict)
+    _parents: dict[str, set[str]] = field(default_factory=dict)  # child -> parents
+
+    # -- definition -----------------------------------------------------------
+
+    def define(self, name: str, doc: str = "",
+               member_classes: set[str] | None = None) -> Concept:
+        """Create a concept."""
+        if name in self._concepts:
+            raise ConceptAlreadyDefinedError(name)
+        concept = Concept(name=name, doc=doc,
+                          member_classes=set(member_classes or set()))
+        self._concepts[name] = concept
+        self._parents[name] = set()
+        return concept
+
+    def get(self, name: str) -> Concept:
+        """The concept called *name*."""
+        try:
+            return self._concepts[name]
+        except KeyError:
+            raise UnknownConceptError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._concepts
+
+    def names(self) -> list[str]:
+        """All concept names in definition order."""
+        return list(self._concepts)
+
+    # -- the ISA DAG -------------------------------------------------------------
+
+    def add_isa(self, child: str, parent: str) -> None:
+        """Record ``child ISA parent``; rejects cycles and self-loops."""
+        self.get(child)
+        self.get(parent)
+        if child == parent or parent in self.descendants(child):
+            raise ConceptCycleError(f"{child} ISA {parent} would create a cycle")
+        self._parents[child].add(parent)
+
+    def parents(self, name: str) -> set[str]:
+        """Direct generalizations of *name*."""
+        self.get(name)
+        return set(self._parents[name])
+
+    def children(self, name: str) -> set[str]:
+        """Direct specializations of *name*."""
+        self.get(name)
+        return {
+            child for child, parents in self._parents.items() if name in parents
+        }
+
+    def ancestors(self, name: str) -> set[str]:
+        """All generalizations, transitively."""
+        seen: set[str] = set()
+        frontier = list(self.parents(name))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._parents[current])
+        return seen
+
+    def descendants(self, name: str) -> set[str]:
+        """All specializations, transitively."""
+        seen: set[str] = set()
+        frontier = list(self.children(name))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.children(current))
+        return seen
+
+    def leaves_under(self, name: str) -> set[str]:
+        """Leaf concepts below *name* (including *name* when a leaf).
+
+        Leaves are where the concept structure 'is mapped to a set of
+        non-primitive classes in the derivation semantics layer' (§2.1.2).
+        """
+        subtree = self.descendants(name) | {name}
+        return {c for c in subtree if not (self.children(c) & subtree)}
+
+    def roots(self) -> set[str]:
+        """Concepts with no generalization."""
+        return {name for name in self._concepts if not self._parents[name]}
+
+    # -- concept <-> class mapping -----------------------------------------------
+
+    def attach_class(self, concept: str, class_name: str) -> None:
+        """Map a derivation-layer class into *concept*."""
+        self.get(concept).add_class(class_name)
+
+    def classes_of(self, concept: str, transitive: bool = False) -> set[str]:
+        """Member classes of *concept*; with ``transitive`` include every
+        specialization's classes (a query on DESERT covers all deserts)."""
+        names = {concept} | (self.descendants(concept) if transitive else set())
+        out: set[str] = set()
+        for name in names:
+            out |= self.get(name).member_classes
+        return out
+
+    def concepts_of_class(self, class_name: str) -> set[str]:
+        """All concepts a class belongs to."""
+        return {
+            concept.name
+            for concept in self._concepts.values()
+            if class_name in concept
+        }

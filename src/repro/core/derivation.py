@@ -1,0 +1,532 @@
+"""Processes: class-level derivation semantics (paper §2.1.2, Figure 3).
+
+A *process* "defines a mapping between a set of input object classes and
+an output object class".  A process definition consists of:
+
+1. a **name**,
+2. an **output class**,
+3. **arguments** — the input classes (possibly ``SETOF`` with a
+   cardinality constraint),
+4. a **TEMPLATE** of **assertions** (guard rules that must hold before the
+   process applies) and **mappings** (transfer functions deriving output
+   attributes from input attributes).
+
+Mappings are expression trees over argument attributes, process
+parameters, literals, and operator applications (evaluated through the
+ADT layer's :class:`~repro.adt.operators.OperatorRegistry`).  ``ANYOF``
+implements the invariant transfer of Figure 3 (``C20.spatialextent =
+ANYOF bands.spatialextent``) — legal because an assertion already forced
+the extents to agree.
+
+Processes are immutable and never overwritten; editing creates a new
+process (paper §2.1.4 observation 3, supported by
+:meth:`Process.edited`).  Two applications of the same method with
+different parameters are *different processes* (§2.1.2), enforced by
+including ``parameters`` in process identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..adt.operators import OperatorRegistry
+from ..errors import (
+    AssertionViolatedError,
+    MappingError,
+    ProcessAlreadyDefinedError,
+    UnknownProcessError,
+)
+from ..spatial.relations import common as spatial_common
+from ..temporal.intervals import common_time
+from .classes import ClassRegistry, SciObject
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "ParamRef",
+    "AttrRef",
+    "AnyOf",
+    "Apply",
+    "Assertion",
+    "CardinalityAssertion",
+    "CommonSpatialAssertion",
+    "CommonTemporalAssertion",
+    "ExprAssertion",
+    "Argument",
+    "Process",
+    "ProcessRegistry",
+    "Bindings",
+]
+
+Bindings = dict[str, "SciObject | list[SciObject]"]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for template expressions."""
+
+    def evaluate(self, context: "_EvalContext") -> Any:
+        raise NotImplementedError
+
+    def referenced_args(self) -> set[str]:
+        """Argument names this expression reads (for dependency checks)."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant, e.g. the ``12`` in ``unsuperclassify(..., 12)``."""
+
+    value: Any
+
+    def evaluate(self, context: "_EvalContext") -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ParamRef(Expr):
+    """A reference to a process parameter (e.g. the rainfall cutoff)."""
+
+    name: str
+
+    def evaluate(self, context: "_EvalContext") -> Any:
+        try:
+            return context.parameters[self.name]
+        except KeyError:
+            raise MappingError(f"unknown process parameter {self.name!r}") from None
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class AttrRef(Expr):
+    """``argument.attribute``.
+
+    For a scalar argument this is the attribute value of the bound object;
+    for a ``SETOF`` argument it is the *list* of attribute values, one per
+    bound object (Figure 3's ``bands.timestamp``).
+    """
+
+    arg: str
+    attr: str
+
+    def evaluate(self, context: "_EvalContext") -> Any:
+        bound = context.lookup(self.arg)
+        if isinstance(bound, list):
+            return [obj[self.attr] for obj in bound]
+        return bound[self.attr]
+
+    def referenced_args(self) -> set[str]:
+        return {self.arg}
+
+    def __str__(self) -> str:
+        return f"{self.arg}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class AnyOf(Expr):
+    """``ANYOF expr`` — pick one element of a list-valued expression.
+
+    Used for invariant extent transfer once an assertion guarantees all
+    elements agree; deterministic (first element) so derivations are
+    reproducible.
+    """
+
+    inner: Expr
+
+    def evaluate(self, context: "_EvalContext") -> Any:
+        value = self.inner.evaluate(context)
+        if not isinstance(value, list):
+            return value
+        if not value:
+            raise MappingError(f"ANYOF over empty list: {self.inner}")
+        return value[0]
+
+    def referenced_args(self) -> set[str]:
+        return self.inner.referenced_args()
+
+    def __str__(self) -> str:
+        return f"ANYOF {self.inner}"
+
+
+@dataclass(frozen=True)
+class Apply(Expr):
+    """``operator(arg0, arg1, ...)`` evaluated via the operator registry."""
+
+    operator: str
+    args: tuple[Expr, ...]
+
+    def evaluate(self, context: "_EvalContext") -> Any:
+        values = [arg.evaluate(context) for arg in self.args]
+        try:
+            return context.operators.apply(self.operator, *values)
+        except Exception as exc:
+            raise MappingError(
+                f"operator {self.operator!r} failed: {exc}"
+            ) from exc
+
+    def referenced_args(self) -> set[str]:
+        out: set[str] = set()
+        for arg in self.args:
+            out |= arg.referenced_args()
+        return out
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.operator}({inner})"
+
+
+@dataclass
+class _EvalContext:
+    """Evaluation state shared by all expressions of one instantiation."""
+
+    bindings: Bindings
+    parameters: dict[str, Any]
+    operators: OperatorRegistry
+
+    def lookup(self, arg: str) -> "SciObject | list[SciObject]":
+        try:
+            return self.bindings[arg]
+        except KeyError:
+            raise MappingError(f"unbound process argument {arg!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Assertions (guard rules)
+# ---------------------------------------------------------------------------
+
+
+class Assertion:
+    """A template assertion: a constraint that 'needs to hold before a
+    process can be applied' (paper Figure 3)."""
+
+    def check(self, context: _EvalContext) -> None:
+        """Raise :class:`AssertionViolatedError` when violated."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CardinalityAssertion(Assertion):
+    """``card(arg) = n`` / ``card(arg) >= n`` on a SETOF argument."""
+
+    arg: str
+    count: int
+    exact: bool = True
+
+    def check(self, context: _EvalContext) -> None:
+        bound = context.lookup(self.arg)
+        actual = len(bound) if isinstance(bound, list) else 1
+        ok = actual == self.count if self.exact else actual >= self.count
+        if not ok:
+            op = "=" if self.exact else ">="
+            raise AssertionViolatedError(
+                f"card({self.arg}) {op} {self.count} violated (got {actual})"
+            )
+
+    def __str__(self) -> str:
+        op = "=" if self.exact else ">="
+        return f"card({self.arg}) {op} {self.count}"
+
+
+@dataclass(frozen=True)
+class CommonSpatialAssertion(Assertion):
+    """``common(arg.spatialextent)`` — inputs must share spatial coverage."""
+
+    arg: str
+    attr: str = "spatialextent"
+
+    def check(self, context: _EvalContext) -> None:
+        value = AttrRef(self.arg, self.attr).evaluate(context)
+        extents = value if isinstance(value, list) else [value]
+        if not spatial_common(extents):
+            raise AssertionViolatedError(
+                f"common({self.arg}.{self.attr}) violated: extents share "
+                "no region"
+            )
+
+    def __str__(self) -> str:
+        return f"common({self.arg}.{self.attr})"
+
+
+@dataclass(frozen=True)
+class CommonTemporalAssertion(Assertion):
+    """``common(arg.timestamp)`` — inputs must be contemporaneous."""
+
+    arg: str
+    attr: str = "timestamp"
+    tolerance_days: int = 0
+
+    def check(self, context: _EvalContext) -> None:
+        value = AttrRef(self.arg, self.attr).evaluate(context)
+        stamps = value if isinstance(value, list) else [value]
+        if not common_time(stamps, tolerance_days=self.tolerance_days):
+            raise AssertionViolatedError(
+                f"common({self.arg}.{self.attr}) violated: timestamps "
+                f"spread beyond {self.tolerance_days} day(s)"
+            )
+
+    def __str__(self) -> str:
+        return f"common({self.arg}.{self.attr})"
+
+
+@dataclass(frozen=True)
+class ExprAssertion(Assertion):
+    """A general boolean expression assertion."""
+
+    expr: Expr
+    description: str = ""
+
+    def check(self, context: _EvalContext) -> None:
+        value = self.expr.evaluate(context)
+        if not isinstance(value, bool):
+            raise AssertionViolatedError(
+                f"assertion {self} did not evaluate to a boolean"
+            )
+        if not value:
+            raise AssertionViolatedError(f"assertion {self} violated")
+
+    def __str__(self) -> str:
+        return self.description or str(self.expr)
+
+
+# ---------------------------------------------------------------------------
+# Process
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Argument:
+    """One process argument: a named binding to an input class."""
+
+    name: str
+    class_name: str
+    is_set: bool = False
+    min_cardinality: int = 1
+
+    def __str__(self) -> str:
+        if self.is_set:
+            return f"SETOF {self.class_name} {self.name}"
+        return f"{self.class_name} {self.name}"
+
+
+@dataclass(frozen=True)
+class Process:
+    """An immutable class-level derivation template.
+
+    ``parameters`` take part in identity: the same method with different
+    parameters is a different process (§2.1.2).  ``mappings`` maps each
+    output attribute name to its transfer expression.
+    """
+
+    name: str
+    output_class: str
+    arguments: tuple[Argument, ...]
+    assertions: tuple[Assertion, ...] = ()
+    mappings: dict[str, Expr] = field(default_factory=dict)
+    parameters: dict[str, Any] = field(default_factory=dict)
+    #: Interaction points (extension of the paper's §4.3 limitation):
+    #: parameter name -> prompt.  These parameters are resolved *at task
+    #: time* by an interaction handler (the scientist), then recorded in
+    #: the task so the derivation stays reproducible.
+    interactions: dict[str, str] = field(default_factory=dict)
+    doc: str = ""
+
+    @property
+    def is_interactive(self) -> bool:
+        """Whether the process declares interaction points (§4.3)."""
+        return bool(self.interactions)
+
+    @property
+    def input_classes(self) -> tuple[str, ...]:
+        """Input class names, one per argument."""
+        return tuple(arg.class_name for arg in self.arguments)
+
+    def argument(self, name: str) -> Argument:
+        """The argument called *name*."""
+        for arg in self.arguments:
+            if arg.name == name:
+                return arg
+        raise UnknownProcessError(
+            f"process {self.name!r} has no argument {name!r}"
+        )
+
+    # -- instantiation ---------------------------------------------------------
+
+    def check_bindings(self, bindings: Bindings) -> None:
+        """Validate binding shape (names, classes, cardinalities)."""
+        for arg in self.arguments:
+            if arg.name not in bindings:
+                raise AssertionViolatedError(
+                    f"process {self.name!r}: argument {arg.name!r} unbound"
+                )
+            bound = bindings[arg.name]
+            if arg.is_set:
+                if not isinstance(bound, list):
+                    raise AssertionViolatedError(
+                        f"process {self.name!r}: argument {arg.name!r} "
+                        "expects a list of objects"
+                    )
+                if len(bound) < arg.min_cardinality:
+                    raise AssertionViolatedError(
+                        f"process {self.name!r}: argument {arg.name!r} needs "
+                        f">= {arg.min_cardinality} objects, got {len(bound)}"
+                    )
+                objs = bound
+            else:
+                if isinstance(bound, list):
+                    raise AssertionViolatedError(
+                        f"process {self.name!r}: argument {arg.name!r} "
+                        "expects a single object"
+                    )
+                objs = [bound]
+            for obj in objs:
+                if obj.class_name != arg.class_name:
+                    raise AssertionViolatedError(
+                        f"process {self.name!r}: argument {arg.name!r} "
+                        f"expects class {arg.class_name!r}, got an object of "
+                        f"{obj.class_name!r}"
+                    )
+        unknown = set(bindings) - {arg.name for arg in self.arguments}
+        if unknown:
+            raise AssertionViolatedError(
+                f"process {self.name!r}: unknown argument(s) {sorted(unknown)}"
+            )
+
+    def evaluate(self, bindings: Bindings, operators: OperatorRegistry,
+                 parameter_overrides: dict[str, Any] | None = None
+                 ) -> dict[str, Any]:
+        """Check assertions, then evaluate every mapping.
+
+        ``parameter_overrides`` supplies task-time values for interaction
+        parameters (and may shadow static parameters when replaying a
+        recorded task).  Returns the output attribute dictionary; the
+        derivation manager turns it into a stored object plus a task
+        record.
+        """
+        self.check_bindings(bindings)
+        params = dict(self.parameters)
+        if parameter_overrides:
+            params.update(parameter_overrides)
+        missing = [name for name in self.interactions if name not in params]
+        if missing:
+            raise MappingError(
+                f"process {self.name!r}: interaction parameter(s) "
+                f"{missing} unresolved"
+            )
+        context = _EvalContext(
+            bindings=bindings, parameters=params, operators=operators,
+        )
+        for assertion in self.assertions:
+            assertion.check(context)
+        return {
+            attr: expr.evaluate(context)
+            for attr, expr in self.mappings.items()
+        }
+
+    # -- evolution (paper §2.1.4 obs. 3) ------------------------------------------
+
+    def edited(self, new_name: str, **changes: Any) -> "Process":
+        """A new process derived by editing this one.
+
+        'A new process may be defined by editing an old process ...
+        In no case is the old process overwritten.'
+        """
+        if new_name == self.name:
+            raise ProcessAlreadyDefinedError(
+                "an edited process must take a new name"
+            )
+        return replace(self, name=new_name, **changes)
+
+    # -- rendering -------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Render in the paper's DEFINE PROCESS syntax (Figure 3)."""
+        lines = [f"DEFINE PROCESS {self.name}", f"OUTPUT {self.output_class}"]
+        args = ", ".join(str(arg) for arg in self.arguments)
+        lines.append(f"ARGUMENT ( {args} )")
+        lines.append("TEMPLATE {")
+        lines.append("  ASSERTIONS:")
+        for assertion in self.assertions:
+            lines.append(f"    {assertion};")
+        lines.append("  MAPPINGS:")
+        for attr, expr in self.mappings.items():
+            lines.append(f"    {self.output_class}.{attr} = {expr};")
+        if self.parameters:
+            lines.append("  PARAMETERS:")
+            for key, value in sorted(self.parameters.items()):
+                lines.append(f"    {key} = {value!r};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ProcessRegistry:
+    """Registry of processes, validating classes and attribute coverage."""
+
+    classes: ClassRegistry
+    _processes: dict[str, Process] = field(default_factory=dict)
+
+    def define(self, process: Process) -> Process:
+        """Register *process*; validates its classes and mappings."""
+        if process.name in self._processes:
+            raise ProcessAlreadyDefinedError(process.name)
+        output_cls = self.classes.get(process.output_class)
+        for arg in process.arguments:
+            self.classes.get(arg.class_name)
+        missing = set(output_cls.attribute_names) - set(process.mappings)
+        if missing:
+            raise MappingError(
+                f"process {process.name!r} does not map output attribute(s) "
+                f"{sorted(missing)} of {process.output_class!r}"
+            )
+        extra = set(process.mappings) - set(output_cls.attribute_names)
+        if extra:
+            raise MappingError(
+                f"process {process.name!r} maps unknown attribute(s) "
+                f"{sorted(extra)}"
+            )
+        for attr, expr in process.mappings.items():
+            for arg_name in expr.referenced_args():
+                process.argument(arg_name)  # raises when unknown
+        self._processes[process.name] = process
+        return process
+
+    def get(self, name: str) -> Process:
+        """The process called *name*."""
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise UnknownProcessError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._processes
+
+    def names(self) -> list[str]:
+        """All process names in definition order."""
+        return list(self._processes)
+
+    def all_processes(self) -> list[Process]:
+        """All registered processes."""
+        return list(self._processes.values())
+
+    def producing(self, class_name: str) -> list[Process]:
+        """Processes whose output class is *class_name*."""
+        return [
+            p for p in self._processes.values() if p.output_class == class_name
+        ]
+
+    def consuming(self, class_name: str) -> list[Process]:
+        """Processes taking *class_name* as an input."""
+        return [
+            p for p in self._processes.values()
+            if class_name in p.input_classes
+        ]

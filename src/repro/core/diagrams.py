@@ -1,0 +1,139 @@
+"""Derivation diagrams: rendering nets and lineages for browsing.
+
+The paper's conclusion names three uses of derivation diagrams:
+"1) browse data following their derivation relationships, 2) compare
+derivation procedures and their resulting data classes, and 3) derive
+data not stored in the database."  (3) is the planner; this module
+provides the browsing renderers for (1) and (2): Graphviz-DOT output and
+a plain-text adjacency listing for both the class-level derivation net
+and object-level lineages.
+"""
+
+from __future__ import annotations
+
+from .classes import ClassStore
+from .petri import DerivationNet
+from .provenance import Lineage
+
+__all__ = ["net_to_dot", "net_to_text", "lineage_to_dot", "lineage_to_text"]
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def net_to_dot(net: DerivationNet, marking: dict[str, int] | None = None
+               ) -> str:
+    """Graphviz DOT for a derivation net.
+
+    Places (classes) render as ellipses — shaded when *marking* gives
+    them tokens — and transitions (processes) as boxes; arc labels carry
+    thresholds above 1.
+    """
+    lines = ["digraph derivation_net {", "  rankdir=LR;"]
+    for place in sorted(net.places):
+        attrs = ["shape=ellipse"]
+        if marking and marking.get(place, 0) > 0:
+            attrs.append("style=filled")
+            attrs.append(f'xlabel="{marking[place]} token(s)"')
+        lines.append(f"  {_quote(place)} [{', '.join(attrs)}];")
+    for name, transition in sorted(net.transitions.items()):
+        lines.append(f"  {_quote(name)} [shape=box];")
+        for arc in transition.inputs:
+            label = (f' [label="{arc.threshold}"]'
+                     if arc.threshold > 1 else "")
+            lines.append(f"  {_quote(arc.place)} -> {_quote(name)}{label};")
+        lines.append(f"  {_quote(name)} -> {_quote(transition.output)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def net_to_text(net: DerivationNet) -> str:
+    """Plain-text adjacency listing of a derivation net."""
+    lines = ["derivation net:"]
+    for name, transition in sorted(net.transitions.items()):
+        inputs = ", ".join(
+            f"{arc.place}(>={arc.threshold})" if arc.threshold > 1
+            else arc.place
+            for arc in transition.inputs
+        )
+        lines.append(f"  {name}: {inputs} -> {transition.output}")
+    orphans = net.places - {
+        arc.place
+        for t in net.transitions.values() for arc in t.inputs
+    } - {t.output for t in net.transitions.values()}
+    if orphans:
+        lines.append(f"  (isolated places: {', '.join(sorted(orphans))})")
+    return "\n".join(lines)
+
+
+def lineage_to_dot(lineage: Lineage, store: ClassStore | None = None) -> str:
+    """Graphviz DOT for an object's derivation history.
+
+    Objects render as ellipses (labelled with their class when *store*
+    is supplied), tasks as boxes; the queried root object is emphasized.
+    """
+    def obj_label(oid: int) -> str:
+        if store is not None:
+            try:
+                obj = store.get(oid)
+            except Exception:
+                return f"oid {oid}"
+            return f"{obj.class_name}\\noid {oid}"
+        return f"oid {oid}"
+
+    lines = ["digraph lineage {", "  rankdir=BT;"]
+    oids = set(lineage.base_oids) | {lineage.root_oid}
+    for task in lineage.steps:
+        oids |= task.all_input_oids() | set(task.output_oids)
+    for oid in sorted(oids):
+        attrs = [f'label="{obj_label(oid)}"', "shape=ellipse"]
+        if oid == lineage.root_oid:
+            attrs.append("penwidth=2")
+        if oid in lineage.base_oids:
+            attrs.append("style=dashed")
+        lines.append(f'  o{oid} [{", ".join(attrs)}];')
+    for task in lineage.steps:
+        node = f"t{task.task_id}"
+        lines.append(
+            f'  {node} [label="{task.process_name}\\ntask {task.task_id}"'
+            ", shape=box];"
+        )
+        for oid in sorted(task.all_input_oids()):
+            lines.append(f"  o{oid} -> {node};")
+        for oid in task.output_oids:
+            lines.append(f"  {node} -> o{oid};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def lineage_to_text(lineage: Lineage, store: ClassStore | None = None
+                    ) -> str:
+    """Indented textual derivation tree, root first."""
+    producers = {
+        oid: task for task in lineage.steps for oid in task.output_oids
+    }
+
+    def describe(oid: int) -> str:
+        if store is not None:
+            try:
+                return f"{store.get(oid).class_name}#{oid}"
+            except Exception:
+                return f"#{oid}"
+        return f"#{oid}"
+
+    lines: list[str] = []
+
+    def render(oid: int, depth: int) -> None:
+        producer = producers.get(oid)
+        tag = "" if producer else "  (base)"
+        lines.append("  " * depth + describe(oid) + tag)
+        if producer is not None:
+            lines.append("  " * (depth + 1)
+                         + f"<- {producer.process_name} "
+                           f"(task {producer.task_id})")
+            for input_oid in sorted(producer.all_input_oids()):
+                render(input_oid, depth + 2)
+
+    render(lineage.root_oid, 0)
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Non-applicative and non-local derivations (paper §5 future work).
+
+Two long-term extensions the paper names:
+
+* "The need to deal with **processes that are not locally available**
+  will be essential in the future."  :class:`RemoteSite` simulates a
+  peer Gaea installation holding process definitions and an operator
+  registry of its own; :class:`RemoteExecutor` ships input objects to
+  the site, executes there, and records the task locally with site
+  attribution — so lineage stays complete even when computation was
+  elsewhere.
+* "A process may in general be **non-applicative**, that is ... described
+  by experimental procedures that do not follow a well known algorithm."
+  :func:`record_external_derivation` registers the *outcome* of such a
+  procedure (a wet-lab protocol, a manual digitization, a field survey)
+  together with a textual procedure description: the derivation
+  relationship is captured for browsing and comparison even though the
+  system cannot re-execute it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import TaskExecutionError, UnknownProcessError
+from .derivation import Bindings, Process
+from .manager import DerivationManager, DerivationResult
+
+__all__ = ["RemoteSite", "RemoteExecutor", "record_external_derivation",
+           "EXTERNAL_MARKER"]
+
+#: Parameter key marking a task as non-applicative (externally derived).
+EXTERNAL_MARKER = "__external_procedure__"
+
+#: Parameter key recording which site executed a remote task.
+SITE_MARKER = "__executed_at__"
+
+
+# ---------------------------------------------------------------------------
+# Non-local processes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RemoteSite:
+    """A peer installation offering processes for remote execution.
+
+    The simulation keeps the properties that matter to the metadata
+    manager: the site has its own process registry and operator registry,
+    objects must be *shipped* (values copied, not referenced), and every
+    call pays a latency the statistics expose.
+    """
+
+    name: str
+    operators: Any  # OperatorRegistry; typed loosely to avoid cycle
+    _processes: dict[str, Process] = field(default_factory=dict)
+    latency_ms: float = 5.0
+    calls: int = 0
+    bytes_shipped: int = 0
+
+    def publish(self, process: Process) -> None:
+        """Make *process* invocable by remote clients."""
+        if process.name in self._processes:
+            raise UnknownProcessError(
+                f"site {self.name!r} already publishes {process.name!r}"
+            )
+        self._processes[process.name] = process
+
+    def offered(self) -> list[str]:
+        """Names of processes this site offers."""
+        return list(self._processes)
+
+    def get(self, process_name: str) -> Process:
+        """The published process called *process_name*."""
+        try:
+            return self._processes[process_name]
+        except KeyError:
+            raise UnknownProcessError(
+                f"site {self.name!r} does not offer {process_name!r}"
+            ) from None
+
+    def execute(self, process_name: str, bindings: Bindings
+                ) -> dict[str, Any]:
+        """Run a published process over shipped inputs; returns the
+        output attribute values."""
+        from ..storage.tuples import estimate_size
+
+        process = self.get(process_name)
+        self.calls += 1
+        for bound in bindings.values():
+            objs = bound if isinstance(bound, list) else [bound]
+            for obj in objs:
+                self.bytes_shipped += estimate_size(tuple(obj.values.values()))
+        return process.evaluate(bindings, self.operators)
+
+
+@dataclass
+class RemoteExecutor:
+    """Client-side façade: execute a site's process, record locally."""
+
+    manager: DerivationManager
+    sites: dict[str, RemoteSite] = field(default_factory=dict)
+
+    def register_site(self, site: RemoteSite) -> None:
+        """Attach a remote site."""
+        if site.name in self.sites:
+            raise UnknownProcessError(f"site {site.name!r} already known")
+        self.sites[site.name] = site
+
+    def sites_offering(self, process_name: str) -> list[str]:
+        """Names of sites that publish *process_name*."""
+        return [
+            name for name, site in self.sites.items()
+            if process_name in site.offered()
+        ]
+
+    def execute_remote(self, site_name: str, process_name: str,
+                       bindings: Bindings) -> DerivationResult:
+        """Execute a remote process; the result object and task land in
+        the *local* store with site attribution."""
+        try:
+            site = self.sites[site_name]
+        except KeyError:
+            raise UnknownProcessError(f"unknown site {site_name!r}") from None
+        process = site.get(process_name)
+        if process.output_class not in self.manager.classes:
+            raise UnknownProcessError(
+                f"remote process {process_name!r} outputs "
+                f"{process.output_class!r}, which is not defined locally"
+            )
+        attributes = site.execute(process_name, bindings)
+        output = self.manager.store.store(process.output_class, attributes)
+        task = self.manager.tasks.record(
+            process_name, bindings, output_oids=(output.oid,),
+            parameters={**process.parameters, SITE_MARKER: site_name},
+        )
+        return DerivationResult(output=output, task=task, reused=False)
+
+
+# ---------------------------------------------------------------------------
+# Non-applicative processes
+# ---------------------------------------------------------------------------
+
+
+def record_external_derivation(manager: DerivationManager,
+                               procedure: str,
+                               inputs: Bindings,
+                               output_class: str,
+                               output_values: dict[str, Any],
+                               ) -> DerivationResult:
+    """Register the outcome of a non-applicative procedure.
+
+    *procedure* is the free-text description of how *output_values* were
+    obtained from *inputs* (e.g. "visual interpretation of air photos by
+    J. Doe, 1991 protocol").  The object is stored, the derivation
+    relationship recorded as a task tagged :data:`EXTERNAL_MARKER`, and
+    lineage/compare work as usual — only re-execution is impossible,
+    which :meth:`DerivationManager.reproduce_task` reports explicitly.
+    """
+    if not procedure.strip():
+        raise TaskExecutionError(
+            "an external derivation needs a procedure description"
+        )
+    manager.classes.get(output_class)
+    output = manager.store.store(output_class, output_values)
+    task = manager.tasks.record(
+        f"external:{procedure.splitlines()[0][:40]}",
+        inputs, output_oids=(output.oid,),
+        parameters={EXTERNAL_MARKER: procedure},
+    )
+    return DerivationResult(output=output, task=task, reused=False)
+
+
+def is_external(task) -> bool:
+    """Whether a task records a non-applicative derivation."""
+    return EXTERNAL_MARKER in task.parameters

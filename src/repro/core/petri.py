@@ -1,0 +1,337 @@
+"""Derivation nets: the paper's modified Petri nets (§2.1.6).
+
+"Every non-primitive class ... corresponds to a place in a PN, and every
+process corresponds to a transition.  Tokens in every place represent the
+data objects needed for the instantiation of a process."
+
+Three modifications distinguish a *derivation net* from a classical PN:
+
+1. **Non-consuming firing** — data objects are permanent; firing a
+   transition does not remove input tokens.  (Classical consuming
+   semantics are kept available for the EXP-B ablation.)
+2. **Threshold inputs** — an input arc carries the *minimum* token count
+   needed; more may be used (PCA needs >= 2 images).
+3. **Guarded transitions** — integrity constraints (the template
+   assertions) must hold before firing; at the class level these appear
+   as an optional marking guard, with full object-level checking done by
+   the planner when it binds concrete objects.
+
+Because firing is non-consuming, the reachable marking set is *monotone*:
+forward closure is a least fixpoint and backward planning is AND-OR
+search — both polynomial, unlike general PN reachability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..errors import DerivationError, UnderivableError
+from .derivation import ProcessRegistry
+
+__all__ = ["InputArc", "Transition", "Marking", "DerivationNet", "DerivationPlan"]
+
+Marking = dict[str, int]
+
+
+@dataclass(frozen=True)
+class InputArc:
+    """An input place with the minimum token threshold (modification 2)."""
+
+    place: str
+    threshold: int = 1
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A process as a net transition: input arcs, one output place, guard."""
+
+    name: str
+    inputs: tuple[InputArc, ...]
+    output: str
+    guard: Callable[[Mapping[str, int]], bool] | None = None
+
+    def enabled(self, marking: Mapping[str, int]) -> bool:
+        """Threshold-and-guard enabling test (modifications 2 and 3)."""
+        for arc in self.inputs:
+            if marking.get(arc.place, 0) < arc.threshold:
+                return False
+        if self.guard is not None and not self.guard(marking):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class DerivationPlan:
+    """An ordered list of transitions deriving a target place.
+
+    ``initial_places`` is the support of the initial marking the plan
+    consumes from — the answer to the paper's formulation "given a final
+    marking, try to find the initial marking which can lead to this
+    marking".
+    """
+
+    target: str
+    steps: tuple[str, ...]
+    initial_places: frozenset[str]
+
+    @property
+    def length(self) -> int:
+        """Number of process firings in the plan."""
+        return len(self.steps)
+
+
+@dataclass
+class DerivationNet:
+    """The class-level derivation net."""
+
+    _places: set[str] = field(default_factory=set)
+    _transitions: dict[str, Transition] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------------
+
+    def add_place(self, name: str) -> None:
+        """Add a place (idempotent)."""
+        self._places.add(name)
+
+    def add_transition(self, name: str, inputs: list[InputArc | tuple[str, int]],
+                       output: str,
+                       guard: Callable[[Mapping[str, int]], bool] | None = None
+                       ) -> Transition:
+        """Add a transition; places are created implicitly."""
+        if name in self._transitions:
+            raise DerivationError(f"duplicate transition {name!r}")
+        arcs = tuple(
+            arc if isinstance(arc, InputArc) else InputArc(place=arc[0],
+                                                           threshold=arc[1])
+            for arc in inputs
+        )
+        for arc in arcs:
+            if arc.threshold < 1:
+                raise DerivationError(
+                    f"transition {name!r}: threshold must be >= 1"
+                )
+            self._places.add(arc.place)
+        self._places.add(output)
+        transition = Transition(name=name, inputs=arcs, output=output,
+                                guard=guard)
+        self._transitions[name] = transition
+        return transition
+
+    @staticmethod
+    def from_processes(processes: ProcessRegistry) -> "DerivationNet":
+        """Build the net from every registered (primitive) process.
+
+        Each process becomes a transition whose input arcs carry the
+        argument cardinalities: a SETOF argument with minimum cardinality
+        *k* yields threshold *k*; multiple arguments over the same class
+        sum their thresholds (that many distinct objects are needed).
+        """
+        net = DerivationNet()
+        for cls_name in processes.classes.names():
+            net.add_place(cls_name)
+        for process in processes.all_processes():
+            needed: dict[str, int] = {}
+            for arg in process.arguments:
+                amount = arg.min_cardinality if arg.is_set else 1
+                needed[arg.class_name] = needed.get(arg.class_name, 0) + amount
+            net.add_transition(
+                name=process.name,
+                inputs=[InputArc(place=place, threshold=k)
+                        for place, k in needed.items()],
+                output=process.output_class,
+            )
+        return net
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def places(self) -> set[str]:
+        """All place (class) names."""
+        return set(self._places)
+
+    @property
+    def transitions(self) -> dict[str, Transition]:
+        """All transitions by name."""
+        return dict(self._transitions)
+
+    def transition(self, name: str) -> Transition:
+        """The transition called *name*."""
+        try:
+            return self._transitions[name]
+        except KeyError:
+            raise DerivationError(f"unknown transition {name!r}") from None
+
+    def producers_of(self, place: str) -> list[Transition]:
+        """Transitions whose output is *place*."""
+        return [t for t in self._transitions.values() if t.output == place]
+
+    # -- firing ----------------------------------------------------------------------
+
+    def fire(self, marking: Marking, transition_name: str,
+             consuming: bool = False) -> Marking:
+        """Fire a transition, returning the successor marking.
+
+        ``consuming=False`` is the paper's modified semantics (tokens are
+        permanent); ``consuming=True`` is the classical rule kept for the
+        ablation experiment.
+        """
+        transition = self.transition(transition_name)
+        if not transition.enabled(marking):
+            raise DerivationError(
+                f"transition {transition_name!r} is not enabled"
+            )
+        successor = dict(marking)
+        if consuming:
+            for arc in transition.inputs:
+                successor[arc.place] = successor[arc.place] - arc.threshold
+        successor[transition.output] = successor.get(transition.output, 0) + 1
+        return successor
+
+    # -- forward analysis ----------------------------------------------------------------
+
+    #: Token count given to derivable places during closure.  A producing
+    #: transition can fire repeatedly over different input combinations
+    #: (tokens are permanent), so at the class level a derivable place has
+    #: effectively unbounded supply; the object-level planner does the
+    #: real distinct-binding check.
+    PRODUCIBLE = 1 << 20
+
+    def forward_closure(self, marking: Marking) -> Marking:
+        """Least fixpoint of non-consuming firing from *marking*.
+
+        With permanent tokens, once a transition is enabled it stays
+        enabled, so a worklist pass suffices.  Derivable places are
+        marked with :data:`PRODUCIBLE` tokens (see above) so thresholds
+        on *derived* inputs do not block downstream transitions.
+        """
+        state: Marking = dict(marking)
+        changed = True
+        while changed:
+            changed = False
+            for transition in self._transitions.values():
+                if state.get(transition.output, 0) >= self.PRODUCIBLE:
+                    continue
+                if transition.enabled(state):
+                    state[transition.output] = self.PRODUCIBLE
+                    changed = True
+        return state
+
+    def reachable(self, marking: Marking, target: str) -> bool:
+        """Whether *target* can hold a token starting from *marking* —
+        'decide if a non-existing object could be derived from existing
+        data' (§2.1.6)."""
+        if target not in self._places:
+            raise DerivationError(f"unknown place {target!r}")
+        return self.forward_closure(marking).get(target, 0) > 0
+
+    # -- backward analysis (paper's recursive retrieval mechanism) ----------------------
+
+    def backward_plan(self, target: str, marking: Marking) -> DerivationPlan:
+        """Back-propagate requirements from *target* to marked places.
+
+        Implements §2.1.6's recursive mechanism as AND-OR search: a place
+        is satisfiable when already marked (step 1) or when *some*
+        producing transition has *all* its input places satisfiable
+        (step 2, applied recursively).  Returns a topologically ordered
+        firing sequence; raises :class:`UnderivableError` when back
+        propagation stops at unmarked base places (step 3).
+        """
+        if target not in self._places:
+            raise DerivationError(f"unknown place {target!r}")
+        # producible[place]: some producer's inputs are all satisfiable at
+        # their thresholds (then the place can supply any demand — tokens
+        # are permanent and firings over distinct inputs accumulate).
+        producible: dict[str, bool] = {}
+        chosen: dict[str, Transition] = {}
+
+        def satisfiable(place: str, required: int,
+                        trail: frozenset[str]) -> bool:
+            if marking.get(place, 0) >= required:
+                return True
+            if place in producible:
+                return producible[place]
+            if place in trail:
+                return False  # cyclic requirement cannot bottom out
+            for transition in self.producers_of(place):
+                if all(
+                    satisfiable(arc.place, arc.threshold, trail | {place})
+                    for arc in transition.inputs
+                ):
+                    producible[place] = True
+                    chosen[place] = transition
+                    return True
+            producible[place] = False
+            return False
+
+        if not satisfiable(target, 1, frozenset()):
+            raise UnderivableError(
+                f"place {target!r} is not derivable from the current marking"
+            )
+
+        # Serialize the chosen AND-tree bottom-up into a firing sequence.
+        steps: list[str] = []
+        emitted: set[str] = set()
+        initial: set[str] = set()
+
+        def emit(place: str) -> None:
+            if marking.get(place, 0) > 0 and place not in chosen:
+                initial.add(place)
+                return
+            transition = chosen[place]
+            if transition.name in emitted:
+                return
+            for arc in transition.inputs:
+                emit(arc.place)
+            if transition.name not in emitted:
+                emitted.add(transition.name)
+                steps.append(transition.name)
+
+        emit(target)
+        return DerivationPlan(
+            target=target, steps=tuple(steps), initial_places=frozenset(initial)
+        )
+
+    def replay(self, plan: DerivationPlan, marking: Marking,
+               consuming: bool = False) -> Marking:
+        """Execute a plan's firing sequence from *marking*.
+
+        A plan step is an *instruction to derive via that process*, not a
+        single firing: when a later step's threshold demands more tokens
+        of the step's output than currently exist, the step fires
+        repeatedly (the object-level planner realizes this as distinct
+        input bindings).  Used by tests to show plans are valid under
+        non-consuming semantics, and by the EXP-B ablation to show the
+        same plans can fail under classical consuming semantics when an
+        input is reused.
+        """
+        state = dict(marking)
+        for position, step in enumerate(plan.steps):
+            output = self.transition(step).output
+            demand = 1 if output == plan.target else 0
+            for later in plan.steps[position + 1:]:
+                for arc in self.transition(later).inputs:
+                    if arc.place == output:
+                        demand = max(demand, arc.threshold)
+            firings = max(demand - state.get(output, 0), 1)
+            for _ in range(firings):
+                state = self.fire(state, step, consuming=consuming)
+        return state
+
+    def initial_marking_for(self, target: str, marking: Marking) -> Marking:
+        """'Given a final marking, try to find the initial marking which
+        can lead to this marking' — the support of *marking* restricted to
+        the places a plan for *target* actually draws from, with the token
+        counts the thresholds require."""
+        plan = self.backward_plan(target, marking)
+        needed: Marking = {}
+        if target in plan.initial_places:
+            # The target itself was already stored: the "initial marking"
+            # is simply one token there.
+            needed[target] = 1
+        for step in plan.steps:
+            for arc in self.transition(step).inputs:
+                if arc.place in plan.initial_places:
+                    needed[arc.place] = max(needed.get(arc.place, 0),
+                                            arc.threshold)
+        return needed

@@ -1,0 +1,462 @@
+"""The retrieval planner: retrieve → interpolate → derive (paper §2.1.5).
+
+"The execution of a database query which involves the retrieval of a
+derived spatio-temporal concept is performed according to the following
+sequence: 1. direct data retrieval ... 2. data interpolation ... 3. data
+are computed, based on a derivation relationship.  Steps 2 and 3 are
+prioritized according to the user's needs."
+
+:class:`RetrievalPlanner` implements exactly that: direct retrieval
+always wins; the order of the two fallbacks is configurable.  Derivation
+uses the Petri-net back-propagation plan at the class level
+(:meth:`~repro.core.petri.DerivationNet.backward_plan`) and then binds
+actual objects to each planned process, executing through the derivation
+manager so every firing leaves a task record.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import AssertionViolatedError, DerivationError, UnderivableError
+from ..spatial.box import Box
+from ..temporal.abstime import AbsTime
+from .classes import SciObject
+from .derivation import Bindings, CardinalityAssertion, Process
+from .interpolation import InterpolationError, TemporalInterpolator
+from .manager import DerivationManager
+from .tasks import Task
+
+__all__ = ["RetrievalPlanner", "RetrievalResult", "RetrievalPath"]
+
+RetrievalPath = str  # "retrieve" | "interpolate" | "derive"
+
+_DEFAULT_FALLBACKS: tuple[str, ...] = ("interpolate", "derive")
+
+
+@dataclass(frozen=True)
+class RetrievalResult:
+    """Outcome of a planned retrieval."""
+
+    objects: tuple[SciObject, ...]
+    path: RetrievalPath
+    tasks: tuple[Task, ...] = ()
+    plan_steps: tuple[str, ...] = ()
+
+    @property
+    def object(self) -> SciObject:
+        """The single result object (error when empty or plural)."""
+        if len(self.objects) != 1:
+            raise DerivationError(
+                f"expected exactly one object, have {len(self.objects)}"
+            )
+        return self.objects[0]
+
+
+@dataclass
+class RetrievalPlanner:
+    """Executes the §2.1.5 retrieval sequence over a derivation manager."""
+
+    manager: DerivationManager
+    interpolator: TemporalInterpolator = field(
+        default_factory=TemporalInterpolator
+    )
+    fallback_order: tuple[str, ...] = _DEFAULT_FALLBACKS
+    time_tolerance_days: int = 0
+
+    def __post_init__(self) -> None:
+        bad = set(self.fallback_order) - {"interpolate", "derive"}
+        if bad:
+            raise DerivationError(f"unknown fallback step(s): {sorted(bad)}")
+
+    # -- the public entry point -------------------------------------------------
+
+    def retrieve(self, class_name: str,
+                 spatial: Box | None = None,
+                 temporal: AbsTime | None = None,
+                 spatial_coverage: bool = False) -> RetrievalResult:
+        """Fetch objects of *class_name* matching the extent predicates,
+        generating them when they are not stored.
+
+        With ``spatial_coverage`` the spatial predicate demands an object
+        whose extent *contains* the query box (not merely overlaps it);
+        partial neighbours are then combined by spatial interpolation
+        (mosaicking) — the "temporal or spatial" interpolation of §2.1.5.
+        """
+        cls = self.manager.classes.get(class_name)
+
+        # Step 1: direct retrieval.
+        found = self.manager.store.find(class_name, spatial=spatial,
+                                        temporal=temporal)
+        if spatial_coverage and spatial is not None \
+                and cls.spatial_attr is not None:
+            found = [
+                obj for obj in found
+                if obj[cls.spatial_attr].contains(spatial)
+            ]
+        if found:
+            return RetrievalResult(objects=tuple(found), path="retrieve")
+
+        errors: list[str] = []
+        for step in self.fallback_order:
+            try:
+                if step == "interpolate":
+                    if temporal is not None and cls.temporal_attr is not None:
+                        try:
+                            return self._interpolate(class_name, spatial,
+                                                     temporal)
+                        except InterpolationError as exc:
+                            if not (spatial_coverage and spatial is not None):
+                                raise
+                            errors.append(f"interpolate(temporal): {exc}")
+                    if spatial_coverage and spatial is not None:
+                        return self._interpolate_spatial(class_name, spatial,
+                                                         temporal)
+                    continue
+                return self._derive(class_name, spatial, temporal,
+                                    spatial_coverage=spatial_coverage)
+            except (InterpolationError, UnderivableError,
+                    AssertionViolatedError) as exc:
+                errors.append(f"{step}: {exc}")
+        raise UnderivableError(
+            f"cannot satisfy query on {class_name!r}"
+            + (f" ({'; '.join(errors)})" if errors else "")
+        )
+
+    # -- step 2: interpolation ------------------------------------------------------
+
+    def _interpolate(self, class_name: str, spatial: Box | None,
+                     temporal: AbsTime) -> RetrievalResult:
+        cls = self.manager.classes.get(class_name)
+        relation = self.manager.store.relation_for(class_name)
+        timeline = self.manager.store.engine.timeline_of(relation)
+        before_t, after_t = timeline.bracketing(temporal)
+        if before_t is None or after_t is None:
+            raise InterpolationError(
+                f"no snapshots bracket {temporal} in {class_name!r}"
+            )
+
+        def matching(at: AbsTime) -> list[SciObject]:
+            return self.manager.store.find(class_name, spatial=spatial,
+                                           temporal=at)
+
+        candidates_lo = matching(before_t)
+        candidates_hi = matching(after_t)
+        if not candidates_lo or not candidates_hi:
+            raise InterpolationError(
+                f"bracketing snapshots of {class_name!r} do not cover the "
+                "requested region"
+            )
+        values = self.interpolator.interpolate(
+            cls, candidates_lo[0], candidates_hi[0], temporal
+        )
+        obj = self.manager.store.store(class_name, values)
+        # Interpolation is itself a derivation (§2.1.5: "a generic
+        # derivation process"), so it leaves a task record too.
+        task = self.manager.tasks.record(
+            "interpolate-temporal",
+            {"before": candidates_lo[0], "after": candidates_hi[0]},
+            output_oids=(obj.oid,),
+            parameters={"__interpolation__": "temporal",
+                        "target": str(temporal)},
+        )
+        return RetrievalResult(objects=(obj,), path="interpolate",
+                               tasks=(task,))
+
+    def _interpolate_spatial(self, class_name: str, region: Box,
+                             temporal: AbsTime | None) -> RetrievalResult:
+        """Spatial interpolation: mosaic partial neighbours over *region*.
+
+        Requires an image-typed ``data`` attribute; every other
+        non-extent attribute must agree across the pieces.
+        """
+        from ..gis.mosaic import covers, mosaic
+
+        cls = self.manager.classes.get(class_name)
+        if cls.spatial_attr is None:
+            raise InterpolationError(
+                f"class {class_name!r} has no spatial extent"
+            )
+        if "data" not in cls.attribute_names \
+                or cls.type_of("data") != "image":
+            raise InterpolationError(
+                f"class {class_name!r} has no image 'data' attribute to "
+                "mosaic"
+            )
+        candidates = self.manager.store.find(class_name, spatial=region,
+                                             temporal=temporal)
+        extents = [obj[cls.spatial_attr] for obj in candidates]
+        if not covers(extents, region):
+            raise InterpolationError(
+                f"stored {class_name!r} objects do not jointly cover the "
+                "requested region"
+            )
+        pieces = [
+            (obj["data"], obj[cls.spatial_attr]) for obj in candidates
+        ]
+        values: dict[str, object] = {"data": mosaic(pieces, region)}
+        values[cls.spatial_attr] = region
+        for attr, _ in cls.attributes:
+            if attr in ("data", cls.spatial_attr):
+                continue
+            first = candidates[0][attr]
+            if any(obj[attr] != first for obj in candidates[1:]):
+                raise InterpolationError(
+                    f"attribute {attr!r} differs across mosaic pieces"
+                )
+            values[attr] = first
+        obj = self.manager.store.store(class_name, values)
+        task = self.manager.tasks.record(
+            "interpolate-spatial",
+            {"pieces": candidates},
+            output_oids=(obj.oid,),
+            parameters={"__interpolation__": "spatial",
+                        "region": str(region)},
+        )
+        return RetrievalResult(objects=(obj,), path="interpolate",
+                               tasks=(task,))
+
+    # -- step 3: derivation ------------------------------------------------------------
+
+    def _derive(self, class_name: str, spatial: Box | None,
+                temporal: AbsTime | None,
+                spatial_coverage: bool = False) -> RetrievalResult:
+        def matching_target() -> list[SciObject]:
+            objs = self.manager.store.find(class_name, spatial=spatial,
+                                           temporal=temporal)
+            cls = self.manager.classes.get(class_name)
+            if spatial_coverage and spatial is not None \
+                    and cls.spatial_attr is not None:
+                objs = [o for o in objs
+                        if o[cls.spatial_attr].contains(spatial)]
+            return objs
+
+        net = self.manager.derivation_net()
+        marking = self._query_marking(spatial, temporal)
+        # The target is counted strictly against the query extents (the
+        # caller already established no stored object matches); inputs use
+        # the lenient candidate rule of `_candidates_for`.
+        marking[class_name] = len(matching_target())
+        plan = net.backward_plan(class_name, marking)
+        # Demand per class: the largest threshold any planned consumer
+        # places on it (the target itself needs one object).  A step is
+        # fired enough times, over distinct bindings, to close the gap
+        # between stored supply and demand — the object-level realization
+        # of the net's threshold semantics (§2.1.6 modification 2).
+        demand: dict[str, int] = {class_name: 1}
+        for step_name in plan.steps:
+            for arc in net.transition(step_name).inputs:
+                demand[arc.place] = max(demand.get(arc.place, 0),
+                                        arc.threshold)
+        tasks: list[Task] = []
+        for process_name in plan.steps:
+            process = self.manager.processes.get(process_name)
+            out_cls = process.output_class
+            existing = self.manager.store.find(
+                out_cls, spatial=spatial, temporal=None
+            )
+            needed = max(demand.get(out_cls, 1) - len(existing), 1)
+            results = self._execute_with_search(
+                process, spatial, temporal, count=needed,
+                exclude_oids={obj.oid for obj in existing},
+            )
+            tasks.extend(r.task for r in results)
+        produced = matching_target()
+        if not produced:
+            # The derivation ran but its output does not match the
+            # requested extents (e.g. inputs covered a different region).
+            raise UnderivableError(
+                f"derivation of {class_name!r} produced no object matching "
+                "the requested extents"
+            )
+        return RetrievalResult(
+            objects=tuple(produced), path="derive", tasks=tuple(tasks),
+            plan_steps=plan.steps,
+        )
+
+    _MAX_BINDING_ATTEMPTS = 64
+
+    def _execute_with_search(self, process: Process, spatial: Box | None,
+                             temporal: AbsTime | None, count: int = 1,
+                             exclude_oids: set[int] | None = None):
+        """Execute *process* *count* times over distinct bindings.
+
+        The first binding option is the natural one (earliest objects).
+        When template assertions reject a combination — e.g. the same
+        scene bound to both the red and NIR argument of an NDVI process —
+        alternatives are tried, bounded by ``_MAX_BINDING_ATTEMPTS``.
+        Results whose outputs duplicate each other or fall in
+        *exclude_oids* (pre-existing supply) do not count toward *count*.
+        """
+        results = []
+        produced_oids: set[int] = set(exclude_oids or set())
+        last_error: AssertionViolatedError | None = None
+        for attempt, bindings in enumerate(
+            self._binding_options(process, spatial, temporal)
+        ):
+            if attempt >= self._MAX_BINDING_ATTEMPTS or len(results) >= count:
+                break
+            try:
+                result = self.manager.execute_process(process.name, bindings)
+            except AssertionViolatedError as exc:
+                last_error = exc
+                continue
+            if result.output.oid in produced_oids:
+                continue
+            produced_oids.add(result.output.oid)
+            results.append(result)
+        if len(results) >= count:
+            return results
+        if not results and last_error is not None:
+            raise last_error
+        raise UnderivableError(
+            f"process {process.name!r}: needed {count} distinct "
+            f"derivations, achieved {len(results)}"
+        )
+
+    def _query_marking(self, spatial: Box | None,
+                       temporal: AbsTime | None) -> dict[str, int]:
+        """Class-level marking restricted to the query extents.
+
+        Mirrors :meth:`_candidates_for`: exact temporal matches are
+        preferred, falling back to any stored object when none match —
+        derivations may legitimately consume inputs at other timestamps
+        (e.g. a change process spanning years).
+        """
+        marking: dict[str, int] = {}
+        for name in self.manager.classes.names():
+            cls = self.manager.classes.get(name)
+            objs = self.manager.store.find(
+                name, spatial=spatial if cls.spatial_attr else None,
+            )
+            if temporal is not None and cls.temporal_attr is not None:
+                exact = [
+                    obj for obj in objs
+                    if abs(obj[cls.temporal_attr].days - temporal.days)
+                    <= self.time_tolerance_days
+                ]
+                objs = exact or objs
+            marking[name] = len(objs)
+        return marking
+
+    def _candidates_for(self, arg, spatial: Box | None,
+                        temporal: AbsTime | None) -> list[SciObject]:
+        arg_cls = self.manager.classes.get(arg.class_name)
+        candidates = self.manager.store.find(
+            arg.class_name,
+            spatial=spatial if arg_cls.spatial_attr else None,
+            temporal=None,
+        )
+        if temporal is not None and arg_cls.temporal_attr is not None:
+            exact = [
+                obj for obj in candidates
+                if abs(obj[arg_cls.temporal_attr].days - temporal.days)
+                <= self.time_tolerance_days
+            ]
+            candidates = exact or candidates
+        candidates.sort(key=lambda obj: obj.oid)
+        return candidates
+
+    def _binding_options(self, process: Process, spatial: Box | None,
+                         temporal: AbsTime | None) -> Iterator[Bindings]:
+        """Lazily enumerate candidate binding combinations.
+
+        Scalar arguments iterate over their candidates (earliest first);
+        two scalar arguments of the same class never receive the same
+        object.  SETOF arguments take the exact count the template
+        demands, sliding a window over the candidates when the first
+        choice is rejected.
+        """
+        per_arg: list[list[object]] = []
+        for arg in process.arguments:
+            candidates = self._candidates_for(arg, spatial, temporal)
+            if not candidates:
+                raise UnderivableError(
+                    f"no stored objects of {arg.class_name!r} to bind "
+                    f"argument {arg.name!r} of {process.name!r}"
+                )
+            if arg.is_set:
+                count = self._set_cardinality(process, arg.name)
+                if count is None:
+                    options: list[object] = [candidates]
+                else:
+                    if len(candidates) < count:
+                        raise UnderivableError(
+                            f"argument {arg.name!r} of {process.name!r} "
+                            f"needs {count} objects, found {len(candidates)}"
+                        )
+                    options = [
+                        list(combo)
+                        for combo in itertools.islice(
+                            itertools.combinations(candidates, count), 16
+                        )
+                    ]
+            else:
+                options = list(candidates[:8])
+            per_arg.append(options)
+
+        names = [arg.name for arg in process.arguments]
+        scalar_class = {
+            arg.name: arg.class_name
+            for arg in process.arguments if not arg.is_set
+        }
+        for combo in itertools.product(*per_arg):
+            bindings = dict(zip(names, combo))
+            # Distinctness: same-class scalar arguments get distinct oids.
+            seen: dict[str, set[int]] = {}
+            ok = True
+            for name, bound in bindings.items():
+                if name in scalar_class:
+                    cls = scalar_class[name]
+                    oid = bound.oid  # type: ignore[union-attr]
+                    if oid in seen.setdefault(cls, set()):
+                        ok = False
+                        break
+                    seen[cls].add(oid)
+            if ok:
+                yield bindings
+
+    @staticmethod
+    def _set_cardinality(process: Process, arg_name: str) -> int | None:
+        """Exact SETOF cardinality demanded by the template, if any."""
+        for assertion in process.assertions:
+            if isinstance(assertion, CardinalityAssertion) \
+                    and assertion.arg == arg_name and assertion.exact:
+                return assertion.count
+        return None
+
+    # -- diagnostics ---------------------------------------------------------------------
+
+    def explain(self, class_name: str,
+                spatial: Box | None = None,
+                temporal: AbsTime | None = None) -> dict[str, object]:
+        """Describe, without side effects, which path a retrieval would
+        take — used by the optimizer and by EXP-A."""
+        cls = self.manager.classes.get(class_name)
+        found = self.manager.store.find(class_name, spatial=spatial,
+                                        temporal=temporal)
+        if found:
+            return {"path": "retrieve", "matches": len(found)}
+        for step in self.fallback_order:
+            if step == "interpolate" and temporal is not None \
+                    and cls.temporal_attr is not None:
+                relation = self.manager.store.relation_for(class_name)
+                timeline = self.manager.store.engine.timeline_of(relation)
+                before_t, after_t = timeline.bracketing(temporal)
+                if before_t is not None and after_t is not None:
+                    return {
+                        "path": "interpolate",
+                        "bracket": (str(before_t), str(after_t)),
+                    }
+            if step == "derive":
+                net = self.manager.derivation_net()
+                marking = self._query_marking(spatial, temporal)
+                marking[class_name] = 0  # no stored object matched
+                try:
+                    plan = net.backward_plan(class_name, marking)
+                except UnderivableError:
+                    continue
+                return {"path": "derive", "plan": list(plan.steps)}
+        return {"path": "unsatisfiable"}

@@ -1,0 +1,65 @@
+"""Change detection over label rasters and index rasters.
+
+The compound process of Figure 5 (land-change detection) ends in a
+comparison of classified land-cover rasters; this module provides the
+comparison operators plus summary statistics the examples and benchmarks
+report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adt.image import Image
+from ..errors import SignatureMismatchError
+
+__all__ = ["label_changes", "change_fraction", "confusion_counts",
+           "threshold_change"]
+
+
+def label_changes(later: Image, earlier: Image) -> Image:
+    """Binary mask of pixels whose class label changed."""
+    if not later.size_eq(earlier):
+        raise SignatureMismatchError(
+            f"label_changes: sizes differ ({later.shape} vs {earlier.shape})"
+        )
+    return Image.from_array(later.data != earlier.data, "char")
+
+
+def change_fraction(later: Image, earlier: Image) -> float:
+    """Fraction of pixels whose label changed."""
+    mask = label_changes(later, earlier)
+    return float(np.mean(mask.data))
+
+
+def confusion_counts(later: Image, earlier: Image, numclass: int
+                     ) -> np.ndarray:
+    """Class-transition matrix ``counts[from, to]`` between two label
+    rasters."""
+    if not later.size_eq(earlier):
+        raise SignatureMismatchError("confusion_counts: sizes differ")
+    frm = earlier.data.astype(np.int64).ravel()
+    to = later.data.astype(np.int64).ravel()
+    if frm.min() < 0 or to.min() < 0 or frm.max() >= numclass \
+            or to.max() >= numclass:
+        raise SignatureMismatchError(
+            "confusion_counts: labels out of range for numclass"
+        )
+    counts = np.zeros((numclass, numclass), dtype=np.int64)
+    np.add.at(counts, (frm, to), 1)
+    return counts
+
+
+def threshold_change(change_img: Image, sigma: float = 2.0) -> Image:
+    """Binary mask of significant change in a continuous change raster.
+
+    Pixels beyond ``sigma`` standard deviations from the raster mean are
+    flagged — the usual way a PCA change component is turned into a
+    change map.
+    """
+    data = change_img.data.astype(np.float64)
+    mu = float(np.mean(data))
+    sd = float(np.std(data))
+    if sd == 0.0:
+        return Image.from_array(np.zeros_like(data), "char")
+    return Image.from_array(np.abs(data - mu) > sigma * sd, "char")

@@ -1,0 +1,70 @@
+"""Climate-index operators for the desert concept (paper §2.1.1).
+
+"An acceptable definition of a desert must include ... the amount of
+precipitation received, ... the amount of evaporation, the mean
+temperature ..." and "dryness, related to precipitation, can be measured
+by the Aridity Index, a Quotient of Dryness or the Radiational Index of
+Dryness".  These operators give the desert-classification processes their
+alternative metrics, so DESERTIC REGION really is derivable in several
+well-defined ways (one class per derivation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adt.image import Image
+from ..errors import SignatureMismatchError
+
+__all__ = ["aridity_index", "dryness_quotient", "desert_mask_rainfall",
+           "desert_mask_aridity"]
+
+
+def aridity_index(rainfall: Image, temperature: Image) -> Image:
+    """De Martonne aridity index ``P / (T + 10)`` (mm/year, °C).
+
+    Lower is drier; values under ~10 indicate arid conditions.
+    """
+    if not rainfall.size_eq(temperature):
+        raise SignatureMismatchError(
+            f"aridity_index: sizes differ "
+            f"({rainfall.shape} vs {temperature.shape})"
+        )
+    p = rainfall.data.astype(np.float64)
+    t = temperature.data.astype(np.float64) + 10.0
+    out = np.zeros_like(p)
+    np.divide(p, t, out=out, where=t != 0)
+    return Image.from_array(out, "float4")
+
+
+def dryness_quotient(rainfall: Image, temperature: Image) -> Image:
+    """Emberger-style quotient of dryness ``2000 P / (Tmax² - Tmin²)``.
+
+    With a single mean-temperature raster we approximate the seasonal
+    span as ±8 °C around the mean; lower values are drier.
+    """
+    if not rainfall.size_eq(temperature):
+        raise SignatureMismatchError("dryness_quotient: sizes differ")
+    p = rainfall.data.astype(np.float64)
+    t = temperature.data.astype(np.float64) + 273.15
+    tmax = t + 8.0
+    tmin = t - 8.0
+    span = tmax**2 - tmin**2
+    out = np.zeros_like(p)
+    np.divide(2000.0 * p, span, out=out, where=span != 0)
+    return Image.from_array(out, "float4")
+
+
+def desert_mask_rainfall(rainfall: Image, cutoff_mm: float) -> Image:
+    """Hot trade-wind desert mask: rainfall under *cutoff_mm* per year
+    (the paper's 250 mm — or a dissenting scientist's 200 mm, §2.1.2)."""
+    return Image.from_array(
+        rainfall.data.astype(np.float64) < cutoff_mm, "char"
+    )
+
+
+def desert_mask_aridity(aridity: Image, cutoff: float = 10.0) -> Image:
+    """Desert mask from the De Martonne aridity index."""
+    return Image.from_array(
+        aridity.data.astype(np.float64) < cutoff, "char"
+    )

@@ -1,0 +1,61 @@
+"""NDVI — the normalized difference vegetation index (paper footnote 2).
+
+"NDVI is ... a qualitative measure of vegetation derived from AVHRR
+satellite imagery data": ``(NIR - red) / (NIR + red)``, in [-1, 1].
+The §1 motivating scenario derives vegetation *change* from two NDVI
+rasters either by subtraction or by division — both provided here and
+registered as operators so the two scientists' processes are distinct,
+comparable derivations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adt.image import Image
+from ..errors import SignatureMismatchError
+
+__all__ = ["ndvi", "ndvi_difference", "ndvi_ratio"]
+
+
+def ndvi(red: Image, nir: Image) -> Image:
+    """Normalized difference vegetation index of a red/NIR band pair."""
+    if not red.size_eq(nir):
+        raise SignatureMismatchError(
+            f"ndvi: band sizes differ ({red.shape} vs {nir.shape})"
+        )
+    r = red.data.astype(np.float64)
+    n = nir.data.astype(np.float64)
+    total = n + r
+    out = np.zeros_like(total)
+    np.divide(n - r, total, out=out, where=total != 0)
+    return Image.from_array(out, "float4")
+
+
+def ndvi_difference(later: Image, earlier: Image) -> Image:
+    """Vegetation change as NDVI subtraction (scientist #1 of §1)."""
+    if not later.size_eq(earlier):
+        raise SignatureMismatchError(
+            f"ndvi_difference: sizes differ ({later.shape} vs {earlier.shape})"
+        )
+    return Image.from_array(
+        later.data.astype(np.float64) - earlier.data.astype(np.float64),
+        "float4",
+    )
+
+
+def ndvi_ratio(later: Image, earlier: Image) -> Image:
+    """Vegetation change as NDVI division (scientist #2 of §1).
+
+    Zero-NDVI denominators map to 1.0 (no change) so barren pixels do not
+    explode the ratio.
+    """
+    if not later.size_eq(earlier):
+        raise SignatureMismatchError(
+            f"ndvi_ratio: sizes differ ({later.shape} vs {earlier.shape})"
+        )
+    num = later.data.astype(np.float64)
+    den = earlier.data.astype(np.float64)
+    out = np.ones_like(num)
+    np.divide(num, den, out=out, where=den != 0)
+    return Image.from_array(out, "float4")

@@ -1,0 +1,190 @@
+"""Principal component analysis and standardized PCA (Figure 4, §2.1.3).
+
+The paper derives "vegetation change" over an image time series with PCA
+(Richards [31]) and compares it with Eastman's *standardized* PCA (SPCA
+[9]), which uses the correlation matrix instead of the covariance matrix.
+Both are provided:
+
+* as whole algorithms (:func:`pca`, :func:`spca`) returning component
+  images plus the eigen-structure, and
+* as the individual dataflow operators of Figure 4
+  (``convert-image-matrix``, ``compute-covariance``,
+  ``get-eigen-vector``, ``linear-combination``,
+  ``convert-matrix-image``), so the compound-operator network can be
+  built and validated against the direct computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adt.image import Image
+from ..adt.matrix import Matrix
+from ..adt.vector import Vector
+from ..errors import SignatureMismatchError
+
+__all__ = [
+    "convert_image_matrix",
+    "compute_covariance",
+    "compute_correlation",
+    "get_eigen_vector",
+    "linear_combination",
+    "convert_matrix_image",
+    "pca",
+    "spca",
+]
+
+
+# ---------------------------------------------------------------------------
+# Figure-4 stage operators
+# ---------------------------------------------------------------------------
+
+
+def convert_image_matrix(images: list[Image]) -> list[Matrix]:
+    """``convert-image-matrix``: images to float matrices (one per image)."""
+    if not images:
+        raise SignatureMismatchError("convert_image_matrix: no input images")
+    shape = images[0].shape
+    for img in images[1:]:
+        if img.shape != shape:
+            raise SignatureMismatchError(
+                f"convert_image_matrix: sizes differ ({img.shape} vs {shape})"
+            )
+    return [Matrix.from_array(img.data) for img in images]
+
+
+def _stack_pixels(mats: list[Matrix]) -> np.ndarray:
+    """(npixels, nimages) sample matrix from a list of same-shape mats."""
+    return np.stack([m.data.ravel() for m in mats], axis=1)
+
+
+def compute_covariance(mats: list[Matrix]) -> Matrix:
+    """``compute-covariance``: inter-image covariance matrix.
+
+    Treats each image as one variable and each pixel as one observation,
+    the standard construction for multitemporal PCA (Richards [31] ch.6).
+    Needs at least two images (the Petri-net threshold of §2.1.6).
+    """
+    if len(mats) < 2:
+        raise SignatureMismatchError(
+            "compute_covariance: needs at least 2 images"
+        )
+    samples = _stack_pixels(mats)
+    return Matrix.from_array(np.cov(samples, rowvar=False))
+
+
+def compute_correlation(mats: list[Matrix]) -> Matrix:
+    """Correlation-matrix variant used by *standardized* PCA (Eastman)."""
+    if len(mats) < 2:
+        raise SignatureMismatchError(
+            "compute_correlation: needs at least 2 images"
+        )
+    samples = _stack_pixels(mats)
+    return Matrix.from_array(np.corrcoef(samples, rowvar=False))
+
+
+def get_eigen_vector(cov: Matrix, component: int = 0) -> Vector:
+    """``get-eigen-vector``: the eigenvector of the given component rank.
+
+    Component 0 is the largest-eigenvalue axis.  Sign is normalized so
+    the largest-magnitude coefficient is positive (eigenvectors are
+    sign-ambiguous; normalization keeps derivations reproducible).
+    """
+    if cov.nrow != cov.ncol:
+        raise SignatureMismatchError("get_eigen_vector: matrix not square")
+    if not 0 <= component < cov.nrow:
+        raise SignatureMismatchError(
+            f"get_eigen_vector: component {component} out of range"
+        )
+    values, vectors = np.linalg.eigh(cov.data)
+    order = np.argsort(values)[::-1]
+    vec = vectors[:, order[component]]
+    anchor = np.argmax(np.abs(vec))
+    if vec[anchor] < 0:
+        vec = -vec
+    return Vector.from_array(vec)
+
+
+def linear_combination(weights: Vector, mats: list[Matrix]) -> list[Matrix]:
+    """``linear-combination``: project the image stack onto *weights*.
+
+    Returns a single-element list (``SET OF matrix`` in Figure 4): the
+    component image as a matrix.
+    """
+    if len(weights) != len(mats):
+        raise SignatureMismatchError(
+            f"linear_combination: {len(weights)} weights for {len(mats)} "
+            "matrices"
+        )
+    acc = np.zeros_like(mats[0].data, dtype=np.float64)
+    for w, mat in zip(weights.data, mats):
+        acc = acc + w * mat.data
+    return [Matrix.from_array(acc)]
+
+
+def convert_matrix_image(mats: list[Matrix]) -> list[Image]:
+    """``convert-matrix-image``: matrices back to float4 images."""
+    return [Image.from_array(m.data, "float4") for m in mats]
+
+
+# ---------------------------------------------------------------------------
+# Whole-algorithm entry points
+# ---------------------------------------------------------------------------
+
+
+def _pca_core(images: list[Image], ncomp: int, standardized: bool
+              ) -> tuple[list[Image], np.ndarray, np.ndarray]:
+    mats = convert_image_matrix(images)
+    if standardized:
+        samples = _stack_pixels(mats)
+        means = samples.mean(axis=0)
+        stds = samples.std(axis=0)
+        stds[stds == 0] = 1.0
+        mats = [
+            Matrix.from_array((m.data - mu) / sd)
+            for m, mu, sd in zip(mats, means, stds)
+        ]
+        cov = compute_covariance(mats)  # covariance of standardized = corr
+    else:
+        cov = compute_covariance(mats)
+    values, vectors = np.linalg.eigh(cov.data)
+    order = np.argsort(values)[::-1]
+    values = values[order]
+    vectors = vectors[:, order]
+    if not 1 <= ncomp <= len(images):
+        raise SignatureMismatchError(
+            f"pca: ncomp must be in [1, {len(images)}], got {ncomp}"
+        )
+    components: list[Image] = []
+    for idx in range(ncomp):
+        vec = vectors[:, idx]
+        anchor = np.argmax(np.abs(vec))
+        if vec[anchor] < 0:
+            vec = -vec
+        projected = linear_combination(Vector.from_array(vec), mats)
+        components.append(convert_matrix_image(projected)[0])
+    return components, values, vectors
+
+
+def pca(images: list[Image], ncomp: int = 1
+        ) -> tuple[list[Image], np.ndarray]:
+    """Standard (covariance) PCA over an image stack.
+
+    Returns ``(component_images, eigenvalues)`` with components ordered
+    by decreasing variance.  In multitemporal change analysis the later
+    components isolate change (Richards [31]).
+    """
+    components, values, _ = _pca_core(images, ncomp, standardized=False)
+    return components, values
+
+
+def spca(images: list[Image], ncomp: int = 1
+         ) -> tuple[list[Image], np.ndarray]:
+    """Standardized PCA (Eastman [9]): PCA on the correlation matrix.
+
+    Standardization stops high-variance scenes from dominating the
+    loadings, which Eastman showed sharpens the change components in NDVI
+    time series.
+    """
+    components, values, _ = _pca_core(images, ncomp, standardized=True)
+    return components, values

@@ -1,0 +1,53 @@
+"""The GaeaQL interpreter: parser, optimizer, executor (Figure 1)."""
+
+from .ast import (
+    ArgumentSpec,
+    DefineClass,
+    DefineCompound,
+    DefineConcept,
+    DefineProcess,
+    Derive,
+    Explain,
+    LineageQuery,
+    RunProcess,
+    Select,
+    Show,
+    Statement,
+    StepSpec,
+)
+from .executor import Executor, QueryResult
+from .lexer import tokenize
+from .optimizer import ExplainNode, Optimizer, PlanNode, RetrieveNode, StatementNode
+from .parser import parse, parse_statement
+from .session import GaeaSession, open_session
+from .tokens import Token, TokenType
+
+__all__ = [
+    "ArgumentSpec",
+    "DefineClass",
+    "DefineCompound",
+    "DefineConcept",
+    "DefineProcess",
+    "Derive",
+    "Explain",
+    "ExplainNode",
+    "Executor",
+    "GaeaSession",
+    "LineageQuery",
+    "Optimizer",
+    "PlanNode",
+    "QueryResult",
+    "RetrieveNode",
+    "RunProcess",
+    "Select",
+    "Show",
+    "Statement",
+    "StatementNode",
+    "StepSpec",
+    "Token",
+    "TokenType",
+    "open_session",
+    "parse",
+    "parse_statement",
+    "tokenize",
+]

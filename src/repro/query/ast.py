@@ -1,0 +1,158 @@
+"""Abstract syntax for GaeaQL statements.
+
+The statement set mirrors the metadata manager's three layers:
+
+* DDL — ``DEFINE CLASS`` (paper §2.1.1 syntax), ``DEFINE PROCESS``
+  (Figure 3), ``DEFINE COMPOUND PROCESS``, ``DEFINE CONCEPT``;
+* retrieval — ``SELECT FROM <class> [WHERE ...]`` with the §2.1.5
+  retrieve/interpolate/derive semantics, ``DERIVE``, ``EXPLAIN``;
+* execution — ``RUN <process> WITH arg = (oids)``;
+* browsing — ``SHOW CLASSES|PROCESSES|CONCEPTS|TASKS|EXPERIMENTS``,
+  ``LINEAGE <oid>``.
+
+Mapping/assertion expressions reuse the core expression classes
+(:mod:`repro.core.derivation`), so the parser builds exactly what the
+derivation manager executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.derivation import Assertion, Expr
+from ..spatial.box import Box
+from ..temporal.abstime import AbsTime
+
+__all__ = [
+    "Statement",
+    "DefineClass",
+    "ArgumentSpec",
+    "DefineProcess",
+    "StepSpec",
+    "DefineCompound",
+    "DefineConcept",
+    "Select",
+    "Derive",
+    "Explain",
+    "RunProcess",
+    "Show",
+    "LineageQuery",
+]
+
+
+class Statement:
+    """Base class for parsed statements."""
+
+
+@dataclass(frozen=True)
+class DefineClass(Statement):
+    """``DEFINE CLASS name ( ATTRIBUTES: ... )``."""
+
+    name: str
+    attributes: tuple[tuple[str, str], ...]
+    spatial_attr: str | None
+    temporal_attr: str | None
+    derived_by: str | None
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class ArgumentSpec:
+    """One process argument in the source: ``[SETOF] class name [>= n]``."""
+
+    name: str
+    class_name: str
+    is_set: bool
+    min_cardinality: int = 1
+
+
+@dataclass(frozen=True)
+class DefineProcess(Statement):
+    """``DEFINE PROCESS`` with the Figure-3 TEMPLATE."""
+
+    name: str
+    output_class: str
+    arguments: tuple[ArgumentSpec, ...]
+    assertions: tuple[Assertion, ...]
+    mappings: tuple[tuple[str, Expr], ...]
+    parameters: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One step of a compound process: ``label: process(arg<-src, ...)``."""
+
+    name: str
+    process: str
+    bindings: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class DefineCompound(Statement):
+    """``DEFINE COMPOUND PROCESS`` (Figure 5)."""
+
+    name: str
+    output_class: str
+    arguments: tuple[ArgumentSpec, ...]
+    steps: tuple[StepSpec, ...]
+    output_step: str
+
+
+@dataclass(frozen=True)
+class DefineConcept(Statement):
+    """``DEFINE CONCEPT name [ISA p1, p2] [MEMBERS c1, c2]``."""
+
+    name: str
+    isa: tuple[str, ...] = ()
+    members: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """``SELECT FROM class [WHERE spatialextent OVERLAPS box AND
+    timestamp = 'date' AND attr = literal]`` — concept names allowed as
+    the source; non-extent equality predicates become post-filters."""
+
+    source: str
+    spatial: Box | None = None
+    temporal: AbsTime | None = None
+    filters: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class Derive(Statement):
+    """``DERIVE class [AT 'date'] [IN box]`` — skip direct retrieval."""
+
+    class_name: str
+    spatial: Box | None = None
+    temporal: AbsTime | None = None
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN SELECT ...`` — report the path without executing."""
+
+    inner: Select
+
+
+@dataclass(frozen=True)
+class RunProcess(Statement):
+    """``RUN process WITH arg = (1, 2, 3), other = (4)``."""
+
+    process: str
+    bindings: tuple[tuple[str, tuple[int, ...]], ...] = ()
+
+
+@dataclass(frozen=True)
+class Show(Statement):
+    """``SHOW CLASSES | PROCESSES | CONCEPTS | TASKS | EXPERIMENTS``."""
+
+    what: str
+
+
+@dataclass(frozen=True)
+class LineageQuery(Statement):
+    """``LINEAGE oid`` — the derivation history of an object."""
+
+    oid: int

@@ -1,0 +1,251 @@
+"""The GaeaQL executor: plan nodes → results against the kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.classes import NonPrimitiveClass, SciObject
+from ..core.compound import CompoundProcess, Step
+from ..core.derivation import Argument, Process
+from ..errors import ExecutionError, UnderivableError
+from ..core.metadata_manager import MetadataManager
+from .ast import (
+    DefineClass,
+    DefineCompound,
+    DefineConcept,
+    DefineProcess,
+    LineageQuery,
+    RunProcess,
+    Show,
+    Statement,
+)
+from .optimizer import ExplainNode, PlanNode, RetrieveNode, StatementNode
+
+__all__ = ["QueryResult", "Executor"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Result of one plan node.
+
+    ``kind`` is one of ``objects`` (retrievals), ``message`` (DDL and
+    browsing), ``explanation`` (EXPLAIN).
+    """
+
+    kind: str
+    objects: tuple[SciObject, ...] = ()
+    message: str = ""
+    path: str = ""
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Executor:
+    """Executes plan nodes produced by the optimizer."""
+
+    kernel: MetadataManager
+
+    def execute(self, node: PlanNode) -> QueryResult:
+        """Run one plan node."""
+        if isinstance(node, RetrieveNode):
+            return self._retrieve(node)
+        if isinstance(node, ExplainNode):
+            lines = [
+                f"{inner.class_name}: path={inner.path_hint}"
+                for inner in node.inner
+            ]
+            return QueryResult(
+                kind="explanation",
+                message="\n".join(lines),
+                details={"paths": {n.class_name: n.path_hint
+                                   for n in node.inner}},
+            )
+        if isinstance(node, StatementNode):
+            return self._statement(node.statement)
+        raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+    # -- retrieval ------------------------------------------------------------
+
+    def _retrieve(self, node: RetrieveNode) -> QueryResult:
+        planner = self.kernel.planner
+        if node.force_derivation:
+            result = planner._derive(  # noqa: SLF001 — deliberate: DERIVE stmt
+                node.class_name, node.spatial, node.temporal
+            )
+        else:
+            result = planner.retrieve(
+                node.class_name, spatial=node.spatial, temporal=node.temporal
+            )
+        objects = result.objects
+        if node.filters:
+            objects = tuple(
+                obj for obj in objects
+                if all(obj.get(attr) == value for attr, value in node.filters)
+            )
+        return QueryResult(
+            kind="objects",
+            objects=objects,
+            path=result.path,
+            details={
+                "class": node.class_name,
+                "concept": node.concept,
+                "plan_steps": list(result.plan_steps),
+                "filters": list(node.filters),
+            },
+        )
+
+    # -- DDL / browsing ------------------------------------------------------------
+
+    def _statement(self, statement: Statement) -> QueryResult:
+        if isinstance(statement, DefineClass):
+            cls = NonPrimitiveClass(
+                name=statement.name,
+                attributes=statement.attributes,
+                spatial_attr=statement.spatial_attr,
+                temporal_attr=statement.temporal_attr,
+                derived_by=statement.derived_by,
+            )
+            self.kernel.derivations.define_class(cls)
+            return QueryResult(kind="message",
+                               message=f"class {statement.name} defined")
+        if isinstance(statement, DefineProcess):
+            process = Process(
+                name=statement.name,
+                output_class=statement.output_class,
+                arguments=tuple(
+                    Argument(name=a.name, class_name=a.class_name,
+                             is_set=a.is_set,
+                             min_cardinality=a.min_cardinality)
+                    for a in statement.arguments
+                ),
+                assertions=statement.assertions,
+                mappings=dict(statement.mappings),
+                parameters=dict(statement.parameters),
+            )
+            self.kernel.derivations.define_process(process)
+            return QueryResult(kind="message",
+                               message=f"process {statement.name} defined")
+        if isinstance(statement, DefineCompound):
+            compound = CompoundProcess(
+                name=statement.name,
+                output_class=statement.output_class,
+                arguments=tuple(
+                    Argument(name=a.name, class_name=a.class_name,
+                             is_set=a.is_set,
+                             min_cardinality=a.min_cardinality)
+                    for a in statement.arguments
+                ),
+                steps=tuple(
+                    Step(name=s.name, process=s.process,
+                         bindings=dict(s.bindings))
+                    for s in statement.steps
+                ),
+                output_step=statement.output_step,
+            )
+            self.kernel.derivations.define_compound(compound)
+            return QueryResult(
+                kind="message",
+                message=f"compound process {statement.name} defined",
+            )
+        if isinstance(statement, DefineConcept):
+            self.kernel.concepts.define(statement.name)
+            for parent in statement.isa:
+                self.kernel.concepts.add_isa(statement.name, parent)
+            for member in statement.members:
+                self.kernel.classes.get(member)
+                self.kernel.concepts.attach_class(statement.name, member)
+            return QueryResult(kind="message",
+                               message=f"concept {statement.name} defined")
+        if isinstance(statement, RunProcess):
+            return self._run_process(statement)
+        if isinstance(statement, Show):
+            return self._show(statement)
+        if isinstance(statement, LineageQuery):
+            lineage = self.kernel.provenance.lineage(statement.oid)
+            return QueryResult(
+                kind="message",
+                message=lineage.describe(),
+                details={
+                    "steps": [t.task_id for t in lineage.steps],
+                    "base_oids": sorted(lineage.base_oids),
+                    "depth": lineage.depth,
+                },
+            )
+        raise ExecutionError(
+            f"no execution rule for {type(statement).__name__}"
+        )
+
+    def _run_process(self, statement: RunProcess) -> QueryResult:
+        derivations = self.kernel.derivations
+        if statement.process in derivations.compounds:
+            spec_args = derivations.compounds.get(statement.process).arguments
+        else:
+            spec_args = derivations.processes.get(statement.process).arguments
+        bindings = {}
+        given = dict(statement.bindings)
+        for arg in spec_args:
+            if arg.name not in given:
+                raise UnderivableError(
+                    f"RUN {statement.process}: argument {arg.name!r} unbound"
+                )
+            objects = [self.kernel.store.get(oid) for oid in given[arg.name]]
+            bindings[arg.name] = objects if arg.is_set else objects[0]
+        if statement.process in derivations.compounds:
+            result = derivations.execute_compound(statement.process, bindings)
+        else:
+            result = derivations.execute_process(statement.process, bindings)
+        return QueryResult(
+            kind="objects",
+            objects=(result.output,),
+            path="run",
+            details={"task_id": result.task.task_id, "reused": result.reused},
+        )
+
+    def _show(self, statement: Show) -> QueryResult:
+        kernel = self.kernel
+        if statement.what == "classes":
+            lines = [
+                kernel.classes.get(name).describe()
+                for name in kernel.classes.names()
+            ]
+        elif statement.what == "processes":
+            lines = [
+                kernel.derivations.processes.get(name).describe()
+                for name in kernel.derivations.processes.names()
+            ] + [
+                kernel.derivations.compounds.get(name).describe()
+                for name in kernel.derivations.compounds.names()
+            ]
+        elif statement.what == "concepts":
+            lines = []
+            for name in kernel.concepts.names():
+                concept = kernel.concepts.get(name)
+                parents = sorted(kernel.concepts.parents(name))
+                isa = f" ISA {', '.join(parents)}" if parents else ""
+                members = sorted(concept.member_classes)
+                lines.append(f"CONCEPT {name}{isa} -> {members}")
+        elif statement.what == "tasks":
+            lines = [task.describe() for task in kernel.derivations.tasks]
+        elif statement.what == "experiments":
+            lines = [
+                e.describe() for e in kernel.experiments.all_experiments()
+            ]
+        elif statement.what == "operators":
+            # §4.2 browsing: "look up appropriate operators for specific
+            # primitive classes".
+            lines = []
+            for name in sorted(kernel.operators.names()):
+                for op in kernel.operators.overloads(name):
+                    doc = f"  // {op.doc}" if op.doc else ""
+                    lines.append(f"{op}{doc}")
+        elif statement.what == "types":
+            lines = []
+            for type_name in kernel.types.names():
+                cls = kernel.types.get(type_name)
+                parent = f" ISA {cls.parent}" if cls.parent else ""
+                doc = f"  // {cls.doc}" if cls.doc else ""
+                lines.append(f"TYPE {cls.name}{parent}{doc}")
+        else:
+            raise ExecutionError(f"unknown SHOW target {statement.what!r}")
+        return QueryResult(kind="message", message="\n".join(lines))

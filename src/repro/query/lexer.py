@@ -1,0 +1,125 @@
+"""GaeaQL lexer."""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["tokenize"]
+
+_SINGLE = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    ":": TokenType.COLON,
+    ".": TokenType.DOT,
+    "=": TokenType.EQUALS,
+    "$": TokenType.DOLLAR,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, ending with an EOF token.
+
+    Comments run from ``//`` to end of line (the paper's class-definition
+    style).  Identifiers may contain letters, digits, ``_`` and ``-``
+    (process names like ``unsupervised-classification``); a ``-``
+    immediately followed by a digit at identifier start is a negative
+    number instead.
+    """
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def push(ttype: TokenType, text: str, start_col: int) -> None:
+        tokens.append(Token(type=ttype, text=text, line=line, column=start_col))
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in "><":
+            start = col
+            if i + 1 < n and source[i + 1] == "=":
+                push(TokenType.GE if ch == ">" else TokenType.LE,
+                     ch + "=", start)
+                i += 2
+                col += 2
+            else:
+                push(TokenType.GT if ch == ">" else TokenType.LT, ch, start)
+                i += 1
+                col += 1
+            continue
+        if ch in _SINGLE:
+            push(_SINGLE[ch], ch, col)
+            i += 1
+            col += 1
+            continue
+        if ch in "\"'":
+            quote = ch
+            start_col = col
+            i += 1
+            col += 1
+            buf = []
+            while i < n and source[i] != quote:
+                if source[i] == "\n":
+                    raise LexError("unterminated string literal", line, start_col)
+                buf.append(source[i])
+                i += 1
+                col += 1
+            if i >= n:
+                raise LexError("unterminated string literal", line, start_col)
+            i += 1
+            col += 1
+            push(TokenType.STRING, "".join(buf), start_col)
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            start_col = col
+            start = i
+            i += 1
+            col += 1
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                i += 1
+                col += 1
+            push(TokenType.NUMBER, source[start:i], start_col)
+            continue
+        if ch.isalpha() or ch == "_":
+            start_col = col
+            start = i
+            while i < n and (source[i].isalnum() or source[i] in "_-"):
+                # A '-' is part of the identifier only when followed by a
+                # letter/digit/underscore (hyphenated process names).
+                if source[i] == "-" and not (
+                    i + 1 < n and (source[i + 1].isalnum()
+                                   or source[i + 1] == "_")
+                ):
+                    break
+                i += 1
+                col += 1
+            text = source[start:i]
+            upper = text.upper()
+            if upper in KEYWORDS:
+                push(TokenType.KEYWORD, upper, start_col)
+            else:
+                push(TokenType.IDENT, text, start_col)
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token(type=TokenType.EOF, text="", line=line, column=col))
+    return tokens

@@ -1,0 +1,135 @@
+"""The GaeaQL optimizer: statement → execution plan.
+
+The optimizer's decisions mirror §2.1.5:
+
+* a ``SELECT`` over a *concept* expands to its member classes (querying
+  the high-level layer), each planned independently;
+* for each class, the retrieval path is chosen by the §2.1.5 priority —
+  direct retrieval, then interpolation/derivation per the planner's
+  fallback order — using :meth:`RetrievalPlanner.explain` without side
+  effects;
+* DDL and browsing statements pass through as singleton plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.metadata_manager import MetadataManager
+from ..errors import PlanningError
+from ..spatial.box import Box
+from ..temporal.abstime import AbsTime
+from .ast import (
+    DefineClass,
+    DefineCompound,
+    DefineConcept,
+    DefineProcess,
+    Derive,
+    Explain,
+    LineageQuery,
+    RunProcess,
+    Select,
+    Show,
+    Statement,
+)
+
+__all__ = ["PlanNode", "RetrieveNode", "StatementNode", "ExplainNode",
+           "Optimizer"]
+
+
+class PlanNode:
+    """Base class of executable plan nodes."""
+
+
+@dataclass(frozen=True)
+class RetrieveNode(PlanNode):
+    """Planned retrieval of one class with a chosen path hint."""
+
+    class_name: str
+    spatial: Box | None
+    temporal: AbsTime | None
+    path_hint: str
+    concept: str | None = None  # set when the SELECT named a concept
+    force_derivation: bool = False
+    filters: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class StatementNode(PlanNode):
+    """A pass-through plan for DDL / RUN / SHOW / LINEAGE statements."""
+
+    statement: Statement
+
+
+@dataclass(frozen=True)
+class ExplainNode(PlanNode):
+    """An EXPLAIN wrapper: report inner plans without executing them."""
+
+    inner: tuple[RetrieveNode, ...]
+
+
+@dataclass
+class Optimizer:
+    """Plans statements against the current kernel state."""
+
+    kernel: MetadataManager
+    statistics: dict[str, Any] = field(default_factory=dict)
+
+    def plan(self, statement: Statement) -> list[PlanNode]:
+        """Produce the plan nodes for *statement* (usually one)."""
+        if isinstance(statement, Select):
+            return list(self._plan_select(statement))
+        if isinstance(statement, Explain):
+            return [ExplainNode(inner=tuple(self._plan_select(statement.inner)))]
+        if isinstance(statement, Derive):
+            return [RetrieveNode(
+                class_name=statement.class_name,
+                spatial=statement.spatial,
+                temporal=statement.temporal,
+                path_hint="derive",
+                force_derivation=True,
+            )]
+        if isinstance(statement, (DefineClass, DefineProcess, DefineCompound,
+                                  DefineConcept, RunProcess, Show,
+                                  LineageQuery)):
+            return [StatementNode(statement=statement)]
+        raise PlanningError(
+            f"no planning rule for {type(statement).__name__}"
+        )
+
+    def _plan_select(self, select: Select) -> list[RetrieveNode]:
+        targets = self._resolve_source(select.source)
+        nodes = []
+        for class_name in targets:
+            explanation = self.kernel.planner.explain(
+                class_name, spatial=select.spatial, temporal=select.temporal
+            )
+            nodes.append(RetrieveNode(
+                class_name=class_name,
+                spatial=select.spatial,
+                temporal=select.temporal,
+                path_hint=str(explanation["path"]),
+                concept=select.source if select.source != class_name else None,
+                filters=select.filters,
+            ))
+        return nodes
+
+    def _resolve_source(self, source: str) -> list[str]:
+        """A SELECT source is a class name or a concept name.
+
+        Concepts expand to their member classes, transitively through the
+        ISA hierarchy — a query on DESERT covers every desert derivation.
+        """
+        if source in self.kernel.classes:
+            return [source]
+        if source in self.kernel.concepts:
+            classes = sorted(
+                self.kernel.concepts.classes_of(source, transitive=True)
+            )
+            if not classes:
+                raise PlanningError(
+                    f"concept {source!r} has no member classes"
+                )
+            return classes
+        raise PlanningError(f"unknown class or concept {source!r}")

@@ -1,0 +1,562 @@
+"""Recursive-descent parser for GaeaQL.
+
+The DEFINE PROCESS grammar mirrors Figure 3 of the paper::
+
+    DEFINE PROCESS P20
+    OUTPUT land_cover
+    ARGUMENT ( SETOF landsat_tm bands >= 3 )
+    TEMPLATE {
+      ASSERTIONS:
+        card(bands) = 3;
+        common(bands.spatialextent);
+        common(bands.timestamp);
+      MAPPINGS:
+        land_cover.data = unsuperclassify(composite(bands), 12);
+        land_cover.numclass = 12;
+        land_cover.spatialextent = ANYOF bands.spatialextent;
+        land_cover.timestamp = ANYOF bands.timestamp;
+    }
+
+A bare SETOF-argument name in operator position (``composite(bands)``)
+is Figure-3 sugar for the argument's ``data`` attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.derivation import (
+    AnyOf,
+    Apply,
+    Assertion,
+    AttrRef,
+    CardinalityAssertion,
+    CommonSpatialAssertion,
+    CommonTemporalAssertion,
+    Expr,
+    ExprAssertion,
+    Literal,
+    ParamRef,
+)
+from ..errors import ParseError
+from ..spatial.box import Box
+from ..temporal.abstime import AbsTime
+from .ast import (
+    ArgumentSpec,
+    DefineClass,
+    DefineCompound,
+    DefineConcept,
+    DefineProcess,
+    Derive,
+    Explain,
+    LineageQuery,
+    RunProcess,
+    Select,
+    Show,
+    Statement,
+    StepSpec,
+)
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+__all__ = ["parse", "parse_statement"]
+
+
+def parse(source: str) -> list[Statement]:
+    """Parse *source* into a list of statements."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_statement(source: str) -> Statement:
+    """Parse exactly one statement."""
+    statements = parse(source)
+    if len(statements) != 1:
+        raise ParseError(f"expected one statement, found {len(statements)}")
+    return statements[0]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, ttype: TokenType, text: str | None = None) -> bool:
+        token = self._peek()
+        if token.type is not ttype:
+            return False
+        return text is None or token.text == text
+
+    def _match(self, ttype: TokenType, text: str | None = None) -> Token | None:
+        if self._check(ttype, text):
+            return self._advance()
+        return None
+
+    def _expect(self, ttype: TokenType, text: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(ttype, text):
+            want = text or ttype.value
+            raise ParseError(
+                f"expected {want!r}, found {token.text or token.type.value!r}",
+                token.line, token.column,
+            )
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        return self._expect(TokenType.KEYWORD, word)
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        # Allow non-reserved usage of a few soft keywords as names.
+        if token.type is TokenType.IDENT:
+            return self._advance().text
+        raise ParseError(
+            f"expected identifier, found {token.text or token.type.value!r}",
+            token.line, token.column,
+        )
+
+    # -- program ------------------------------------------------------------------
+
+    def parse_program(self) -> list[Statement]:
+        statements: list[Statement] = []
+        while not self._check(TokenType.EOF):
+            statements.append(self._statement())
+            self._match(TokenType.SEMICOLON)
+        return statements
+
+    def _statement(self) -> Statement:
+        token = self._peek()
+        if token.is_keyword("DEFINE"):
+            return self._define()
+        if token.is_keyword("CLASS"):
+            # The paper's §2.1.1 figure writes bare `CLASS landcover (...)`;
+            # accept it as a synonym of DEFINE CLASS.
+            self._advance()
+            return self._define_class()
+        if token.is_keyword("SELECT"):
+            return self._select()
+        if token.is_keyword("DERIVE"):
+            return self._derive()
+        if token.is_keyword("EXPLAIN"):
+            self._advance()
+            return Explain(inner=self._select())
+        if token.is_keyword("RUN"):
+            return self._run()
+        if token.is_keyword("SHOW"):
+            return self._show()
+        if token.is_keyword("LINEAGE"):
+            self._advance()
+            oid = int(self._expect(TokenType.NUMBER).text)
+            return LineageQuery(oid=oid)
+        raise ParseError(
+            f"unexpected token {token.text!r}", token.line, token.column
+        )
+
+    # -- DEFINE dispatch -------------------------------------------------------------
+
+    def _define(self) -> Statement:
+        self._expect_keyword("DEFINE")
+        if self._match(TokenType.KEYWORD, "CLASS"):
+            return self._define_class()
+        if self._match(TokenType.KEYWORD, "PROCESS"):
+            return self._define_process()
+        if self._match(TokenType.KEYWORD, "COMPOUND"):
+            self._expect_keyword("PROCESS")
+            return self._define_compound()
+        if self._match(TokenType.KEYWORD, "CONCEPT"):
+            return self._define_concept()
+        token = self._peek()
+        raise ParseError(
+            f"DEFINE must be followed by CLASS/PROCESS/COMPOUND/CONCEPT, "
+            f"found {token.text!r}", token.line, token.column,
+        )
+
+    # -- DEFINE CLASS -------------------------------------------------------------------
+
+    def _define_class(self) -> DefineClass:
+        name = self._expect_ident()
+        self._expect(TokenType.LPAREN)
+        attributes: list[tuple[str, str]] = []
+        spatial_attr: str | None = None
+        temporal_attr: str | None = None
+        derived_by: str | None = None
+        while not self._check(TokenType.RPAREN):
+            if self._match(TokenType.KEYWORD, "ATTRIBUTES"):
+                self._expect(TokenType.COLON)
+                attributes.extend(self._attribute_list())
+            elif self._match(TokenType.KEYWORD, "SPATIAL"):
+                self._expect_keyword("EXTENT")
+                self._expect(TokenType.COLON)
+                pairs = self._attribute_list()
+                if len(pairs) != 1:
+                    raise ParseError("SPATIAL EXTENT takes one attribute")
+                spatial_attr = pairs[0][0]
+                attributes.append(pairs[0])
+            elif self._match(TokenType.KEYWORD, "TEMPORAL"):
+                self._expect_keyword("EXTENT")
+                self._expect(TokenType.COLON)
+                pairs = self._attribute_list()
+                if len(pairs) != 1:
+                    raise ParseError("TEMPORAL EXTENT takes one attribute")
+                temporal_attr = pairs[0][0]
+                attributes.append(pairs[0])
+            elif self._match(TokenType.KEYWORD, "DERIVED"):
+                self._expect_keyword("BY")
+                self._expect(TokenType.COLON)
+                derived_by = self._expect_ident()
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"unexpected token {token.text!r} in CLASS body",
+                    token.line, token.column,
+                )
+        self._expect(TokenType.RPAREN)
+        return DefineClass(
+            name=name, attributes=tuple(attributes),
+            spatial_attr=spatial_attr, temporal_attr=temporal_attr,
+            derived_by=derived_by,
+        )
+
+    def _attribute_list(self) -> list[tuple[str, str]]:
+        """``name = type;`` repeated while the lookahead matches."""
+        out: list[tuple[str, str]] = []
+        while self._check(TokenType.IDENT):
+            attr = self._expect_ident()
+            self._expect(TokenType.EQUALS)
+            type_name = self._expect_ident()
+            self._expect(TokenType.SEMICOLON)
+            out.append((attr, type_name))
+        return out
+
+    # -- DEFINE PROCESS --------------------------------------------------------------------
+
+    def _define_process(self) -> DefineProcess:
+        name = self._expect_ident()
+        self._expect_keyword("OUTPUT")
+        output_class = self._expect_ident()
+        self._expect_keyword("ARGUMENT")
+        arguments = self._argument_specs()
+        set_args = {a.name for a in arguments if a.is_set}
+        all_args = {a.name for a in arguments}
+        self._expect_keyword("TEMPLATE")
+        self._expect(TokenType.LBRACE)
+        assertions: list[Assertion] = []
+        mappings: list[tuple[str, Expr]] = []
+        parameters: list[tuple[str, Any]] = []
+        while not self._check(TokenType.RBRACE):
+            if self._match(TokenType.KEYWORD, "ASSERTIONS"):
+                self._expect(TokenType.COLON)
+                while not (
+                    self._check(TokenType.KEYWORD, "MAPPINGS")
+                    or self._check(TokenType.KEYWORD, "PARAMETERS")
+                    or self._check(TokenType.RBRACE)
+                ):
+                    assertions.append(self._assertion(all_args, set_args))
+                    self._expect(TokenType.SEMICOLON)
+            elif self._match(TokenType.KEYWORD, "MAPPINGS"):
+                self._expect(TokenType.COLON)
+                while self._check(TokenType.IDENT):
+                    target_cls = self._expect_ident()
+                    if target_cls != output_class:
+                        raise ParseError(
+                            f"mapping target {target_cls!r} is not the "
+                            f"output class {output_class!r}"
+                        )
+                    self._expect(TokenType.DOT)
+                    attr = self._expect_ident()
+                    self._expect(TokenType.EQUALS)
+                    expr = self._expression(all_args, set_args)
+                    self._expect(TokenType.SEMICOLON)
+                    mappings.append((attr, expr))
+            elif self._match(TokenType.KEYWORD, "PARAMETERS"):
+                self._expect(TokenType.COLON)
+                while self._check(TokenType.IDENT):
+                    key = self._expect_ident()
+                    self._expect(TokenType.EQUALS)
+                    parameters.append((key, self._literal_value()))
+                    self._expect(TokenType.SEMICOLON)
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"unexpected token {token.text!r} in TEMPLATE",
+                    token.line, token.column,
+                )
+        self._expect(TokenType.RBRACE)
+        return DefineProcess(
+            name=name, output_class=output_class, arguments=tuple(arguments),
+            assertions=tuple(assertions), mappings=tuple(mappings),
+            parameters=tuple(parameters),
+        )
+
+    def _argument_specs(self) -> tuple[ArgumentSpec, ...]:
+        self._expect(TokenType.LPAREN)
+        specs: list[ArgumentSpec] = []
+        while not self._check(TokenType.RPAREN):
+            is_set = self._match(TokenType.KEYWORD, "SETOF") is not None
+            class_name = self._expect_ident()
+            arg_name = self._expect_ident()
+            minimum = 1
+            if is_set and self._match(TokenType.GE):
+                minimum = int(self._expect(TokenType.NUMBER).text)
+            specs.append(ArgumentSpec(
+                name=arg_name, class_name=class_name, is_set=is_set,
+                min_cardinality=minimum,
+            ))
+            if not self._match(TokenType.COMMA):
+                break
+        self._expect(TokenType.RPAREN)
+        if not specs:
+            raise ParseError("a process needs at least one argument")
+        return tuple(specs)
+
+    def _assertion(self, args: set[str], set_args: set[str]) -> Assertion:
+        if self._match(TokenType.KEYWORD, "CARD"):
+            self._expect(TokenType.LPAREN)
+            arg = self._expect_ident()
+            self._expect(TokenType.RPAREN)
+            if self._match(TokenType.EQUALS):
+                exact = True
+            elif self._match(TokenType.GE):
+                exact = False
+            else:
+                token = self._peek()
+                raise ParseError("card() needs '=' or '>='",
+                                 token.line, token.column)
+            count = int(self._expect(TokenType.NUMBER).text)
+            return CardinalityAssertion(arg=arg, count=count, exact=exact)
+        if self._match(TokenType.KEYWORD, "COMMON"):
+            self._expect(TokenType.LPAREN)
+            arg = self._expect_ident()
+            self._expect(TokenType.DOT)
+            attr = self._expect_ident()
+            self._expect(TokenType.RPAREN)
+            if attr == "timestamp":
+                return CommonTemporalAssertion(arg=arg, attr=attr)
+            return CommonSpatialAssertion(arg=arg, attr=attr)
+        expr = self._expression(args, set_args)
+        return ExprAssertion(expr=expr)
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def _expression(self, args: set[str], set_args: set[str]) -> Expr:
+        if self._match(TokenType.KEYWORD, "ANYOF"):
+            return AnyOf(inner=self._expression(args, set_args))
+        if self._match(TokenType.DOLLAR):
+            return ParamRef(name=self._expect_ident())
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.text
+            value: Any = float(text) if "." in text else int(text)
+            return Literal(value=value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(value=token.text)
+        if token.type is TokenType.IDENT:
+            name = self._advance().text
+            if self._match(TokenType.DOT):
+                attr = self._expect_ident()
+                if name not in args:
+                    raise ParseError(
+                        f"{name!r} is not a process argument",
+                        token.line, token.column,
+                    )
+                return AttrRef(arg=name, attr=attr)
+            if self._check(TokenType.LPAREN):
+                self._advance()
+                call_args: list[Expr] = []
+                while not self._check(TokenType.RPAREN):
+                    call_args.append(self._expression(args, set_args))
+                    if not self._match(TokenType.COMMA):
+                        break
+                self._expect(TokenType.RPAREN)
+                return Apply(operator=name, args=tuple(call_args))
+            if name in args:
+                # Figure-3 sugar: a bare argument denotes its data images.
+                return AttrRef(arg=name, attr="data")
+            raise ParseError(
+                f"unknown name {name!r} in expression",
+                token.line, token.column,
+            )
+        raise ParseError(
+            f"unexpected token {token.text or token.type.value!r} in "
+            "expression", token.line, token.column,
+        )
+
+    def _literal_value(self) -> Any:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.text
+        raise ParseError(
+            f"expected literal, found {token.text!r}",
+            token.line, token.column,
+        )
+
+    # -- DEFINE COMPOUND PROCESS --------------------------------------------------------------
+
+    def _define_compound(self) -> DefineCompound:
+        name = self._expect_ident()
+        self._expect_keyword("OUTPUT")
+        output_class = self._expect_ident()
+        self._expect_keyword("ARGUMENT")
+        arguments = self._argument_specs()
+        self._expect_keyword("STEPS")
+        self._expect(TokenType.LBRACE)
+        steps: list[StepSpec] = []
+        while self._check(TokenType.IDENT):
+            label = self._expect_ident()
+            self._expect(TokenType.COLON)
+            process = self._expect_ident()
+            self._expect(TokenType.LPAREN)
+            bindings: list[tuple[str, str]] = []
+            while not self._check(TokenType.RPAREN):
+                arg = self._expect_ident()
+                self._expect(TokenType.EQUALS)
+                if self._match(TokenType.DOLLAR):
+                    source = "@" + self._expect_ident()
+                else:
+                    source = self._expect_ident()
+                bindings.append((arg, source))
+                if not self._match(TokenType.COMMA):
+                    break
+            self._expect(TokenType.RPAREN)
+            self._expect(TokenType.SEMICOLON)
+            steps.append(StepSpec(name=label, process=process,
+                                  bindings=tuple(bindings)))
+        self._expect(TokenType.RBRACE)
+        self._expect_keyword("RESULT")
+        output_step = self._expect_ident()
+        return DefineCompound(
+            name=name, output_class=output_class, arguments=arguments,
+            steps=tuple(steps), output_step=output_step,
+        )
+
+    # -- DEFINE CONCEPT ---------------------------------------------------------------------------
+
+    def _define_concept(self) -> DefineConcept:
+        name = self._expect_ident()
+        isa: list[str] = []
+        members: list[str] = []
+        if self._match(TokenType.KEYWORD, "ISA"):
+            isa.append(self._expect_ident())
+            while self._match(TokenType.COMMA):
+                isa.append(self._expect_ident())
+        if self._match(TokenType.KEYWORD, "MEMBERS"):
+            members.append(self._expect_ident())
+            while self._match(TokenType.COMMA):
+                members.append(self._expect_ident())
+        return DefineConcept(name=name, isa=tuple(isa), members=tuple(members))
+
+    # -- retrieval --------------------------------------------------------------------------------
+
+    def _select(self) -> Select:
+        self._expect_keyword("SELECT")
+        self._expect_keyword("FROM")
+        source = self._expect_ident()
+        spatial: Box | None = None
+        temporal: AbsTime | None = None
+        filters: list[tuple[str, Any]] = []
+        if self._match(TokenType.KEYWORD, "WHERE"):
+            while True:
+                attr = self._expect_ident()
+                if self._match(TokenType.KEYWORD, "OVERLAPS"):
+                    spatial = self._box_literal()
+                elif self._match(TokenType.EQUALS):
+                    token = self._peek()
+                    if token.type is TokenType.STRING:
+                        self._advance()
+                        if attr == "timestamp":
+                            temporal = AbsTime.parse(token.text)
+                        else:
+                            filters.append((attr, token.text))
+                    elif token.type is TokenType.NUMBER:
+                        self._advance()
+                        value: Any = (float(token.text)
+                                      if "." in token.text
+                                      else int(token.text))
+                        filters.append((attr, value))
+                    else:
+                        raise ParseError(
+                            f"bad literal in predicate on {attr!r}",
+                            token.line, token.column,
+                        )
+                else:
+                    token = self._peek()
+                    raise ParseError(
+                        f"bad predicate on {attr!r}", token.line, token.column
+                    )
+                if not self._match(TokenType.KEYWORD, "AND"):
+                    break
+        return Select(source=source, spatial=spatial, temporal=temporal,
+                      filters=tuple(filters))
+
+    def _derive(self) -> Derive:
+        self._expect_keyword("DERIVE")
+        class_name = self._expect_ident()
+        spatial: Box | None = None
+        temporal: AbsTime | None = None
+        while True:
+            if self._match(TokenType.KEYWORD, "AT"):
+                temporal = AbsTime.parse(self._expect(TokenType.STRING).text)
+            elif self._match(TokenType.KEYWORD, "IN"):
+                spatial = self._box_literal()
+            else:
+                break
+        return Derive(class_name=class_name, spatial=spatial,
+                      temporal=temporal)
+
+    def _box_literal(self) -> Box:
+        self._expect(TokenType.LPAREN)
+        coords = [float(self._expect(TokenType.NUMBER).text)]
+        for _ in range(3):
+            self._expect(TokenType.COMMA)
+            coords.append(float(self._expect(TokenType.NUMBER).text))
+        self._expect(TokenType.RPAREN)
+        return Box(*coords)
+
+    # -- RUN / SHOW --------------------------------------------------------------------------------
+
+    def _run(self) -> RunProcess:
+        self._expect_keyword("RUN")
+        process = self._expect_ident()
+        bindings: list[tuple[str, tuple[int, ...]]] = []
+        if self._match(TokenType.KEYWORD, "WITH"):
+            while True:
+                arg = self._expect_ident()
+                self._expect(TokenType.EQUALS)
+                self._expect(TokenType.LPAREN)
+                oids = [int(self._expect(TokenType.NUMBER).text)]
+                while self._match(TokenType.COMMA):
+                    oids.append(int(self._expect(TokenType.NUMBER).text))
+                self._expect(TokenType.RPAREN)
+                bindings.append((arg, tuple(oids)))
+                if not self._match(TokenType.COMMA):
+                    break
+        return RunProcess(process=process, bindings=tuple(bindings))
+
+    def _show(self) -> Show:
+        self._expect_keyword("SHOW")
+        token = self._peek()
+        for what in ("CLASSES", "PROCESSES", "CONCEPTS", "TASKS",
+                     "EXPERIMENTS", "OPERATORS", "TYPES"):
+            if self._match(TokenType.KEYWORD, what):
+                return Show(what=what.lower())
+        raise ParseError(
+            "SHOW expects CLASSES/PROCESSES/CONCEPTS/TASKS/EXPERIMENTS/"
+            f"OPERATORS/TYPES, found {token.text!r}",
+            token.line, token.column,
+        )

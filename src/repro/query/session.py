@@ -1,0 +1,69 @@
+"""GaeaSession: the complete interpreter stack of Figure 1.
+
+Parser → optimizer → executor over a metadata-manager kernel.  This is
+the user-facing entry point::
+
+    from repro import open_session
+
+    session = open_session()
+    session.execute("DEFINE CLASS ...")
+    [result] = session.execute("SELECT FROM land_cover WHERE ...")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.metadata_manager import MetadataManager, WORLD, open_kernel
+from ..gis import register_gis_operators
+from ..spatial.box import Box
+from .executor import Executor, QueryResult
+from .optimizer import Optimizer
+from .parser import parse
+
+__all__ = ["GaeaSession", "open_session"]
+
+
+@dataclass
+class GaeaSession:
+    """A connected interpreter over one kernel."""
+
+    kernel: MetadataManager
+    optimizer: Optimizer = field(init=False)
+    executor: Executor = field(init=False)
+    history: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.optimizer = Optimizer(kernel=self.kernel)
+        self.executor = Executor(kernel=self.kernel)
+
+    def execute(self, source: str) -> list[QueryResult]:
+        """Parse, plan and execute every statement in *source*."""
+        self.history.append(source)
+        results: list[QueryResult] = []
+        for statement in parse(source):
+            for node in self.optimizer.plan(statement):
+                results.append(self.executor.execute(node))
+        return results
+
+    def execute_one(self, source: str) -> QueryResult:
+        """Execute a single-statement source and return its one result."""
+        results = self.execute(source)
+        if len(results) != 1:
+            raise ValueError(
+                f"expected one result, got {len(results)} — use execute()"
+            )
+        return results[0]
+
+
+def open_session(universe: Box = WORLD,
+                 with_gis_operators: bool = True) -> GaeaSession:
+    """Create a fresh kernel and a session over it.
+
+    GIS operators are registered by default so the paper's processes can
+    be defined immediately.
+    """
+    kernel = open_kernel(universe=universe)
+    if with_gis_operators:
+        register_gis_operators(kernel.operators)
+    return GaeaSession(kernel=kernel)

@@ -1,0 +1,64 @@
+"""Token definitions for GaeaQL.
+
+GaeaQL is the small query/DDL language of the interpreter box in
+Figure 1.  Its DEFINE PROCESS statement follows the paper's Figure-3
+syntax closely; retrieval statements follow the §2.1.5 description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType(Enum):
+    """Lexical token categories."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMICOLON = ";"
+    COLON = ":"
+    DOT = "."
+    EQUALS = "="
+    GE = ">="
+    LE = "<="
+    GT = ">"
+    LT = "<"
+    DOLLAR = "$"
+    EOF = "eof"
+
+
+#: Reserved words (case-insensitive in source, stored upper-case).
+KEYWORDS = frozenset({
+    "DEFINE", "CLASS", "PROCESS", "COMPOUND", "CONCEPT", "ISA", "MEMBERS",
+    "ATTRIBUTES", "SPATIAL", "TEMPORAL", "EXTENT", "DERIVED", "BY",
+    "OUTPUT", "ARGUMENT", "SETOF", "TEMPLATE", "ASSERTIONS", "MAPPINGS",
+    "PARAMETERS", "ANYOF", "CARD", "COMMON", "STEPS", "RESULT",
+    "SELECT", "FROM", "WHERE", "AND", "AT", "IN", "OVERLAPS",
+    "DERIVE", "EXPLAIN", "SHOW", "CLASSES", "PROCESSES", "CONCEPTS",
+    "TASKS", "LINEAGE", "RUN", "WITH", "EXPERIMENTS", "OPERATORS",
+    "TYPES",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with source position (1-based)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True for the keyword *word* (upper-case)."""
+        return self.type is TokenType.KEYWORD and self.text == word

@@ -1,0 +1,15 @@
+"""Spatial extent semantics: boxes, topological relations, grid index."""
+
+from .box import Box
+from .grid_index import GridIndex
+from .relations import TopoRelation, common, common_box, mutual_overlap, relate
+
+__all__ = [
+    "Box",
+    "GridIndex",
+    "TopoRelation",
+    "common",
+    "common_box",
+    "mutual_overlap",
+    "relate",
+]

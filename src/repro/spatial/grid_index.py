@@ -1,0 +1,132 @@
+"""A fixed-grid spatial index over bounding boxes.
+
+The storage substrate uses this to answer spatial-range retrievals over
+non-primitive class extents ("direct data retrieval", paper §2.1.5 step 1)
+without scanning every stored object.  A grid file is period-appropriate
+for the early-90s setting and simple to reason about: the indexed universe
+is divided into ``nx x ny`` cells, each holding the ids of every box that
+intersects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from ..errors import SpatialError
+from .box import Box
+
+__all__ = ["GridIndex"]
+
+
+@dataclass
+class GridIndex:
+    """Grid-file index mapping :class:`Box` extents to entry ids.
+
+    Parameters
+    ----------
+    universe:
+        The box covering all indexable extents.  Entries outside it are
+        rejected — in Gaea the universe is the study region.
+    nx, ny:
+        Grid resolution (cells per axis).
+    """
+
+    universe: Box
+    nx: int = 16
+    ny: int = 16
+    _cells: dict[tuple[int, int], set[Hashable]] = field(default_factory=dict)
+    _entries: dict[Hashable, Box] = field(default_factory=dict)
+    # Extents outside the universe are legal but unbinnable; they live in
+    # an overflow set consulted by every query.
+    _outside: set[Hashable] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise SpatialError("grid resolution must be >= 1 per axis")
+        if self.universe.area == 0.0:
+            raise SpatialError("grid universe must have positive area")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry_id: Hashable) -> bool:
+        return entry_id in self._entries
+
+    # -- cell math ----------------------------------------------------------
+
+    def _cell_span(self, box: Box) -> Iterator[tuple[int, int]]:
+        """All cell coordinates intersecting *box* (clamped to the grid)."""
+        cell_w = self.universe.width / self.nx
+        cell_h = self.universe.height / self.ny
+        ix_lo = int((box.xmin - self.universe.xmin) / cell_w)
+        ix_hi = int((box.xmax - self.universe.xmin) / cell_w)
+        iy_lo = int((box.ymin - self.universe.ymin) / cell_h)
+        iy_hi = int((box.ymax - self.universe.ymin) / cell_h)
+        ix_lo = max(0, min(self.nx - 1, ix_lo))
+        ix_hi = max(0, min(self.nx - 1, ix_hi))
+        iy_lo = max(0, min(self.ny - 1, iy_lo))
+        iy_hi = max(0, min(self.ny - 1, iy_hi))
+        for ix in range(ix_lo, ix_hi + 1):
+            for iy in range(iy_lo, iy_hi + 1):
+                yield (ix, iy)
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, entry_id: Hashable, box: Box) -> None:
+        """Index *box* under *entry_id* (one extent per id).
+
+        Extents outside the universe go to the overflow set: legal, just
+        not accelerated.
+        """
+        if entry_id in self._entries:
+            raise SpatialError(f"duplicate grid entry id {entry_id!r}")
+        self._entries[entry_id] = box
+        if not self.universe.overlaps(box):
+            self._outside.add(entry_id)
+            return
+        for cell in self._cell_span(box):
+            self._cells.setdefault(cell, set()).add(entry_id)
+
+    def remove(self, entry_id: Hashable) -> None:
+        """Drop *entry_id* from the index."""
+        box = self._entries.pop(entry_id, None)
+        if box is None:
+            raise SpatialError(f"unknown grid entry id {entry_id!r}")
+        if entry_id in self._outside:
+            self._outside.discard(entry_id)
+            return
+        for cell in self._cell_span(box):
+            bucket = self._cells.get(cell)
+            if bucket is not None:
+                bucket.discard(entry_id)
+                if not bucket:
+                    del self._cells[cell]
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, box: Box) -> set[Hashable]:
+        """Ids of every indexed extent overlapping *box*."""
+        candidates: set[Hashable] = set(self._outside)
+        for cell in self._cell_span(box):
+            candidates |= self._cells.get(cell, set())
+        return {
+            entry_id
+            for entry_id in candidates
+            if self._entries[entry_id].overlaps(box)
+        }
+
+    def query_contained(self, box: Box) -> set[Hashable]:
+        """Ids of extents entirely inside *box*."""
+        return {
+            entry_id
+            for entry_id in self.query(box)
+            if box.contains(self._entries[entry_id])
+        }
+
+    def extent_of(self, entry_id: Hashable) -> Box:
+        """The indexed extent for *entry_id*."""
+        try:
+            return self._entries[entry_id]
+        except KeyError:
+            raise SpatialError(f"unknown grid entry id {entry_id!r}") from None

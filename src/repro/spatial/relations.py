@@ -1,0 +1,86 @@
+"""Spatial relations and the ``common()`` guard rule.
+
+Figure 3's process template uses assertions such as
+``common(bands.spatialextent)`` to "make sure that the spatio-temporal
+extents of the input classes are the same or overlap".  This module
+implements that predicate plus the standard topological relations between
+boxes (a simplified Egenhofer set, reference [12] of the paper).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Sequence
+
+from .box import Box
+
+__all__ = ["TopoRelation", "relate", "common", "common_box", "mutual_overlap"]
+
+
+class TopoRelation(Enum):
+    """Topological relation between two boxes (simplified Egenhofer)."""
+
+    DISJOINT = "disjoint"
+    MEET = "meet"
+    OVERLAP = "overlap"
+    COVERS = "covers"
+    COVERED_BY = "covered_by"
+    EQUAL = "equal"
+
+
+def relate(a: Box, b: Box) -> TopoRelation:
+    """Classify the topological relation between boxes *a* and *b*."""
+    if a == b:
+        return TopoRelation.EQUAL
+    if not a.overlaps(b):
+        return TopoRelation.DISJOINT
+    inter = a.intersection(b)
+    assert inter is not None
+    if inter.area == 0.0:
+        # Overlapping with zero-area intersection means touching edges.
+        return TopoRelation.MEET
+    if a.contains(b):
+        return TopoRelation.COVERS
+    if b.contains(a):
+        return TopoRelation.COVERED_BY
+    return TopoRelation.OVERLAP
+
+
+def mutual_overlap(boxes: Sequence[Box]) -> bool:
+    """True when every pair of *boxes* overlaps (shares at least a point)."""
+    for i, first in enumerate(boxes):
+        for second in boxes[i + 1 :]:
+            if not first.overlaps(second):
+                return False
+    return True
+
+
+def common(extents: Iterable[Box]) -> bool:
+    """The paper's ``common()`` assertion on spatial extents.
+
+    Returns ``True`` when the extents "are the same or overlap" with a
+    *shared* region: the intersection of all extents must be non-empty.
+    An empty sequence is vacuously common; a single extent always is.
+    """
+    boxes = list(extents)
+    if not boxes:
+        return True
+    return common_box(boxes) is not None
+
+
+def common_box(extents: Iterable[Box]) -> Box | None:
+    """Intersection of all *extents*, or ``None`` when they share nothing.
+
+    This is the region a derivation over the inputs is valid on; processes
+    with invariant spatial transfer use ``ANYOF`` (paper Figure 3) because
+    their assertions already guarantee agreement.
+    """
+    boxes = list(extents)
+    if not boxes:
+        return None
+    acc: Box | None = boxes[0]
+    for box in boxes[1:]:
+        if acc is None:
+            return None
+        acc = acc.intersection(box)
+    return acc

@@ -1,0 +1,44 @@
+"""Storage substrate: the POSTGRES-substitute backend.
+
+A no-overwrite (MVCC-lite) in-memory storage engine with slotted-page heap
+files, a system catalog typed by the ADT layer, B-tree / grid / timeline
+indexes, transactions with snapshot visibility, and a write-ahead log with
+replay-based recovery.
+"""
+
+from .btree import BTree
+from .catalog import Catalog, Column, Schema
+from .engine import Row, StorageEngine
+from .heap import DEFAULT_PAGE_BYTES, HeapFile, SlottedPage
+from .transactions import (
+    Snapshot,
+    Transaction,
+    TransactionManager,
+    TxStatus,
+    visible,
+)
+from .tuples import TID, TupleVersion
+from .wal import LogKind, LogRecord, WriteAheadLog, read_log_file
+
+__all__ = [
+    "BTree",
+    "Catalog",
+    "Column",
+    "DEFAULT_PAGE_BYTES",
+    "HeapFile",
+    "LogKind",
+    "LogRecord",
+    "Row",
+    "Schema",
+    "SlottedPage",
+    "Snapshot",
+    "StorageEngine",
+    "TID",
+    "Transaction",
+    "TransactionManager",
+    "TupleVersion",
+    "TxStatus",
+    "WriteAheadLog",
+    "read_log_file",
+    "visible",
+]

@@ -1,0 +1,202 @@
+"""An order-configurable B-tree index.
+
+Keys are any totally ordered Python values (ints, floats, strings,
+``AbsTime`` — anything the relevant column type yields).  Duplicate keys
+are supported: each leaf entry holds the set of TIDs for that key.
+
+This is a textbook in-memory B-tree: split-on-insert, borrow/merge on
+delete.  It exists so the storage engine has a real index substrate to
+benchmark (EXP-F) and so equality/range retrievals in the executor do not
+degenerate to heap scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator
+
+from ..errors import IndexError_
+
+__all__ = ["BTree"]
+
+_MIN_ORDER = 4
+
+
+@dataclass
+class _Node:
+    leaf: bool
+    keys: list[Any] = field(default_factory=list)
+    # leaf: values[i] is the set of entries for keys[i]; internal: children.
+    values: list[Any] = field(default_factory=list)
+    children: list["_Node"] = field(default_factory=list)
+    next_leaf: "_Node | None" = None
+
+
+class BTree:
+    """B-tree mapping keys to sets of entry ids (e.g. TIDs).
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node; nodes split beyond this.
+    """
+
+    def __init__(self, order: int = 32):
+        if order < _MIN_ORDER:
+            raise IndexError_(f"order must be >= {_MIN_ORDER}")
+        self._order = order
+        self._root: _Node = _Node(leaf=True)
+        self._count = 0  # number of (key, entry) pairs
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- search ----------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def search(self, key: Any) -> set[Hashable]:
+        """All entries stored under *key* (empty set when absent)."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return set(leaf.values[idx])
+        return set()
+
+    def range_scan(self, lo: Any = None, hi: Any = None,
+                   include_lo: bool = True, include_hi: bool = True
+                   ) -> Iterator[tuple[Any, set[Hashable]]]:
+        """Yield ``(key, entries)`` for keys in the given range, ascending.
+
+        ``None`` bounds are open-ended.
+        """
+        if lo is not None:
+            leaf = self._find_leaf(lo)
+            start = bisect.bisect_left(leaf.keys, lo)
+        else:
+            leaf = self._leftmost_leaf()
+            start = 0
+        node: _Node | None = leaf
+        idx = start
+        while node is not None:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if lo is not None:
+                    if key < lo or (key == lo and not include_lo):
+                        idx += 1
+                        continue
+                if hi is not None:
+                    if key > hi or (key == hi and not include_hi):
+                        return
+                yield key, set(node.values[idx])
+                idx += 1
+            node = node.next_leaf
+            idx = 0
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        return node
+
+    def keys(self) -> list[Any]:
+        """All keys in ascending order."""
+        return [key for key, _ in self.range_scan()]
+
+    # -- insert ------------------------------------------------------------------
+
+    def insert(self, key: Any, entry: Hashable) -> None:
+        """Add *entry* under *key* (duplicates of the pair are idempotent)."""
+        root = self._root
+        if len(root.keys) > self._order:
+            raise IndexError_("internal invariant violated: oversized root")
+        inserted = self._insert_into(root, key, entry)
+        if inserted:
+            self._count += 1
+        if len(root.keys) > self._order:
+            new_root = _Node(leaf=False, children=[root])
+            self._split_child(new_root, 0)
+            self._root = new_root
+
+    def _insert_into(self, node: _Node, key: Any, entry: Hashable) -> bool:
+        if node.leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                bucket: set[Hashable] = node.values[idx]
+                if entry in bucket:
+                    return False
+                bucket.add(entry)
+                return True
+            node.keys.insert(idx, key)
+            node.values.insert(idx, {entry})
+            return True
+        idx = bisect.bisect_right(node.keys, key)
+        child = node.children[idx]
+        inserted = self._insert_into(child, key, entry)
+        if len(child.keys) > self._order:
+            self._split_child(node, idx)
+        return inserted
+
+    def _split_child(self, parent: _Node, idx: int) -> None:
+        child = parent.children[idx]
+        mid = len(child.keys) // 2
+        if child.leaf:
+            right = _Node(
+                leaf=True,
+                keys=child.keys[mid:],
+                values=child.values[mid:],
+                next_leaf=child.next_leaf,
+            )
+            child.keys = child.keys[:mid]
+            child.values = child.values[:mid]
+            child.next_leaf = right
+            parent.keys.insert(idx, right.keys[0])
+            parent.children.insert(idx + 1, right)
+        else:
+            right = _Node(
+                leaf=False,
+                keys=child.keys[mid + 1:],
+                children=child.children[mid + 1:],
+            )
+            sep = child.keys[mid]
+            child.keys = child.keys[:mid]
+            child.children = child.children[: mid + 1]
+            parent.keys.insert(idx, sep)
+            parent.children.insert(idx + 1, right)
+
+    # -- delete -------------------------------------------------------------------
+
+    def delete(self, key: Any, entry: Hashable) -> None:
+        """Remove *entry* from *key*'s bucket.
+
+        A B-tree used by a no-overwrite engine rarely removes keys; when a
+        bucket empties we leave the key with an empty set and filter on
+        read — physical compaction is a vacuum concern, not a correctness
+        one.  Raises when the pair is absent.
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            raise IndexError_(f"key {key!r} not in index")
+        bucket: set[Hashable] = leaf.values[idx]
+        if entry not in bucket:
+            raise IndexError_(f"entry {entry!r} not under key {key!r}")
+        bucket.discard(entry)
+        self._count -= 1
+
+    # -- introspection ---------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Tree height (1 for a lone leaf)."""
+        depth = 1
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+            depth += 1
+        return depth

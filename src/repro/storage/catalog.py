@@ -1,0 +1,121 @@
+"""System catalog: relation schemas over primitive-class attribute types.
+
+The catalog is the storage-side mirror of the derivation layer's class
+definitions: every non-primitive class materializes as a relation whose
+attribute types are primitive-class names validated by the ADT registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..adt.registry import TypeRegistry
+from ..errors import RelationExistsError, StorageError, UnknownRelationError
+
+__all__ = ["Column", "Schema", "Catalog"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One attribute of a relation: a name and a primitive-class type."""
+
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered attribute list of a relation."""
+
+    relation: str
+    columns: tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        names = [col.name for col in self.columns]
+        if len(names) != len(set(names)):
+            raise StorageError(f"duplicate column names in {self.relation!r}")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(col.name for col in self.columns)
+
+    def index_of(self, column: str) -> int:
+        """Position of *column* in the schema."""
+        try:
+            return self.column_names.index(column)
+        except ValueError:
+            raise StorageError(
+                f"relation {self.relation!r} has no column {column!r}"
+            ) from None
+
+    def type_of(self, column: str) -> str:
+        """Primitive-class name of *column*."""
+        return self.columns[self.index_of(column)].type_name
+
+    def as_dict(self, values: tuple[Any, ...]) -> dict[str, Any]:
+        """Pair a positional value tuple with column names."""
+        if len(values) != len(self.columns):
+            raise StorageError(
+                f"{self.relation!r}: expected {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        return dict(zip(self.column_names, values))
+
+
+@dataclass
+class Catalog:
+    """Registry of relation schemas, validating types against the ADT
+    layer."""
+
+    types: TypeRegistry
+    _schemas: dict[str, Schema] = field(default_factory=dict)
+
+    def create(self, relation: str, columns: list[tuple[str, str]]) -> Schema:
+        """Define a relation with ``(name, type_name)`` columns."""
+        if relation in self._schemas:
+            raise RelationExistsError(relation)
+        cols = []
+        for name, type_name in columns:
+            self.types.get(type_name)  # raises UnknownTypeError
+            cols.append(Column(name=name, type_name=type_name))
+        schema = Schema(relation=relation, columns=tuple(cols))
+        self._schemas[relation] = schema
+        return schema
+
+    def drop(self, relation: str) -> None:
+        """Remove a relation's schema."""
+        if relation not in self._schemas:
+            raise UnknownRelationError(relation)
+        del self._schemas[relation]
+
+    def get(self, relation: str) -> Schema:
+        """The schema of *relation*."""
+        try:
+            return self._schemas[relation]
+        except KeyError:
+            raise UnknownRelationError(relation) from None
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self._schemas
+
+    def relations(self) -> list[str]:
+        """All relation names in creation order."""
+        return list(self._schemas)
+
+    def validate_row(self, relation: str, values: tuple[Any, ...]
+                     ) -> tuple[Any, ...]:
+        """Validate *values* against the schema, returning normalized
+        internal values (via each primitive class's validator)."""
+        schema = self.get(relation)
+        if len(values) != len(schema.columns):
+            raise StorageError(
+                f"{relation!r}: expected {len(schema.columns)} values, "
+                f"got {len(values)}"
+            )
+        normalized = tuple(
+            self.types.get(col.type_name).validate(value)
+            for col, value in zip(schema.columns, values)
+        )
+        return normalized

@@ -1,0 +1,352 @@
+"""The storage engine facade — Gaea's POSTGRES substitute.
+
+Ties together the catalog, heap files, B-tree / spatial / temporal
+indexes, the transaction manager, and the write-ahead log.  The API is
+deliberately the slice Gaea needs:
+
+* ``create_relation`` / ``insert`` / ``delete`` / ``scan`` with snapshot
+  visibility (no-overwrite storage: deletes stamp ``xmax``),
+* secondary indexes on scalar columns (B-tree), the spatial extent
+  (grid index) and the temporal extent (timeline),
+* ``recover`` — rebuild an engine by replaying a WAL.
+
+Auto-commit convenience wrappers (`insert_row`, ...) keep simple callers
+out of explicit transaction plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..adt.registry import TypeRegistry
+from ..errors import StorageError, TupleNotFoundError, UnknownRelationError
+from ..spatial.box import Box
+from ..spatial.grid_index import GridIndex
+from ..temporal.abstime import AbsTime
+from ..temporal.timeline import Timeline
+from .btree import BTree
+from .catalog import Catalog, Schema
+from .heap import HeapFile
+from .transactions import Snapshot, Transaction, TransactionManager, visible
+from .tuples import TID, TupleVersion
+from .wal import LogKind, WriteAheadLog
+
+__all__ = ["StorageEngine", "Row"]
+
+
+@dataclass(frozen=True)
+class Row:
+    """A visible tuple returned by scans: its TID plus named values."""
+
+    relation: str
+    tid: TID
+    values: dict[str, Any]
+
+    def __getitem__(self, column: str) -> Any:
+        return self.values[column]
+
+
+@dataclass
+class _RelationState:
+    heap: HeapFile
+    btrees: dict[str, BTree] = field(default_factory=dict)
+    spatial: GridIndex | None = None
+    spatial_column: str | None = None
+    temporal: Timeline | None = None
+    temporal_column: str | None = None
+
+
+@dataclass
+class StorageEngine:
+    """In-memory no-overwrite storage engine with WAL-based recovery."""
+
+    types: TypeRegistry
+    catalog: Catalog = field(init=False)
+    transactions: TransactionManager = field(default_factory=TransactionManager)
+    wal: WriteAheadLog = field(default_factory=WriteAheadLog)
+    _relations: dict[str, _RelationState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.catalog = Catalog(types=self.types)
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_relation(self, name: str, columns: list[tuple[str, str]],
+                        tx: Transaction | None = None) -> Schema:
+        """Create a relation; logs the DDL."""
+        schema = self.catalog.create(name, columns)
+        self._relations[name] = _RelationState(heap=HeapFile(name=name))
+        self.wal.append(
+            LogKind.CREATE_RELATION,
+            xid=tx.xid if tx else 0,
+            payload={"relation": name, "columns": list(columns)},
+        )
+        return schema
+
+    def create_index(self, relation: str, column: str, order: int = 32) -> None:
+        """Build a B-tree on *column*, loading existing visible keys."""
+        state = self._state(relation)
+        schema = self.catalog.get(relation)
+        position = schema.index_of(column)
+        if column in state.btrees:
+            raise StorageError(f"index on {relation}.{column} already exists")
+        tree = BTree(order=order)
+        for tid, version in state.heap.scan():
+            tree.insert(version.values[position], tid)
+        state.btrees[column] = tree
+
+    def create_spatial_index(self, relation: str, column: str,
+                             universe: Box, nx: int = 16, ny: int = 16) -> None:
+        """Attach a grid index over a box-typed column."""
+        state = self._state(relation)
+        schema = self.catalog.get(relation)
+        if schema.type_of(column) != "box":
+            raise StorageError(f"{relation}.{column} is not box-typed")
+        state.spatial = GridIndex(universe=universe, nx=nx, ny=ny)
+        state.spatial_column = column
+        position = schema.index_of(column)
+        for tid, version in state.heap.scan():
+            state.spatial.insert(tid, version.values[position])
+
+    def create_temporal_index(self, relation: str, column: str) -> None:
+        """Attach a timeline over an abstime-typed column."""
+        state = self._state(relation)
+        schema = self.catalog.get(relation)
+        if schema.type_of(column) != "abstime":
+            raise StorageError(f"{relation}.{column} is not abstime-typed")
+        state.temporal = Timeline()
+        state.temporal_column = column
+        position = schema.index_of(column)
+        for tid, version in state.heap.scan():
+            state.temporal.add(version.values[position], tid)
+
+    def _state(self, relation: str) -> _RelationState:
+        try:
+            return self._relations[relation]
+        except KeyError:
+            raise UnknownRelationError(relation) from None
+
+    def relations(self) -> list[str]:
+        """All relation names."""
+        return self.catalog.relations()
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction (logged)."""
+        tx = self.transactions.begin()
+        self.wal.append(LogKind.BEGIN, xid=tx.xid)
+        return tx
+
+    def commit(self, tx: Transaction) -> None:
+        """Commit (logged — the commit record is the durability point)."""
+        self.wal.append(LogKind.COMMIT, xid=tx.xid)
+        self.transactions.commit(tx)
+
+    def abort(self, tx: Transaction) -> None:
+        """Abort (logged); the transaction's versions stay dead forever."""
+        self.wal.append(LogKind.ABORT, xid=tx.xid)
+        self.transactions.abort(tx)
+
+    def snapshot(self, tx: Transaction | None = None) -> Snapshot:
+        """Current snapshot, optionally for an in-flight transaction."""
+        return self.transactions.snapshot(for_tx=tx)
+
+    # -- DML -----------------------------------------------------------------------
+
+    def insert(self, relation: str, values: tuple[Any, ...],
+               tx: Transaction) -> TID:
+        """Insert a row version under *tx*; maintains all indexes."""
+        state = self._state(relation)
+        normalized = self.catalog.validate_row(relation, values)
+        version = TupleVersion(values=normalized, xmin=tx.xid)
+        tid = state.heap.insert(version)
+        self.wal.append(
+            LogKind.INSERT, xid=tx.xid,
+            payload={"relation": relation, "tid": tid, "values": normalized},
+        )
+        schema = self.catalog.get(relation)
+        for column, tree in state.btrees.items():
+            tree.insert(normalized[schema.index_of(column)], tid)
+        if state.spatial is not None and state.spatial_column is not None:
+            state.spatial.insert(tid, normalized[schema.index_of(state.spatial_column)])
+        if state.temporal is not None and state.temporal_column is not None:
+            state.temporal.add(normalized[schema.index_of(state.temporal_column)], tid)
+        return tid
+
+    def delete(self, relation: str, tid: TID, tx: Transaction) -> None:
+        """No-overwrite delete: stamp ``xmax``; the version remains stored."""
+        state = self._state(relation)
+        version = state.heap.get(tid)
+        if version.xmax is not None:
+            raise TupleNotFoundError(f"{relation}{tid} is already deleted")
+        version.xmax = tx.xid
+        self.wal.append(
+            LogKind.DELETE, xid=tx.xid,
+            payload={"relation": relation, "tid": tid},
+        )
+
+    def update(self, relation: str, tid: TID, values: tuple[Any, ...],
+               tx: Transaction) -> TID:
+        """Postgres-style update: delete the old version, insert a new one."""
+        self.delete(relation, tid, tx)
+        return self.insert(relation, values, tx)
+
+    # -- reads -----------------------------------------------------------------------
+
+    def fetch(self, relation: str, tid: TID,
+              snapshot: Snapshot | None = None) -> Row:
+        """The visible row at *tid* (error when invisible/absent)."""
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        version = state.heap.get(tid)
+        if not visible(version, snap):
+            raise TupleNotFoundError(f"{relation}{tid} not visible")
+        schema = self.catalog.get(relation)
+        return Row(relation=relation, tid=tid,
+                   values=schema.as_dict(version.values))
+
+    def scan(self, relation: str, snapshot: Snapshot | None = None
+             ) -> Iterator[Row]:
+        """All visible rows, in TID order."""
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        schema = self.catalog.get(relation)
+        for tid, version in state.heap.scan():
+            if visible(version, snap):
+                yield Row(relation=relation, tid=tid,
+                          values=schema.as_dict(version.values))
+
+    def _rows_for_tids(self, relation: str, tids: set[TID],
+                       snap: Snapshot) -> list[Row]:
+        rows = []
+        for tid in sorted(tids):
+            try:
+                rows.append(self.fetch(relation, tid, snap))
+            except TupleNotFoundError:
+                continue
+        return rows
+
+    def lookup(self, relation: str, column: str, key: Any,
+               snapshot: Snapshot | None = None) -> list[Row]:
+        """Equality lookup via the B-tree on *column*."""
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        tree = state.btrees.get(column)
+        if tree is None:
+            raise StorageError(f"no index on {relation}.{column}")
+        return self._rows_for_tids(relation, tree.search(key), snap)
+
+    def range_lookup(self, relation: str, column: str, lo: Any, hi: Any,
+                     snapshot: Snapshot | None = None) -> list[Row]:
+        """Range lookup ``lo <= key <= hi`` via the B-tree on *column*."""
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        tree = state.btrees.get(column)
+        if tree is None:
+            raise StorageError(f"no index on {relation}.{column}")
+        tids: set[TID] = set()
+        for _, bucket in tree.range_scan(lo, hi):
+            tids |= bucket
+        return self._rows_for_tids(relation, tids, snap)
+
+    def spatial_lookup(self, relation: str, query: Box,
+                       snapshot: Snapshot | None = None) -> list[Row]:
+        """Rows whose spatial extent overlaps *query* (grid index)."""
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        if state.spatial is None:
+            raise StorageError(f"no spatial index on {relation}")
+        return self._rows_for_tids(relation, state.spatial.query(query), snap)
+
+    def temporal_lookup(self, relation: str, at: AbsTime,
+                        snapshot: Snapshot | None = None) -> list[Row]:
+        """Rows stamped exactly *at* (timeline index)."""
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        if state.temporal is None:
+            raise StorageError(f"no temporal index on {relation}")
+        return self._rows_for_tids(relation, state.temporal.at(at), snap)
+
+    def timeline_of(self, relation: str) -> Timeline:
+        """The temporal index of *relation* (for interpolation planning)."""
+        state = self._state(relation)
+        if state.temporal is None:
+            raise StorageError(f"no temporal index on {relation}")
+        return state.temporal
+
+    # -- auto-commit conveniences ---------------------------------------------------------
+
+    def insert_row(self, relation: str, values: tuple[Any, ...]) -> TID:
+        """Insert inside a fresh, immediately committed transaction."""
+        tx = self.begin()
+        try:
+            tid = self.insert(relation, values, tx)
+        except Exception:
+            self.abort(tx)
+            raise
+        self.commit(tx)
+        return tid
+
+    def delete_row(self, relation: str, tid: TID) -> None:
+        """Delete inside a fresh, immediately committed transaction."""
+        tx = self.begin()
+        try:
+            self.delete(relation, tid, tx)
+        except Exception:
+            self.abort(tx)
+            raise
+        self.commit(tx)
+
+    # -- statistics -------------------------------------------------------------------------
+
+    def stats(self, relation: str) -> dict[str, int]:
+        """Physical statistics: pages, stored versions, visible rows."""
+        state = self._state(relation)
+        live = sum(1 for _ in self.scan(relation))
+        return {
+            "pages": state.heap.page_count,
+            "versions": state.heap.version_count(),
+            "visible_rows": live,
+        }
+
+    # -- recovery ------------------------------------------------------------------------------
+
+    @staticmethod
+    def recover(wal: WriteAheadLog, types: TypeRegistry) -> "StorageEngine":
+        """Rebuild an engine by replaying *wal* (redo of committed work).
+
+        DDL from any transaction is replayed (relations are never rolled
+        back in this substrate); DML is replayed only for committed xids.
+        TIDs are re-derived by replay order; because aborted inserts are
+        skipped on replay, a map from original TIDs to replayed TIDs
+        routes DELETE records to the right version.
+        """
+        wal.verify()
+        committed = wal.committed_xids()
+        engine = StorageEngine(types=types)
+        tid_map: dict[tuple[str, TID], TID] = {}
+        for record in wal:
+            if record.kind is LogKind.CREATE_RELATION:
+                name = record.payload["relation"]
+                engine.catalog.create(name, record.payload["columns"])
+                engine._relations[name] = _RelationState(heap=HeapFile(name=name))
+            elif record.kind is LogKind.INSERT and record.xid in committed:
+                relation = record.payload["relation"]
+                state = engine._state(relation)
+                version = TupleVersion(
+                    values=record.payload["values"], xmin=record.xid
+                )
+                new_tid = state.heap.insert(version)
+                tid_map[(relation, record.payload["tid"])] = new_tid
+            elif record.kind is LogKind.DELETE and record.xid in committed:
+                relation = record.payload["relation"]
+                state = engine._state(relation)
+                original = record.payload["tid"]
+                replayed = tid_map.get((relation, original), original)
+                state.heap.get(replayed).xmax = record.xid
+        for xid in committed:
+            engine.transactions.force_committed(xid)
+        # The recovered engine starts a fresh log; history lives in `wal`.
+        return engine

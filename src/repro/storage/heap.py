@@ -1,0 +1,118 @@
+"""Slotted pages and heap files.
+
+A :class:`HeapFile` is an append-friendly sequence of :class:`SlottedPage`
+objects.  Inserts go to the last page with room (first-fit over a small
+free-space map); slots are never reused within a page so TIDs stay stable,
+which the indexes rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import PageFullError, TupleNotFoundError
+from .tuples import TID, TupleVersion
+
+__all__ = ["SlottedPage", "HeapFile", "DEFAULT_PAGE_BYTES"]
+
+DEFAULT_PAGE_BYTES = 8192
+_SLOT_OVERHEAD = 8  # rough per-slot bookkeeping charge
+
+
+@dataclass
+class SlottedPage:
+    """A fixed-budget page holding tuple versions in slots."""
+
+    page_no: int
+    capacity: int = DEFAULT_PAGE_BYTES
+    _slots: list[TupleVersion] = field(default_factory=list)
+    _used: int = 0
+
+    @property
+    def free_space(self) -> int:
+        """Bytes still available on this page."""
+        return self.capacity - self._used
+
+    @property
+    def slot_count(self) -> int:
+        """Number of slots ever allocated on this page."""
+        return len(self._slots)
+
+    def fits(self, version: TupleVersion) -> bool:
+        """Whether *version* fits in the remaining budget."""
+        return version.size + _SLOT_OVERHEAD <= self.free_space
+
+    def insert(self, version: TupleVersion) -> int:
+        """Place *version* in a fresh slot; returns the slot number."""
+        if not self.fits(version):
+            raise PageFullError(
+                f"page {self.page_no}: need {version.size + _SLOT_OVERHEAD}, "
+                f"have {self.free_space}"
+            )
+        self._slots.append(version)
+        self._used += version.size + _SLOT_OVERHEAD
+        return len(self._slots) - 1
+
+    def get(self, slot: int) -> TupleVersion:
+        """The version in *slot*."""
+        if not 0 <= slot < len(self._slots):
+            raise TupleNotFoundError(f"page {self.page_no} has no slot {slot}")
+        return self._slots[slot]
+
+    def __iter__(self) -> Iterator[tuple[int, TupleVersion]]:
+        return iter(enumerate(self._slots))
+
+
+@dataclass
+class HeapFile:
+    """A growable collection of slotted pages for one relation."""
+
+    name: str
+    page_bytes: int = DEFAULT_PAGE_BYTES
+    _pages: list[SlottedPage] = field(default_factory=list)
+
+    @property
+    def page_count(self) -> int:
+        """Number of allocated pages."""
+        return len(self._pages)
+
+    def _page_with_room(self, version: TupleVersion) -> SlottedPage:
+        # First-fit from the tail: the common case is appending, and old
+        # pages rarely regain space (no-overwrite storage never frees).
+        for page in reversed(self._pages[-4:]):
+            if page.fits(version):
+                return page
+        page = SlottedPage(page_no=len(self._pages), capacity=self.page_bytes)
+        if not page.fits(version):
+            # TOAST substitute: a tuple larger than a standard page gets
+            # its own appropriately sized page, the way Postgres moves
+            # large attribute values out of line.  TIDs stay uniform.
+            page = SlottedPage(
+                page_no=len(self._pages),
+                capacity=version.size + _SLOT_OVERHEAD,
+            )
+        self._pages.append(page)
+        return page
+
+    def insert(self, version: TupleVersion) -> TID:
+        """Append *version*, returning its stable TID."""
+        page = self._page_with_room(version)
+        slot = page.insert(version)
+        return TID(page=page.page_no, slot=slot)
+
+    def get(self, tid: TID) -> TupleVersion:
+        """The version at *tid*."""
+        if not 0 <= tid.page < len(self._pages):
+            raise TupleNotFoundError(f"{self.name}: no page {tid.page}")
+        return self._pages[tid.page].get(tid.slot)
+
+    def scan(self) -> Iterator[tuple[TID, TupleVersion]]:
+        """Full scan over every stored version, in TID order."""
+        for page in self._pages:
+            for slot, version in page:
+                yield TID(page=page.page_no, slot=slot), version
+
+    def version_count(self) -> int:
+        """Total stored versions, live and dead."""
+        return sum(page.slot_count for page in self._pages)

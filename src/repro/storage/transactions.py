@@ -1,0 +1,130 @@
+"""Transactions and snapshot visibility (no-overwrite MVCC-lite).
+
+The substrate keeps the slice of Postgres semantics Gaea needs: every
+transaction gets a monotonically increasing xid; committed/aborted states
+are tracked; a :class:`Snapshot` captures the set of transactions visible
+at its creation, and :func:`visible` decides whether a stored tuple
+version exists for that snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import TransactionError
+from .tuples import TupleVersion
+
+__all__ = ["TxStatus", "Transaction", "Snapshot", "TransactionManager", "visible"]
+
+
+class TxStatus(Enum):
+    """Lifecycle states of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """A transaction handle issued by :class:`TransactionManager`."""
+
+    xid: int
+    status: TxStatus = TxStatus.ACTIVE
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """The view of the database a reader holds.
+
+    A transaction is *in* the snapshot when it committed before the
+    snapshot was taken.  ``own_xid`` lets a transaction see its own
+    uncommitted writes.
+    """
+
+    committed: frozenset[int]
+    own_xid: int | None = None
+
+    def sees(self, xid: int) -> bool:
+        """Whether work by *xid* is visible under this snapshot."""
+        return xid in self.committed or xid == self.own_xid
+
+
+def visible(version: TupleVersion, snapshot: Snapshot) -> bool:
+    """Postgres-style visibility for a no-overwrite tuple version.
+
+    The version is visible when its creator is seen and its deleter (if
+    any) is not.
+    """
+    if not snapshot.sees(version.xmin):
+        return False
+    if version.xmax is not None and snapshot.sees(version.xmax):
+        return False
+    return True
+
+
+@dataclass
+class TransactionManager:
+    """Allocates xids and tracks commit state."""
+
+    _next_xid: int = 1
+    _transactions: dict[int, Transaction] = field(default_factory=dict)
+    _committed: set[int] = field(default_factory=set)
+
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+        tx = Transaction(xid=self._next_xid)
+        self._next_xid += 1
+        self._transactions[tx.xid] = tx
+        return tx
+
+    def _get_active(self, tx: Transaction) -> Transaction:
+        stored = self._transactions.get(tx.xid)
+        if stored is None:
+            raise TransactionError(f"unknown transaction {tx.xid}")
+        if stored.status is not TxStatus.ACTIVE:
+            raise TransactionError(
+                f"transaction {tx.xid} is already {stored.status.value}"
+            )
+        return stored
+
+    def commit(self, tx: Transaction) -> None:
+        """Commit *tx*; its writes become visible to later snapshots."""
+        stored = self._get_active(tx)
+        stored.status = TxStatus.COMMITTED
+        tx.status = TxStatus.COMMITTED
+        self._committed.add(tx.xid)
+
+    def abort(self, tx: Transaction) -> None:
+        """Abort *tx*; its writes never become visible."""
+        stored = self._get_active(tx)
+        stored.status = TxStatus.ABORTED
+        tx.status = TxStatus.ABORTED
+
+    def status_of(self, xid: int) -> TxStatus:
+        """Status of the transaction with id *xid*."""
+        tx = self._transactions.get(xid)
+        if tx is None:
+            raise TransactionError(f"unknown transaction {xid}")
+        return tx.status
+
+    def snapshot(self, for_tx: Transaction | None = None) -> Snapshot:
+        """Take a snapshot of everything committed so far, optionally on
+        behalf of *for_tx* (which then sees its own writes)."""
+        return Snapshot(
+            committed=frozenset(self._committed),
+            own_xid=for_tx.xid if for_tx is not None else None,
+        )
+
+    # -- recovery hooks (used by WAL replay) ----------------------------------
+
+    def restore_xid_floor(self, next_xid: int) -> None:
+        """Ensure freshly allocated xids stay above replayed history."""
+        self._next_xid = max(self._next_xid, next_xid)
+
+    def force_committed(self, xid: int) -> None:
+        """Mark *xid* committed during WAL replay."""
+        self._transactions[xid] = Transaction(xid=xid, status=TxStatus.COMMITTED)
+        self._committed.add(xid)
+        self.restore_xid_floor(xid + 1)

@@ -1,0 +1,14 @@
+"""Temporal extent semantics: absolute time, intervals, timelines."""
+
+from .abstime import AbsTime
+from .intervals import AllenRelation, Interval, allen_relation, common_time
+from .timeline import Timeline
+
+__all__ = [
+    "AbsTime",
+    "AllenRelation",
+    "Interval",
+    "Timeline",
+    "allen_relation",
+    "common_time",
+]

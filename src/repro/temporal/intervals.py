@@ -1,0 +1,128 @@
+"""Temporal intervals and Allen's interval relations.
+
+The paper cites Allen [1] for temporal semantics; the temporal extent of a
+Gaea object is usually a single ``abstime`` timestamp, but interpolation
+and experiment management reason over intervals (e.g. "between 1988 and
+1989").  This module provides closed intervals over :class:`AbsTime` and
+the thirteen Allen relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from ..errors import TemporalError
+from .abstime import AbsTime
+
+__all__ = ["Interval", "AllenRelation", "allen_relation", "common_time"]
+
+
+class AllenRelation(Enum):
+    """The thirteen Allen interval relations."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    MEETS = "meets"
+    MET_BY = "met_by"
+    OVERLAPS = "overlaps"
+    OVERLAPPED_BY = "overlapped_by"
+    STARTS = "starts"
+    STARTED_BY = "started_by"
+    DURING = "during"
+    CONTAINS = "contains"
+    FINISHES = "finishes"
+    FINISHED_BY = "finished_by"
+    EQUAL = "equal"
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """Closed interval ``[start, end]`` over :class:`AbsTime`."""
+
+    start: AbsTime
+    end: AbsTime
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise TemporalError(f"degenerate interval [{self.start}, {self.end}]")
+
+    @staticmethod
+    def instant(at: AbsTime) -> "Interval":
+        """Zero-length interval for a single timestamp."""
+        return Interval(at, at)
+
+    @staticmethod
+    def from_strings(start: str, end: str) -> "Interval":
+        """Build from two ``YYYY-MM-DD`` literals."""
+        return Interval(AbsTime.parse(start), AbsTime.parse(end))
+
+    @property
+    def duration_days(self) -> int:
+        """Length in days (0 for instants)."""
+        return self.end.days - self.start.days
+
+    def contains_time(self, at: AbsTime) -> bool:
+        """True when *at* falls inside (boundaries included)."""
+        return self.start <= at <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the intervals share at least one day."""
+        return self.start <= other.end and other.start <= self.end
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """Shared sub-interval, or ``None`` when disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Interval(max(self.start, other.start), min(self.end, other.end))
+
+    def union_hull(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both operands (hull, even if gapped)."""
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def __str__(self) -> str:
+        return f"[{self.start}, {self.end}]"
+
+
+def allen_relation(a: Interval, b: Interval) -> AllenRelation:
+    """Classify intervals *a* and *b* into one of Allen's 13 relations.
+
+    Instants (zero-length intervals) are handled by the same case
+    analysis; e.g. two equal instants are ``EQUAL``.
+    """
+    if a.start == b.start and a.end == b.end:
+        return AllenRelation.EQUAL
+    if a.end < b.start:
+        return AllenRelation.BEFORE
+    if b.end < a.start:
+        return AllenRelation.AFTER
+    if a.end == b.start:
+        return AllenRelation.MEETS
+    if b.end == a.start:
+        return AllenRelation.MET_BY
+    if a.start == b.start:
+        return AllenRelation.STARTS if a.end < b.end else AllenRelation.STARTED_BY
+    if a.end == b.end:
+        return AllenRelation.FINISHES if a.start > b.start else AllenRelation.FINISHED_BY
+    if b.start < a.start and a.end < b.end:
+        return AllenRelation.DURING
+    if a.start < b.start and b.end < a.end:
+        return AllenRelation.CONTAINS
+    if a.start < b.start:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY
+
+
+def common_time(times: Iterable[AbsTime], tolerance_days: int = 0) -> bool:
+    """The paper's ``common()`` assertion on timestamps.
+
+    Figure 3 asserts ``common(bands.timestamp)``: input scenes must be
+    contemporaneous.  With ``tolerance_days == 0`` all timestamps must be
+    identical; a positive tolerance allows scenes acquired within that
+    many days of each other (multi-pass acquisitions).
+    """
+    stamps = sorted(times)
+    if len(stamps) <= 1:
+        return True
+    return stamps[0].days_between(stamps[-1]) <= tolerance_days

@@ -1,0 +1,88 @@
+"""Per-class timelines: snapshot lookup for temporal retrieval.
+
+Query answering in Gaea prefers direct retrieval, then *interpolation*
+(paper §2.1.5 step 2).  A timeline records which timestamps of a class
+hold stored objects so the planner can find the snapshots bracketing a
+missing timestamp — the inputs temporal interpolation needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..errors import TemporalError
+from .abstime import AbsTime
+
+__all__ = ["Timeline"]
+
+
+@dataclass
+class Timeline:
+    """Sorted map from :class:`AbsTime` to sets of object ids."""
+
+    _stamps: list[AbsTime] = field(default_factory=list)
+    _objects: dict[AbsTime, set[Hashable]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._stamps)
+
+    def add(self, at: AbsTime, object_id: Hashable) -> None:
+        """Record that *object_id* exists at time *at*."""
+        if at not in self._objects:
+            bisect.insort(self._stamps, at)
+            self._objects[at] = set()
+        self._objects[at].add(object_id)
+
+    def remove(self, at: AbsTime, object_id: Hashable) -> None:
+        """Forget *object_id* at time *at*."""
+        bucket = self._objects.get(at)
+        if bucket is None or object_id not in bucket:
+            raise TemporalError(f"no object {object_id!r} at {at}")
+        bucket.discard(object_id)
+        if not bucket:
+            del self._objects[at]
+            self._stamps.remove(at)
+
+    def at(self, stamp: AbsTime) -> set[Hashable]:
+        """Object ids stored exactly at *stamp* (empty set if none)."""
+        return set(self._objects.get(stamp, set()))
+
+    def timestamps(self) -> list[AbsTime]:
+        """All populated timestamps in ascending order."""
+        return list(self._stamps)
+
+    def bracketing(self, stamp: AbsTime) -> tuple[AbsTime | None, AbsTime | None]:
+        """The nearest populated timestamps ``(before, after)`` around
+        *stamp*.
+
+        Either side may be ``None`` at the ends of the timeline.  When
+        *stamp* itself is populated it is returned on both sides, which
+        lets interpolation degrade to exact retrieval.
+        """
+        if stamp in self._objects:
+            return (stamp, stamp)
+        idx = bisect.bisect_left(self._stamps, stamp)
+        before = self._stamps[idx - 1] if idx > 0 else None
+        after = self._stamps[idx] if idx < len(self._stamps) else None
+        return (before, after)
+
+    def nearest(self, stamp: AbsTime) -> AbsTime | None:
+        """The populated timestamp closest to *stamp* (ties -> earlier)."""
+        before, after = self.bracketing(stamp)
+        if before is None:
+            return after
+        if after is None:
+            return before
+        if stamp.days - before.days <= after.days - stamp.days:
+            return before
+        return after
+
+    def in_range(self, start: AbsTime, end: AbsTime) -> list[AbsTime]:
+        """Populated timestamps within ``[start, end]``."""
+        if start > end:
+            raise TemporalError(f"bad range [{start}, {end}]")
+        lo = bisect.bisect_left(self._stamps, start)
+        hi = bisect.bisect_right(self._stamps, end)
+        return self._stamps[lo:hi]

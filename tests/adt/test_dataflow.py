@@ -1,0 +1,134 @@
+"""Tests for compound-operator dataflow networks (repro.adt.dataflow)."""
+
+import numpy as np
+import pytest
+
+from repro.adt import DataflowNetwork, Image
+from repro.errors import (
+    DataflowCycleError,
+    DataflowWiringError,
+    UnknownOperatorError,
+)
+from repro.figures import build_figure4
+from repro.gis import pca
+
+
+@pytest.fixture()
+def simple_net(operators):
+    """offset(scale(img)) as a two-node network."""
+    net = DataflowNetwork(name="affine", operators=operators)
+    net.add_input("img", "image")
+    net.add_input("factor", "float8")
+    net.add_node("scaled", "img_scale", ["@img", "@factor"])
+    net.add_node("shifted", "img_offset", ["scaled", "@factor"])
+    net.set_output("shifted")
+    return net
+
+
+class TestWiring:
+    def test_duplicate_input_rejected(self, operators):
+        net = DataflowNetwork(name="n", operators=operators)
+        net.add_input("x", "image")
+        with pytest.raises(DataflowWiringError):
+            net.add_input("x", "image")
+
+    def test_unknown_operator_rejected(self, operators):
+        net = DataflowNetwork(name="n", operators=operators)
+        net.add_input("x", "image")
+        with pytest.raises(UnknownOperatorError):
+            net.add_node("a", "no_such_op", ["@x"])
+
+    def test_unknown_source_rejected(self, operators):
+        net = DataflowNetwork(name="n", operators=operators)
+        with pytest.raises(DataflowWiringError):
+            net.add_node("a", "img_nrow", ["@ghost"])
+
+    def test_forward_reference_rejected(self, operators):
+        net = DataflowNetwork(name="n", operators=operators)
+        net.add_input("x", "image")
+        with pytest.raises(DataflowWiringError):
+            net.add_node("a", "img_scale", ["later", "@x"])
+
+    def test_output_must_exist(self, operators):
+        net = DataflowNetwork(name="n", operators=operators)
+        with pytest.raises(DataflowWiringError):
+            net.set_output("nope")
+
+    def test_validate_needs_output(self, operators):
+        net = DataflowNetwork(name="n", operators=operators)
+        net.add_input("x", "image")
+        net.add_node("a", "img_nrow", ["@x"])
+        with pytest.raises(DataflowWiringError):
+            net.validate()
+
+
+class TestExecution:
+    def test_executes_in_order(self, simple_net, small_image):
+        out = simple_net.execute(img=small_image, factor=2.0)
+        expected = small_image.data.astype(np.float64) * 2.0 + 2.0
+        assert np.allclose(out.data, expected, atol=1e-6)
+
+    def test_missing_binding(self, simple_net, small_image):
+        with pytest.raises(DataflowWiringError):
+            simple_net.execute(img=small_image)
+
+    def test_extra_binding(self, simple_net, small_image):
+        with pytest.raises(DataflowWiringError):
+            simple_net.execute(img=small_image, factor=1.0, bogus=3)
+
+    def test_trace_returns_every_node(self, simple_net, small_image):
+        values = simple_net.trace(img=small_image, factor=1.0)
+        assert set(values) == {"scaled", "shifted"}
+        assert isinstance(values["scaled"], Image)
+
+    def test_schedule_is_topological(self, simple_net):
+        order = simple_net.schedule()
+        assert order.index("scaled") < order.index("shifted")
+
+
+class TestAsOperator:
+    def test_promoted_network_is_callable(self, simple_net, operators,
+                                          small_image):
+        simple_net.as_operator("image")
+        out = operators.apply("affine", small_image, 3.0)
+        assert np.allclose(
+            out.data, small_image.data.astype(np.float64) * 3.0 + 3.0,
+            atol=1e-5,
+        )
+
+    def test_promoted_network_appears_in_browse(self, simple_net, operators):
+        simple_net.as_operator("image")
+        assert "affine" in operators.names()
+
+
+class TestFigure4Network:
+    """The PCA network must match the direct PCA computation."""
+
+    def test_schedule_matches_figure(self, operators):
+        net = build_figure4(operators)
+        order = net.schedule()
+        assert order == ["to_matrices", "covariance", "eigenvector",
+                         "combined", "to_images"]
+
+    def test_matches_direct_pca(self, operators, scene_generator):
+        net = build_figure4(operators)
+        images = [scene_generator.band("africa", y, 7, "nir")
+                  for y in (1986, 1987, 1988)]
+        network_out = net.execute(images=images)
+        direct, _ = pca(images, 1)
+        assert len(network_out) == 1
+        assert np.allclose(network_out[0].data, direct[0].data, atol=1e-5)
+
+    def test_threshold_two_images_enough(self, operators, scene_generator):
+        net = build_figure4(operators)
+        images = [scene_generator.band("africa", y, 7, "nir")
+                  for y in (1986, 1987)]
+        assert len(net.execute(images=images)) == 1
+
+    def test_one_image_violates_threshold(self, operators, scene_generator):
+        from repro.errors import ADTError
+
+        net = build_figure4(operators)
+        images = [scene_generator.band("africa", 1986, 7, "nir")]
+        with pytest.raises(ADTError):
+            net.execute(images=images)

@@ -1,0 +1,100 @@
+"""Tests for the image primitive class (repro.adt.image)."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image
+from repro.errors import ValueRepresentationError
+
+
+class TestConstruction:
+    def test_from_array_with_pixtype(self):
+        img = Image.from_array(np.arange(6).reshape(2, 3), "int2")
+        assert img.shape == (2, 3)
+        assert img.pixtype == "int2"
+        assert img.nrow == 2 and img.ncol == 3
+
+    def test_zeros(self):
+        img = Image.zeros(4, 5, "float8")
+        assert img.shape == (4, 5)
+        assert float(img.data.sum()) == 0.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueRepresentationError):
+            Image(data=np.zeros(3, dtype=np.float32))
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueRepresentationError):
+            Image(data=np.zeros((2, 2), dtype=np.complex128))
+
+    def test_unknown_pixtype_name(self):
+        with pytest.raises(ValueRepresentationError):
+            Image.from_array(np.zeros((2, 2)), "int128")
+
+    def test_pixels_are_frozen(self, small_image):
+        with pytest.raises(ValueError):
+            small_image.data[0, 0] = 1.0
+
+
+class TestExternalRepresentation:
+    def test_str_matches_paper_format(self):
+        img = Image.zeros(3, 4, "int4")
+        assert str(img) == '(3, 4, "int4", "")'
+
+    def test_parse_roundtrip_shape(self):
+        img = Image.parse('(3, 4, "float4", "/data/x.img")')
+        assert img.shape == (3, 4)
+        assert img.pixtype == "float4"
+        assert img.filepath == "/data/x.img"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueRepresentationError):
+            Image.parse("not an image")
+
+    def test_validate_accepts_array(self):
+        img = Image.validate(np.zeros((2, 2), dtype=np.float32))
+        assert isinstance(img, Image)
+
+    def test_validate_rejects_int(self):
+        with pytest.raises(ValueRepresentationError):
+            Image.validate(5)
+
+
+class TestValueIdentity:
+    def test_equal_content_equal_objects(self):
+        a = Image.from_array(np.arange(4).reshape(2, 2), "int4")
+        b = Image.from_array(np.arange(4).reshape(2, 2), "int4")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_changing_value_makes_new_object(self):
+        a = Image.from_array(np.zeros((2, 2)), "float4")
+        changed = Image.from_array(np.ones((2, 2)), "float4")
+        assert a != changed
+
+    def test_pixtype_part_of_identity(self):
+        a = Image.from_array(np.zeros((2, 2)), "int2")
+        b = Image.from_array(np.zeros((2, 2)), "int4")
+        assert a != b
+
+    def test_filepath_part_of_identity(self):
+        a = Image.from_array(np.zeros((2, 2)), "int2", filepath="x")
+        b = Image.from_array(np.zeros((2, 2)), "int2", filepath="y")
+        assert a != b
+
+    def test_usable_in_sets(self):
+        a = Image.from_array(np.zeros((2, 2)), "int2")
+        b = Image.from_array(np.zeros((2, 2)), "int2")
+        assert len({a, b}) == 1
+
+
+class TestAccessors:
+    def test_size_eq(self):
+        a = Image.zeros(2, 3)
+        assert a.size_eq(Image.zeros(2, 3))
+        assert not a.size_eq(Image.zeros(3, 2))
+
+    def test_all_pixtypes_work(self):
+        for pixtype in ("char", "int2", "int4", "float4", "float8"):
+            img = Image.zeros(2, 2, pixtype)
+            assert img.pixtype == pixtype

@@ -1,0 +1,75 @@
+"""Tests for the matrix and vector primitive classes."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Matrix, Vector
+from repro.errors import ValueRepresentationError
+
+
+class TestMatrix:
+    def test_from_array_casts_to_float64(self):
+        mat = Matrix.from_array([[1, 2], [3, 4]])
+        assert mat.data.dtype == np.float64
+        assert mat.shape == (2, 2)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueRepresentationError):
+            Matrix.from_array([1, 2, 3])
+
+    def test_value_identity(self):
+        a = Matrix.from_array([[1.0, 2.0]])
+        b = Matrix.from_array([[1.0, 2.0]])
+        c = Matrix.from_array([[1.0, 3.0]])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_parse_roundtrip(self):
+        mat = Matrix.from_array([[1.5, 2.0], [3.0, 4.0]])
+        assert Matrix.parse(str(mat)) == mat
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueRepresentationError):
+            Matrix.parse("[[1, oops]]")
+
+    def test_data_is_frozen(self):
+        mat = Matrix.from_array([[1.0]])
+        with pytest.raises(ValueError):
+            mat.data[0, 0] = 2.0
+
+    def test_validate_accepts_lists(self):
+        assert Matrix.validate([[1, 2]]).ncol == 2
+
+    def test_validate_rejects_scalar(self):
+        with pytest.raises(ValueRepresentationError):
+            Matrix.validate(3.0)
+
+
+class TestVector:
+    def test_from_array(self):
+        vec = Vector.from_array([1, 2, 3])
+        assert len(vec) == 3
+        assert vec.data.dtype == np.float64
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueRepresentationError):
+            Vector.from_array([[1, 2]])
+
+    def test_value_identity(self):
+        a = Vector.from_array([1.0, 2.0])
+        b = Vector.from_array([1.0, 2.0])
+        assert a == b and hash(a) == hash(b)
+        assert a != Vector.from_array([2.0, 1.0])
+
+    def test_parse_roundtrip(self):
+        vec = Vector.from_array([0.5, -1.0])
+        assert Vector.parse(str(vec)) == vec
+
+    def test_data_is_frozen(self):
+        vec = Vector.from_array([1.0])
+        with pytest.raises(ValueError):
+            vec.data[0] = 2.0
+
+    def test_validate_rejects_string(self):
+        with pytest.raises(ValueRepresentationError):
+            Vector.validate("nope")

@@ -1,0 +1,164 @@
+"""Tests for the operator registry (repro.adt.operators)."""
+
+import pytest
+
+from repro.adt import Signature, TypeTerm, make_standard_registries
+from repro.errors import (
+    OperatorAlreadyRegisteredError,
+    SignatureMismatchError,
+    UnknownOperatorError,
+    UnknownTypeError,
+    ValueRepresentationError,
+)
+
+
+class TestTypeTerm:
+    def test_parse_plain(self):
+        term = TypeTerm.parse("image")
+        assert term.type_name == "image" and not term.is_set
+
+    def test_parse_setof(self):
+        term = TypeTerm.parse("setof image")
+        assert term.is_set and term.min_cardinality == 1
+
+    def test_parse_setof_with_threshold(self):
+        term = TypeTerm.parse("setof>=2 matrix")
+        assert term.is_set and term.min_cardinality == 2
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueRepresentationError):
+            TypeTerm.parse("setof2 image")
+
+    def test_str_roundtrip(self):
+        for text in ("image", "setof image", "setof>=3 image"):
+            assert str(TypeTerm.parse(text)) == text
+
+
+class TestRegistration:
+    def test_register_and_apply(self, registries):
+        _, ops = registries
+        ops.register("double", ["int4"], "int4", lambda x: x * 2)
+        assert ops.apply("double", 21) == 42
+
+    def test_unknown_argument_type_rejected(self, registries):
+        _, ops = registries
+        with pytest.raises(UnknownTypeError):
+            ops.register("f", ["ghost"], "int4", lambda x: x)
+
+    def test_duplicate_signature_rejected(self, registries):
+        _, ops = registries
+        ops.register("f", ["int4"], "int4", lambda x: x)
+        with pytest.raises(OperatorAlreadyRegisteredError):
+            ops.register("f", ["int4"], "int4", lambda x: x)
+
+    def test_overloading_by_signature(self, registries):
+        _, ops = registries
+        ops.register("describe", ["int4"], "text", lambda x: f"int {x}")
+        ops.register("describe", ["char16"], "text", lambda x: f"str {x}")
+        assert ops.apply("describe", 3) == "int 3"
+        assert ops.apply("describe", "hi") == "str hi"
+
+    def test_get_rejects_overloaded(self, registries):
+        _, ops = registries
+        ops.register("g", ["int4"], "int4", lambda x: x)
+        ops.register("g", ["float8"], "float8", lambda x: x)
+        with pytest.raises(UnknownOperatorError):
+            ops.get("g")
+
+    def test_unknown_operator(self, registries):
+        _, ops = registries
+        with pytest.raises(UnknownOperatorError):
+            ops.apply("nope", 1)
+
+
+class TestTypeChecking:
+    def test_wrong_arity(self, registries):
+        _, ops = registries
+        ops.register("h", ["int4", "int4"], "int4", lambda a, b: a + b)
+        with pytest.raises(SignatureMismatchError):
+            ops.apply("h", 1)
+
+    def test_wrong_type(self, registries):
+        _, ops = registries
+        ops.register("h", ["int4"], "int4", lambda a: a)
+        with pytest.raises(SignatureMismatchError):
+            ops.apply("h", "not an int")
+
+    def test_setof_cardinality_enforced(self, registries):
+        _, ops = registries
+        ops.register("sum2", ["setof>=2 int4"], "int4", lambda xs: sum(xs))
+        assert ops.apply("sum2", [1, 2, 3]) == 6
+        with pytest.raises(SignatureMismatchError):
+            ops.apply("sum2", [1])
+
+    def test_result_type_checked(self, registries):
+        _, ops = registries
+        ops.register("bad", ["int4"], "int4", lambda x: "oops")
+        with pytest.raises(ValueRepresentationError):
+            ops.apply("bad", 1)
+
+    def test_setof_result_must_be_sequence(self, registries):
+        _, ops = registries
+        ops.register("bad_set", ["int4"], "setof int4", lambda x: x)
+        with pytest.raises(SignatureMismatchError):
+            ops.apply("bad_set", 1)
+
+
+class TestBrowsing:
+    def test_operators_for_image(self, operators):
+        names = {op.name for op in operators.operators_for("image")}
+        assert {"img_nrow", "img_ncol", "img_type", "img_size_eq"} <= names
+
+    def test_classes_with(self, operators):
+        assert operators.classes_with("img_size_eq") == {"image"}
+
+    def test_operators_for_respects_subtyping(self, registries):
+        types, ops = registries
+        ops.register("takes_numeric", ["numeric"], "bool", lambda x: True)
+        names = {op.name for op in ops.operators_for("int4")}
+        assert "takes_numeric" in names
+
+    def test_names_listing(self, operators):
+        assert "composite" in operators.names()
+
+
+class TestStandardOperators:
+    def test_paper_accessors(self, operators, small_image):
+        assert operators.apply("img_nrow", small_image) == 8
+        assert operators.apply("img_ncol", small_image) == 8
+        assert operators.apply("img_type", small_image) == "float4"
+        assert operators.apply("img_size_eq", small_image, small_image)
+
+    def test_img_divide_handles_zero(self, operators):
+        import numpy as np
+
+        from repro.adt import Image
+
+        num = Image.from_array(np.ones((2, 2)), "float4")
+        den = Image.from_array(np.array([[1.0, 0.0], [2.0, 0.0]]), "float4")
+        out = operators.apply("img_divide", num, den)
+        assert out.data[0, 1] == 0.0 and out.data[0, 0] == 1.0
+
+    def test_img_subtract_requires_same_size(self, operators):
+        from repro.adt import Image
+
+        with pytest.raises(SignatureMismatchError):
+            operators.apply("img_subtract", Image.zeros(2, 2),
+                            Image.zeros(3, 3))
+
+    def test_statistics(self, operators, small_image):
+        lo = operators.apply("img_min", small_image)
+        hi = operators.apply("img_max", small_image)
+        mean = operators.apply("img_mean", small_image)
+        assert lo <= mean <= hi
+
+    def test_threshold_masks(self, operators):
+        import numpy as np
+
+        from repro.adt import Image
+
+        img = Image.from_array(np.array([[100.0, 300.0]]), "float4")
+        below = operators.apply("img_threshold", img, 250.0)
+        assert below.data.tolist() == [[1, 0]]
+        above = operators.apply("img_threshold_above", img, 250.0)
+        assert above.data.tolist() == [[0, 1]]

@@ -1,0 +1,124 @@
+"""Tests for the primitive-class registry (repro.adt.registry)."""
+
+import pytest
+
+from repro.adt import (
+    PrimitiveClass,
+    TypeRegistry,
+    make_standard_registries,
+    register_scalar_primitives,
+)
+from repro.adt.values import identity_representation
+from repro.errors import (
+    TypeAlreadyRegisteredError,
+    UnknownTypeError,
+    ValueRepresentationError,
+)
+
+
+def _dummy(name: str, parent: str | None = None) -> PrimitiveClass:
+    return PrimitiveClass(
+        name=name,
+        validate=lambda v: v,
+        representation=identity_representation(),
+        parent=parent,
+    )
+
+
+class TestTypeRegistry:
+    def test_register_and_get(self):
+        registry = TypeRegistry()
+        registry.register(_dummy("thing"))
+        assert registry.get("thing").name == "thing"
+        assert "thing" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = TypeRegistry()
+        registry.register(_dummy("thing"))
+        with pytest.raises(TypeAlreadyRegisteredError):
+            registry.register(_dummy("thing"))
+
+    def test_unknown_type(self):
+        registry = TypeRegistry()
+        with pytest.raises(UnknownTypeError):
+            registry.get("nope")
+
+    def test_parent_must_exist(self):
+        registry = TypeRegistry()
+        with pytest.raises(UnknownTypeError):
+            registry.register(_dummy("child", parent="ghost"))
+
+    def test_hierarchy_browsing(self):
+        registry = TypeRegistry()
+        registry.register(_dummy("root"))
+        registry.register(_dummy("a", parent="root"))
+        registry.register(_dummy("b", parent="root"))
+        registry.register(_dummy("aa", parent="a"))
+        assert {c.name for c in registry.children("root")} == {"a", "b"}
+        assert [c.name for c in registry.ancestors("aa")] == ["a", "root"]
+        assert registry.is_subtype("aa", "root")
+        assert registry.is_subtype("aa", "aa")
+        assert not registry.is_subtype("b", "a")
+        assert {r.name for r in registry.roots()} == {"root"}
+        assert registry.tree()["root"] == ["a", "b"]
+
+
+class TestStandardPrimitives:
+    def test_all_paper_types_present(self, types):
+        for name in ("int2", "int4", "float4", "float8", "char16", "bool",
+                     "box", "abstime", "image", "matrix", "vector"):
+            assert name in types
+
+    def test_int4_range_enforced(self, types):
+        int4 = types.get("int4")
+        assert int4.validate(2**31 - 1) == 2**31 - 1
+        with pytest.raises(ValueRepresentationError):
+            int4.validate(2**31)
+
+    def test_int2_range_enforced(self, types):
+        with pytest.raises(ValueRepresentationError):
+            types.get("int2").validate(40000)
+
+    def test_bool_is_not_an_int(self, types):
+        with pytest.raises(ValueRepresentationError):
+            types.get("int4").validate(True)
+
+    def test_char16_limit(self, types):
+        assert types.get("char16").validate("a" * 16) == "a" * 16
+        with pytest.raises(ValueRepresentationError):
+            types.get("char16").validate("a" * 17)
+
+    def test_float4_normalizes_through_float32(self, types):
+        import numpy as np
+
+        value = types.get("float4").validate(0.1)
+        assert value == float(np.float32(0.1))
+
+    def test_parse_and_format_ints(self, types):
+        int4 = types.get("int4")
+        assert int4.parse(" 42 ") == 42
+        assert int4.format(42) == "42"
+
+    def test_parse_bool_forms(self, types):
+        parse = types.get("bool").parse
+        assert parse("true") and parse("T") and parse("1")
+        assert not (parse("false") or parse("F") or parse("0"))
+        with pytest.raises(ValueRepresentationError):
+            parse("maybe")
+
+    def test_numeric_hierarchy(self, types):
+        assert types.is_subtype("int4", "numeric")
+        assert types.is_subtype("float8", "numeric")
+        assert not types.is_subtype("char16", "numeric")
+
+    def test_register_twice_fails(self):
+        registry = TypeRegistry()
+        register_scalar_primitives(registry)
+        with pytest.raises(TypeAlreadyRegisteredError):
+            register_scalar_primitives(registry)
+
+    def test_make_standard_registries_is_fresh(self):
+        types1, _ = make_standard_registries()
+        types2, _ = make_standard_registries()
+        assert types1 is not types2

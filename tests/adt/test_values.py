@@ -1,0 +1,72 @@
+"""Tests for value identity and representations (repro.adt.values)."""
+
+import numpy as np
+import pytest
+
+from repro.adt.values import Representation, identity_representation, value_key
+from repro.errors import ValueRepresentationError
+
+
+class TestValueKey:
+    def test_scalars_are_their_own_key(self):
+        assert value_key(5) == 5
+        assert value_key("x") == "x"
+        assert value_key(2.5) == 2.5
+
+    def test_numpy_scalars_normalize_to_python(self):
+        assert value_key(np.int32(7)) == 7
+        assert value_key(np.float64(1.5)) == 1.5
+
+    def test_equal_arrays_share_a_key(self):
+        a = np.arange(6).reshape(2, 3)
+        b = np.arange(6).reshape(2, 3)
+        assert value_key(a) == value_key(b)
+
+    def test_different_arrays_differ(self):
+        a = np.arange(6).reshape(2, 3)
+        b = a.copy()
+        b[0, 0] = 99
+        assert value_key(a) != value_key(b)
+
+    def test_dtype_distinguishes(self):
+        a = np.zeros(3, dtype=np.int16)
+        b = np.zeros(3, dtype=np.int32)
+        assert value_key(a) != value_key(b)
+
+    def test_shape_distinguishes(self):
+        a = np.zeros(6).reshape(2, 3)
+        b = np.zeros(6).reshape(3, 2)
+        assert value_key(a) != value_key(b)
+
+    def test_containers_recurse(self):
+        assert value_key([1, np.zeros(2)]) == value_key([1, np.zeros(2)])
+        assert value_key((1, 2)) != value_key([1, 2])
+
+    def test_dict_key_is_order_insensitive(self):
+        assert value_key({"a": 1, "b": 2}) == value_key({"b": 2, "a": 1})
+
+    def test_key_is_hashable(self):
+        hash(value_key([np.ones(3), {"k": np.zeros(2)}]))
+
+    def test_delegates_to_value_key_method(self):
+        class Custom:
+            def value_key(self):
+                return ("custom", 1)
+
+        assert value_key(Custom()) == ("custom", 1)
+
+
+class TestRepresentation:
+    def test_roundtrip(self):
+        rep = Representation(parse=int, format=str)
+        assert rep.roundtrip("42") == "42"
+
+    def test_identity_representation(self):
+        rep = identity_representation()
+        assert rep.parse("abc") == "abc"
+        assert rep.format("abc") == "abc"
+
+    def test_identity_rejects_non_string(self):
+        rep = identity_representation()
+        with pytest.raises(ValueRepresentationError):
+            rep.parse(5)

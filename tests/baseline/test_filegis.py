@@ -1,0 +1,111 @@
+"""Tests for the IDRISI-style file-based baseline (§4.1 shortcomings)."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image
+from repro.baseline import FileGIS
+from repro.errors import GaeaError
+from repro.gis import composite, unsuperclassify
+
+
+def _img(value, size=4):
+    return Image.from_array(np.full((size, size), float(value)), "float4")
+
+
+@pytest.fixture()
+def gis(tmp_path):
+    g = FileGIS(workdir=tmp_path / "work")
+    g.register_command("double", lambda img: Image.from_array(
+        img.data.astype(float) * 2.0, "float4"))
+    g.register_command(
+        "cluster",
+        lambda *bands_and_k: unsuperclassify(
+            composite(list(bands_and_k[:-1])), int(bands_and_k[-1])
+        ),
+    )
+    return g
+
+
+class TestFileLayer:
+    def test_write_read_roundtrip(self, gis):
+        gis.write_raster("x", _img(3.0))
+        back = gis.read_raster("x")
+        assert np.allclose(back.data, 3.0)
+
+    def test_missing_raster(self, gis):
+        with pytest.raises(GaeaError):
+            gis.read_raster("ghost")
+
+    def test_list_rasters(self, gis):
+        gis.write_raster("b", _img(1))
+        gis.write_raster("a", _img(2))
+        assert gis.list_rasters() == ["a", "b"]
+
+    def test_silent_overwrite_shortcoming(self, gis):
+        """§4.1 #1: a reused name silently destroys the old raster."""
+        gis.write_raster("result", _img(1.0))
+        gis.write_raster("result", _img(99.0))
+        assert float(gis.read_raster("result").data[0, 0]) == 99.0
+
+    def test_metadata_is_shape_only(self, gis):
+        """§4.1 #2: the .doc sidecar records nothing about derivation."""
+        gis.write_raster("x", _img(1.0))
+        meta = gis.metadata_of("x")
+        assert set(meta) == {"rows", "cols", "type"}
+
+
+class TestCommands:
+    def test_run_command(self, gis):
+        gis.write_raster("in", _img(2.0))
+        out = gis.run("double", ["in"], "out")
+        assert float(out.data[0, 0]) == 4.0
+        assert gis.exists("out")
+
+    def test_unknown_command(self, gis):
+        gis.write_raster("in", _img(1.0))
+        with pytest.raises(GaeaError):
+            gis.run("erode", ["in"], "out")
+
+    def test_duplicate_command_rejected(self, gis):
+        with pytest.raises(GaeaError):
+            gis.register_command("double", lambda img: img)
+
+    def test_transcript_records_command_lines(self, gis):
+        gis.write_raster("in", _img(1.0))
+        gis.run("double", ["in"], "out")
+        assert gis.derivation_of("out") == "double in out"
+        assert gis.derivation_of("in") is None
+
+
+class TestReproducibility:
+    def test_reproduce_with_transcript(self, gis):
+        gis.write_raster("in", _img(2.0))
+        gis.run("double", ["in"], "mid")
+        gis.run("double", ["mid"], "out")
+        reproduced = gis.reproduce("out")
+        assert float(reproduced.data[0, 0]) == 8.0
+
+    def test_reproduce_without_transcript_fails(self, gis, tmp_path):
+        """§4.1 #2: a colleague with only the files cannot reproduce."""
+        gis.write_raster("in", _img(2.0))
+        gis.run("double", ["in"], "out")
+        colleague = FileGIS(workdir=gis.workdir, keep_transcript=False)
+        with pytest.raises(GaeaError):
+            colleague.reproduce("out")
+
+    def test_reproduce_with_parameters(self, gis, scene_generator):
+        for band in ("red", "nir", "green"):
+            gis.write_raster(band, scene_generator.band("africa", 1988, 7,
+                                                        band))
+        first = gis.run("cluster", ["red", "nir", "green"], "cover", 5)
+        reproduced = gis.reproduce("cover")
+        assert np.array_equal(first.data, reproduced.data)
+
+    def test_no_abstraction_manual_repetition(self, gis):
+        """§4.1 #4: applying the procedure to N data sets means N command
+        sequences; the transcript grows linearly with no reuse."""
+        for i in range(3):
+            gis.write_raster(f"in{i}", _img(float(i)))
+            gis.run("double", [f"in{i}"], f"out{i}")
+        assert len(gis.transcript) == 3

@@ -1,0 +1,99 @@
+"""Tests for concepts and the ISA hierarchy."""
+
+import pytest
+
+from repro.core import ConceptHierarchy
+from repro.errors import (
+    ConceptAlreadyDefinedError,
+    ConceptCycleError,
+    UnknownConceptError,
+)
+
+
+@pytest.fixture()
+def deserts():
+    """The Figure-2 desert hierarchy."""
+    h = ConceptHierarchy()
+    h.define("desert")
+    h.define("hot_trade_wind", member_classes={"C2", "C3", "C4", "C5"})
+    h.define("ice_snow")
+    h.add_isa("hot_trade_wind", "desert")
+    h.add_isa("ice_snow", "desert")
+    return h
+
+
+class TestDefinition:
+    def test_define_and_get(self, deserts):
+        assert deserts.get("desert").name == "desert"
+        assert "desert" in deserts
+        assert set(deserts.names()) == {"desert", "hot_trade_wind", "ice_snow"}
+
+    def test_duplicate_rejected(self, deserts):
+        with pytest.raises(ConceptAlreadyDefinedError):
+            deserts.define("desert")
+
+    def test_unknown(self, deserts):
+        with pytest.raises(UnknownConceptError):
+            deserts.get("swamp")
+
+
+class TestISADag:
+    def test_parents_children(self, deserts):
+        assert deserts.parents("hot_trade_wind") == {"desert"}
+        assert deserts.children("desert") == {"hot_trade_wind", "ice_snow"}
+
+    def test_ancestors_descendants(self, deserts):
+        deserts.define("saharan")
+        deserts.add_isa("saharan", "hot_trade_wind")
+        assert deserts.ancestors("saharan") == {"hot_trade_wind", "desert"}
+        assert deserts.descendants("desert") == {
+            "hot_trade_wind", "ice_snow", "saharan"
+        }
+
+    def test_self_loop_rejected(self, deserts):
+        with pytest.raises(ConceptCycleError):
+            deserts.add_isa("desert", "desert")
+
+    def test_cycle_rejected(self, deserts):
+        with pytest.raises(ConceptCycleError):
+            deserts.add_isa("desert", "hot_trade_wind")
+
+    def test_dag_multiple_parents_allowed(self, deserts):
+        # Footnote 4: hierarchies can be general DAGs.
+        deserts.define("arid_region")
+        deserts.define("coastal_desert")
+        deserts.add_isa("coastal_desert", "desert")
+        deserts.add_isa("coastal_desert", "arid_region")
+        assert deserts.parents("coastal_desert") == {"desert", "arid_region"}
+
+    def test_roots_and_leaves(self, deserts):
+        assert deserts.roots() == {"desert"}
+        assert deserts.leaves_under("desert") == {"hot_trade_wind", "ice_snow"}
+        assert deserts.leaves_under("ice_snow") == {"ice_snow"}
+
+
+class TestConceptClassMapping:
+    def test_member_classes(self, deserts):
+        assert deserts.classes_of("hot_trade_wind") == {"C2", "C3", "C4", "C5"}
+
+    def test_attach_class(self, deserts):
+        deserts.attach_class("ice_snow", "C9")
+        assert "C9" in deserts.get("ice_snow")
+
+    def test_transitive_classes(self, deserts):
+        deserts.attach_class("ice_snow", "C9")
+        assert deserts.classes_of("desert", transitive=True) == {
+            "C2", "C3", "C4", "C5", "C9"
+        }
+        assert deserts.classes_of("desert") == set()
+
+    def test_concepts_of_class(self, deserts):
+        assert deserts.concepts_of_class("C2") == {"hot_trade_wind"}
+        assert deserts.concepts_of_class("nope") == set()
+
+    def test_silly_concepts_possible(self, deserts):
+        # §2.1.1: "It is possible to create silly concepts, such as the
+        # union of the CLOUD and CENSUS classes, but we leave it to the
+        # user to avoid such."  The system must not forbid it.
+        deserts.define("silly", member_classes={"CLOUD", "CENSUS"})
+        assert deserts.classes_of("silly") == {"CLOUD", "CENSUS"}

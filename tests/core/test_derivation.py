@@ -1,0 +1,281 @@
+"""Tests for processes, templates, assertions and mappings."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image
+from repro.core import (
+    AnyOf,
+    Apply,
+    Argument,
+    AttrRef,
+    CardinalityAssertion,
+    CommonSpatialAssertion,
+    CommonTemporalAssertion,
+    ExprAssertion,
+    Literal,
+    NonPrimitiveClass,
+    ParamRef,
+    Process,
+)
+from repro.errors import (
+    AssertionViolatedError,
+    MappingError,
+    ProcessAlreadyDefinedError,
+    UnknownProcessError,
+)
+from repro.spatial import Box
+from repro.temporal import AbsTime
+
+
+BAND = NonPrimitiveClass(
+    name="band",
+    attributes=(("name", "char16"), ("data", "image"),
+                ("spatialextent", "box"), ("timestamp", "abstime")),
+)
+COVER = NonPrimitiveClass(
+    name="cover",
+    attributes=(("numclass", "int4"), ("data", "image"),
+                ("spatialextent", "box"), ("timestamp", "abstime")),
+    derived_by="P20",
+)
+
+
+def _p20() -> Process:
+    return Process(
+        name="P20", output_class="cover",
+        arguments=(Argument(name="bands", class_name="band", is_set=True,
+                            min_cardinality=3),),
+        assertions=(
+            CardinalityAssertion("bands", 3),
+            CommonSpatialAssertion("bands"),
+            CommonTemporalAssertion("bands"),
+        ),
+        mappings={
+            "data": Apply("unsuperclassify",
+                          (Apply("composite", (AttrRef("bands", "data"),)),
+                           Literal(12))),
+            "numclass": Literal(12),
+            "spatialextent": AnyOf(AttrRef("bands", "spatialextent")),
+            "timestamp": AnyOf(AttrRef("bands", "timestamp")),
+        },
+    )
+
+
+@pytest.fixture()
+def manager(kernel):
+    kernel.derivations.define_class(BAND)
+    kernel.derivations.define_class(COVER)
+    kernel.derivations.define_process(_p20())
+    return kernel.derivations
+
+
+def _band(kernel, name="red", x=0.0, day=0):
+    rng = np.random.default_rng(hash(name) % 1000)
+    return kernel.store.store("band", {
+        "name": name,
+        "data": Image.from_array(rng.random((8, 8)), "float4"),
+        "spatialextent": Box(x, 0, x + 10, 10),
+        "timestamp": AbsTime(day),
+    })
+
+
+class TestProcessDefinition:
+    def test_registered(self, manager):
+        assert "P20" in manager.processes
+        assert manager.processes.get("P20").output_class == "cover"
+
+    def test_duplicate_rejected(self, manager):
+        with pytest.raises(ProcessAlreadyDefinedError):
+            manager.define_process(_p20())
+
+    def test_unmapped_attribute_rejected(self, manager):
+        broken = _p20().edited("P20x")
+        broken.mappings.pop("numclass")
+        with pytest.raises(MappingError):
+            manager.define_process(broken)
+
+    def test_unknown_attribute_rejected(self, manager):
+        broken = _p20().edited("P20y")
+        broken.mappings["ghost"] = Literal(1)
+        with pytest.raises(MappingError):
+            manager.define_process(broken)
+
+    def test_mapping_referencing_unknown_argument(self, manager):
+        broken = _p20().edited("P20z")
+        broken.mappings["numclass"] = AttrRef("ghost_arg", "x")
+        with pytest.raises(UnknownProcessError):
+            manager.define_process(broken)
+
+    def test_describe_contains_figure3_elements(self, manager):
+        text = manager.processes.get("P20").describe()
+        assert "DEFINE PROCESS P20" in text
+        assert "OUTPUT cover" in text
+        assert "card(bands) = 3" in text
+        assert "common(bands.spatialextent)" in text
+        assert "ANYOF bands.spatialextent" in text
+
+    def test_producing_consuming(self, manager):
+        assert [p.name for p in manager.processes.producing("cover")] == ["P20"]
+        assert [p.name for p in manager.processes.consuming("band")] == ["P20"]
+
+
+class TestAssertions:
+    def test_happy_path(self, kernel, manager):
+        bands = [_band(kernel, n) for n in ("red", "nir", "green")]
+        result = manager.execute_process("P20", {"bands": bands})
+        assert result.output["numclass"] == 12
+        assert result.output["spatialextent"] == bands[0]["spatialextent"]
+
+    def test_cardinality_violated(self, kernel, manager):
+        bands = [_band(kernel, n) for n in ("red", "nir")]
+        with pytest.raises(AssertionViolatedError):
+            manager.execute_process("P20", {"bands": bands})
+
+    def test_spatial_common_violated(self, kernel, manager):
+        bands = [_band(kernel, "red"), _band(kernel, "nir"),
+                 _band(kernel, "green", x=1000.0)]
+        with pytest.raises(AssertionViolatedError, match="spatialextent"):
+            manager.execute_process("P20", {"bands": bands})
+
+    def test_temporal_common_violated(self, kernel, manager):
+        bands = [_band(kernel, "red"), _band(kernel, "nir"),
+                 _band(kernel, "green", day=365)]
+        with pytest.raises(AssertionViolatedError, match="timestamp"):
+            manager.execute_process("P20", {"bands": bands})
+
+    def test_wrong_class_rejected(self, kernel, manager):
+        cover_obj = kernel.store.store("cover", {
+            "numclass": 1, "data": Image.zeros(2, 2),
+            "spatialextent": Box(0, 0, 1, 1), "timestamp": AbsTime(0),
+        })
+        with pytest.raises(AssertionViolatedError, match="expects class"):
+            manager.execute_process("P20", {"bands": [cover_obj] * 3})
+
+    def test_unbound_argument(self, manager):
+        with pytest.raises(AssertionViolatedError, match="unbound"):
+            manager.execute_process("P20", {})
+
+    def test_unknown_argument(self, kernel, manager):
+        bands = [_band(kernel, n) for n in ("red", "nir", "green")]
+        with pytest.raises(AssertionViolatedError, match="unknown argument"):
+            manager.execute_process("P20", {"bands": bands, "bogus": bands[0]})
+
+    def test_scalar_arg_rejects_list(self, kernel, manager):
+        p21 = Process(
+            name="copy", output_class="cover",
+            arguments=(Argument(name="src", class_name="cover"),),
+            mappings={
+                "data": AttrRef("src", "data"),
+                "numclass": AttrRef("src", "numclass"),
+                "spatialextent": AttrRef("src", "spatialextent"),
+                "timestamp": AttrRef("src", "timestamp"),
+            },
+        )
+        manager.define_process(p21)
+        cover_obj = kernel.store.store("cover", {
+            "numclass": 1, "data": Image.zeros(2, 2),
+            "spatialextent": Box(0, 0, 1, 1), "timestamp": AbsTime(0),
+        })
+        with pytest.raises(AssertionViolatedError, match="single object"):
+            manager.execute_process("copy", {"src": [cover_obj]})
+
+    def test_expr_assertion_must_be_boolean(self, kernel, manager):
+        bad = Process(
+            name="badassert", output_class="cover",
+            arguments=(Argument(name="src", class_name="cover"),),
+            assertions=(ExprAssertion(expr=Literal(42)),),
+            mappings={
+                "data": AttrRef("src", "data"),
+                "numclass": AttrRef("src", "numclass"),
+                "spatialextent": AttrRef("src", "spatialextent"),
+                "timestamp": AttrRef("src", "timestamp"),
+            },
+        )
+        manager.define_process(bad)
+        cover_obj = kernel.store.store("cover", {
+            "numclass": 1, "data": Image.zeros(2, 2),
+            "spatialextent": Box(0, 0, 1, 1), "timestamp": AbsTime(0),
+        })
+        with pytest.raises(AssertionViolatedError):
+            manager.execute_process("badassert", {"src": cover_obj})
+
+
+class TestExpressions:
+    def test_param_ref(self, kernel, manager):
+        process = Process(
+            name="mask", output_class="cover",
+            arguments=(Argument(name="src", class_name="cover"),),
+            parameters={"cutoff": 5.0},
+            mappings={
+                "data": Apply("img_threshold",
+                              (AttrRef("src", "data"), ParamRef("cutoff"))),
+                "numclass": Literal(2),
+                "spatialextent": AttrRef("src", "spatialextent"),
+                "timestamp": AttrRef("src", "timestamp"),
+            },
+        )
+        manager.define_process(process)
+        src = kernel.store.store("cover", {
+            "numclass": 1,
+            "data": Image.from_array(np.array([[1.0, 9.0]]), "float4"),
+            "spatialextent": Box(0, 0, 1, 1), "timestamp": AbsTime(0),
+        })
+        out = manager.execute_process("mask", {"src": src})
+        assert out.output["data"].data.tolist() == [[1, 0]]
+
+    def test_unknown_param(self, kernel, manager):
+        process = Process(
+            name="bad_param", output_class="cover",
+            arguments=(Argument(name="src", class_name="cover"),),
+            mappings={
+                "data": AttrRef("src", "data"),
+                "numclass": ParamRef("ghost"),
+                "spatialextent": AttrRef("src", "spatialextent"),
+                "timestamp": AttrRef("src", "timestamp"),
+            },
+        )
+        manager.define_process(process)
+        src = kernel.store.store("cover", {
+            "numclass": 1, "data": Image.zeros(2, 2),
+            "spatialextent": Box(0, 0, 1, 1), "timestamp": AbsTime(0),
+        })
+        with pytest.raises(MappingError):
+            manager.execute_process("bad_param", {"src": src})
+
+    def test_anyof_is_deterministic(self, kernel, manager):
+        bands = [_band(kernel, n) for n in ("red", "nir", "green")]
+        out1 = manager.execute_process("P20", {"bands": bands}, reuse=False)
+        out2 = manager.execute_process("P20", {"bands": bands}, reuse=False)
+        assert out1.output["timestamp"] == out2.output["timestamp"]
+
+    def test_referenced_args(self):
+        expr = Apply("f", (AttrRef("a", "x"), AnyOf(AttrRef("b", "y")),
+                           Literal(3)))
+        assert expr.referenced_args() == {"a", "b"}
+
+    def test_expression_str_forms(self):
+        expr = Apply("unsuperclassify",
+                     (Apply("composite", (AttrRef("bands", "data"),)),
+                      Literal(12)))
+        assert str(expr) == "unsuperclassify(composite(bands.data), 12)"
+        assert str(AnyOf(AttrRef("b", "t"))) == "ANYOF b.t"
+        assert str(ParamRef("cutoff")) == "$cutoff"
+
+
+class TestProcessEvolution:
+    def test_edited_requires_new_name(self):
+        with pytest.raises(ProcessAlreadyDefinedError):
+            _p20().edited("P20")
+
+    def test_edited_leaves_original_untouched(self, manager):
+        original = manager.processes.get("P20")
+        edited = original.edited("P20_b", parameters={"k": 8})
+        assert original.parameters == {}
+        assert edited.parameters == {"k": 8}
+        assert manager.processes.get("P20") is original
+
+    def test_same_method_different_parameters_are_different(self):
+        p_a = _p20().edited("P250", parameters={"cutoff": 250})
+        p_b = _p20().edited("P200", parameters={"cutoff": 200})
+        assert p_a.name != p_b.name and p_a.parameters != p_b.parameters

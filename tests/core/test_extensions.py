@@ -1,0 +1,223 @@
+"""Tests for the paper's future-work extensions.
+
+* Spatial interpolation (mosaicking) — §2.1.5 names "interpolation
+  (temporal or spatial)"; the planner's coverage mode implements the
+  spatial half.
+* Interactive processes — §4.3 lists user interaction (supervised
+  classification) as a limitation; the extension resolves *interaction
+  points* at task time and records them for replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image, Matrix
+from repro.core import (
+    Apply,
+    Argument,
+    AttrRef,
+    NonPrimitiveClass,
+    ParamRef,
+    Process,
+)
+from repro.errors import InteractionRequiredError, UnderivableError
+from repro.gis import composite
+from repro.spatial import Box
+from repro.temporal import AbsTime
+
+
+FIELD = NonPrimitiveClass(
+    name="field",
+    attributes=(("area", "char16"), ("data", "image"),
+                ("spatialextent", "box"), ("timestamp", "abstime")),
+)
+
+
+def _tile(kernel, box, value, day=0, size=8, area="africa"):
+    return kernel.store.store("field", {
+        "area": area,
+        "data": Image.from_array(np.full((size, size), float(value)),
+                                 "float4"),
+        "spatialextent": box,
+        "timestamp": AbsTime(day),
+    })
+
+
+class TestSpatialInterpolation:
+    @pytest.fixture()
+    def world(self, kernel):
+        kernel.derivations.define_class(FIELD)
+        return kernel
+
+    def test_mosaic_covers_query_region(self, world):
+        """Two adjacent tiles jointly answer a region neither contains."""
+        _tile(world, Box(0, 0, 10, 10), 1.0)
+        _tile(world, Box(10, 0, 20, 10), 3.0)
+        query = Box(5, 2, 15, 8)
+        result = world.planner.retrieve("field", spatial=query,
+                                        spatial_coverage=True)
+        assert result.path == "interpolate"
+        obj = result.object
+        assert obj["spatialextent"] == query
+        data = obj["data"].data
+        # Left half sampled from the 1.0 tile, right half from the 3.0.
+        assert float(data[:, 0].mean()) == pytest.approx(1.0)
+        assert float(data[:, -1].mean()) == pytest.approx(3.0)
+
+    def test_coverage_mode_rejects_partial_overlap(self, world):
+        """Without coverage a partial tile satisfies the query; with
+        coverage it does not (and there is nothing to mosaic with)."""
+        _tile(world, Box(0, 0, 10, 10), 1.0)
+        query = Box(5, 5, 15, 15)
+        loose = world.planner.retrieve("field", spatial=query)
+        assert loose.path == "retrieve"
+        with pytest.raises(UnderivableError):
+            world.planner.retrieve("field", spatial=query,
+                                   spatial_coverage=True)
+
+    def test_containing_object_preferred_over_mosaic(self, world):
+        big = _tile(world, Box(0, 0, 30, 30), 7.0)
+        _tile(world, Box(0, 0, 10, 10), 1.0)
+        result = world.planner.retrieve("field", spatial=Box(2, 2, 8, 8),
+                                        spatial_coverage=True)
+        assert result.path == "retrieve"
+        assert big.oid in {o.oid for o in result.objects}
+
+    def test_overlapping_tiles_average(self, world):
+        _tile(world, Box(0, 0, 10, 10), 2.0)
+        _tile(world, Box(5, 0, 15, 10), 4.0)
+        result = world.planner.retrieve("field", spatial=Box(1, 1, 14, 9),
+                                        spatial_coverage=True)
+        data = result.object["data"].data
+        # The overlap zone (x in [5,10]) averages to 3.0.
+        mid = data[:, data.shape[1] // 2]
+        assert float(mid.mean()) == pytest.approx(3.0, abs=0.5)
+
+    def test_attribute_disagreement_rejected(self, world):
+        _tile(world, Box(0, 0, 10, 10), 1.0, area="africa")
+        _tile(world, Box(10, 0, 20, 10), 1.0, area="asia")
+        with pytest.raises(UnderivableError):
+            world.planner.retrieve("field", spatial=Box(5, 2, 15, 8),
+                                   spatial_coverage=True)
+
+    def test_mosaic_result_is_materialized(self, world):
+        _tile(world, Box(0, 0, 10, 10), 1.0)
+        _tile(world, Box(10, 0, 20, 10), 3.0)
+        query = Box(5, 2, 15, 8)
+        world.planner.retrieve("field", spatial=query,
+                               spatial_coverage=True)
+        again = world.planner.retrieve("field", spatial=query,
+                                       spatial_coverage=True)
+        assert again.path == "retrieve"
+
+
+class TestInteractiveProcesses:
+    @pytest.fixture()
+    def working(self, kernel):
+        kernel.derivations.define_class(NonPrimitiveClass(
+            name="tm_scene",
+            attributes=(("band", "char16"), ("data", "image"),
+                        ("spatialextent", "box"), ("timestamp", "abstime")),
+        ))
+        kernel.derivations.define_class(NonPrimitiveClass(
+            name="supervised_cover",
+            attributes=(("data", "image"), ("spatialextent", "box"),
+                        ("timestamp", "abstime")),
+            derived_by="supervised-classification",
+        ))
+        from repro.core import AnyOf
+
+        kernel.derivations.define_process(Process(
+            name="supervised-classification",
+            output_class="supervised_cover",
+            arguments=(Argument(name="bands", class_name="tm_scene",
+                                is_set=True, min_cardinality=2),),
+            interactions={
+                "signatures": "digitize training-class signatures",
+            },
+            mappings={
+                "data": Apply("superclassify",
+                              (Apply("composite",
+                                     (AttrRef("bands", "data"),)),
+                               ParamRef("signatures"))),
+                "spatialextent": AnyOf(AttrRef("bands", "spatialextent")),
+                "timestamp": AnyOf(AttrRef("bands", "timestamp")),
+            },
+        ))
+        box = Box(0, 0, 10, 10)
+        rng = np.random.default_rng(3)
+        bands = [
+            kernel.store.store("tm_scene", {
+                "band": name,
+                "data": Image.from_array(rng.random((8, 8)), "float4"),
+                "spatialextent": box,
+                "timestamp": AbsTime(0),
+            })
+            for name in ("red", "nir")
+        ]
+        return kernel, bands
+
+    SIGNATURES = Matrix.from_array([[0.2, 0.2], [0.8, 0.8]])
+
+    def test_without_handler_reproduces_the_limitation(self, working):
+        kernel, bands = working
+        with pytest.raises(InteractionRequiredError):
+            kernel.derivations.execute_process(
+                "supervised-classification", {"bands": bands}
+            )
+
+    def test_handler_resolves_interaction(self, working):
+        kernel, bands = working
+        prompts = []
+
+        def scientist(name, prompt):
+            prompts.append((name, prompt))
+            return self.SIGNATURES
+
+        result = kernel.derivations.execute_process(
+            "supervised-classification", {"bands": bands},
+            interaction_handler=scientist,
+        )
+        assert prompts == [("signatures",
+                            "digitize training-class signatures")]
+        assert int(result.output["data"].data.max()) <= 1
+        assert result.task.parameters["signatures"] == self.SIGNATURES
+
+    def test_replay_needs_no_scientist(self, working):
+        """The recorded task replays without prompting — interactive
+        derivations become reproducible."""
+        kernel, bands = working
+        original = kernel.derivations.execute_process(
+            "supervised-classification", {"bands": bands},
+            interaction_handler=lambda name, prompt: self.SIGNATURES,
+        )
+        rerun = kernel.derivations.reproduce_task(original.task.task_id)
+        assert rerun.output["data"] == original.output["data"]
+
+    def test_memoization_respects_answers(self, working):
+        """Same inputs + same answers reuse; different answers recompute."""
+        kernel, bands = working
+        first = kernel.derivations.execute_process(
+            "supervised-classification", {"bands": bands},
+            interaction_handler=lambda n, p: self.SIGNATURES,
+        )
+        same = kernel.derivations.execute_process(
+            "supervised-classification", {"bands": bands},
+            interaction_handler=lambda n, p: self.SIGNATURES,
+        )
+        assert same.reused and same.output.oid == first.output.oid
+        other_sigs = Matrix.from_array([[0.1, 0.9], [0.9, 0.1]])
+        different = kernel.derivations.execute_process(
+            "supervised-classification", {"bands": bands},
+            interaction_handler=lambda n, p: other_sigs,
+        )
+        assert not different.reused
+        assert different.output.oid != first.output.oid
+
+    def test_overrides_bypass_handler(self, working):
+        kernel, bands = working
+        result = kernel.derivations.execute_process(
+            "supervised-classification", {"bands": bands},
+            parameter_overrides={"signatures": self.SIGNATURES},
+        )
+        assert not result.reused

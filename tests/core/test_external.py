@@ -1,0 +1,202 @@
+"""Tests for non-local and non-applicative derivations (§5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image, make_standard_registries
+from repro.core import (
+    Apply,
+    Argument,
+    AttrRef,
+    Literal,
+    NonPrimitiveClass,
+    Process,
+)
+from repro.core.external import (
+    RemoteExecutor,
+    RemoteSite,
+    is_external,
+    record_external_derivation,
+)
+from repro.errors import TaskExecutionError, UnknownProcessError
+from repro.gis import register_gis_operators
+from repro.spatial import Box
+from repro.temporal import AbsTime
+
+
+FIELD = NonPrimitiveClass(
+    name="field",
+    attributes=(("data", "image"), ("spatialextent", "box"),
+                ("timestamp", "abstime")),
+)
+PRODUCT = NonPrimitiveClass(
+    name="product",
+    attributes=(("data", "image"), ("spatialextent", "box"),
+                ("timestamp", "abstime")),
+    derived_by="refine",
+)
+
+
+def _refine() -> Process:
+    return Process(
+        name="refine", output_class="product",
+        arguments=(Argument(name="src", class_name="field"),),
+        mappings={
+            "data": Apply("img_scale", (AttrRef("src", "data"),
+                                        Literal(2.0))),
+            "spatialextent": AttrRef("src", "spatialextent"),
+            "timestamp": AttrRef("src", "timestamp"),
+        },
+    )
+
+
+@pytest.fixture()
+def world(kernel):
+    kernel.derivations.define_class(FIELD)
+    kernel.derivations.define_class(PRODUCT)
+    src = kernel.store.store("field", {
+        "data": Image.from_array(np.ones((4, 4)), "float4"),
+        "spatialextent": Box(0, 0, 1, 1),
+        "timestamp": AbsTime(0),
+    })
+    return kernel, src
+
+
+def _site(name="wpi-gis") -> RemoteSite:
+    types, ops = make_standard_registries()
+    register_gis_operators(ops)
+    site = RemoteSite(name=name, operators=ops)
+    site.publish(_refine())
+    return site
+
+
+class TestRemoteSites:
+    def test_publish_and_offer(self):
+        site = _site()
+        assert site.offered() == ["refine"]
+        with pytest.raises(UnknownProcessError):
+            site.publish(_refine())
+        with pytest.raises(UnknownProcessError):
+            site.get("ghost")
+
+    def test_execute_remote_records_locally(self, world):
+        kernel, src = world
+        executor = RemoteExecutor(manager=kernel.derivations)
+        executor.register_site(_site())
+        result = executor.execute_remote("wpi-gis", "refine", {"src": src})
+        assert result.output.class_name == "product"
+        assert np.allclose(result.output["data"].data, 2.0)
+        # Task attributed to the site, lineage intact.
+        assert result.task.parameters["__executed_at__"] == "wpi-gis"
+        lineage = kernel.provenance.lineage(result.output.oid)
+        assert lineage.base_oids == {src.oid}
+
+    def test_shipping_statistics(self, world):
+        kernel, src = world
+        site = _site()
+        executor = RemoteExecutor(manager=kernel.derivations)
+        executor.register_site(site)
+        executor.execute_remote("wpi-gis", "refine", {"src": src})
+        assert site.calls == 1
+        assert site.bytes_shipped > 0
+
+    def test_sites_offering(self, world):
+        kernel, _ = world
+        executor = RemoteExecutor(manager=kernel.derivations)
+        executor.register_site(_site("site-a"))
+        executor.register_site(_site("site-b"))
+        assert sorted(executor.sites_offering("refine")) == \
+            ["site-a", "site-b"]
+        assert executor.sites_offering("ghost") == []
+
+    def test_unknown_site(self, world):
+        kernel, src = world
+        executor = RemoteExecutor(manager=kernel.derivations)
+        with pytest.raises(UnknownProcessError):
+            executor.execute_remote("nowhere", "refine", {"src": src})
+
+    def test_output_class_must_exist_locally(self, kernel):
+        kernel.derivations.define_class(FIELD)  # but not PRODUCT
+        src = kernel.store.store("field", {
+            "data": Image.from_array(np.ones((2, 2)), "float4"),
+            "spatialextent": Box(0, 0, 1, 1),
+            "timestamp": AbsTime(0),
+        })
+        executor = RemoteExecutor(manager=kernel.derivations)
+        executor.register_site(_site())
+        with pytest.raises(UnknownProcessError):
+            executor.execute_remote("wpi-gis", "refine", {"src": src})
+
+    def test_duplicate_site_rejected(self, world):
+        kernel, _ = world
+        executor = RemoteExecutor(manager=kernel.derivations)
+        executor.register_site(_site())
+        with pytest.raises(UnknownProcessError):
+            executor.register_site(_site())
+
+
+class TestNonApplicative:
+    def test_record_external(self, world):
+        kernel, src = world
+        result = record_external_derivation(
+            kernel.derivations,
+            procedure="visual interpretation of 1:50k air photos",
+            inputs={"photos": src},
+            output_class="product",
+            output_values={
+                "data": Image.from_array(np.full((4, 4), 7.0), "float4"),
+                "spatialextent": Box(0, 0, 1, 1),
+                "timestamp": AbsTime(0),
+            },
+        )
+        assert is_external(result.task)
+        lineage = kernel.provenance.lineage(result.output.oid)
+        assert lineage.depth == 1
+        assert lineage.base_oids == {src.oid}
+
+    def test_external_not_reexecutable(self, world):
+        kernel, src = world
+        result = record_external_derivation(
+            kernel.derivations, procedure="field survey, 1991",
+            inputs={"survey": src}, output_class="product",
+            output_values={
+                "data": Image.from_array(np.zeros((4, 4)), "float4"),
+                "spatialextent": Box(0, 0, 1, 1),
+                "timestamp": AbsTime(0),
+            },
+        )
+        with pytest.raises(TaskExecutionError, match="non-applicative"):
+            kernel.derivations.reproduce_task(result.task.task_id)
+
+    def test_procedure_description_required(self, world):
+        kernel, src = world
+        with pytest.raises(TaskExecutionError):
+            record_external_derivation(
+                kernel.derivations, procedure="   ",
+                inputs={"x": src}, output_class="product",
+                output_values={},
+            )
+
+    def test_external_comparable_with_computed(self, world):
+        """The §1 sharing question works across the applicative divide:
+        an external product and a computed product compare as different
+        derivations of the same class."""
+        kernel, src = world
+        computed = kernel.derivations.execute_process("refine", {"src": src}) \
+            if "refine" in kernel.derivations.processes else None
+        if computed is None:
+            kernel.derivations.define_process(_refine())
+            computed = kernel.derivations.execute_process("refine",
+                                                          {"src": src})
+        external = record_external_derivation(
+            kernel.derivations, procedure="manual digitization",
+            inputs={"x": src}, output_class="product",
+            output_values={
+                "data": Image.from_array(np.full((4, 4), 9.0), "float4"),
+                "spatialextent": Box(0, 0, 1, 1),
+                "timestamp": AbsTime(0),
+            },
+        )
+        assert kernel.provenance.same_concept_different_derivation(
+            computed.output.oid, external.output.oid
+        )

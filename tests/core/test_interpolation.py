@@ -1,0 +1,117 @@
+"""Tests for generic temporal interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image
+from repro.core import NonPrimitiveClass, TemporalInterpolator
+from repro.core.interpolation import InterpolationError
+from repro.spatial import Box
+from repro.temporal import AbsTime
+
+
+CLS = NonPrimitiveClass(
+    name="field",
+    attributes=(("label", "char16"), ("level", "float8"),
+                ("count", "int4"), ("data", "image"),
+                ("spatialextent", "box"), ("timestamp", "abstime")),
+)
+
+
+def _obj(kernel, day, level, pixels, label="x", count=None):
+    return kernel.store.store("field", {
+        "label": label,
+        "level": level,
+        "count": count if count is not None else int(level),
+        "data": Image.from_array(np.full((2, 2), pixels), "float4"),
+        "spatialextent": Box(0, 0, 1, 1),
+        "timestamp": AbsTime(day),
+    })
+
+
+@pytest.fixture()
+def setup(kernel):
+    kernel.derivations.define_class(CLS)
+    return kernel
+
+
+class TestWeight:
+    def test_midpoint(self):
+        interp = TemporalInterpolator()
+        w = interp.weight(AbsTime(0), AbsTime(10), AbsTime(5))
+        assert w == 0.5
+
+    def test_bounds(self):
+        interp = TemporalInterpolator()
+        assert interp.weight(AbsTime(0), AbsTime(10), AbsTime(0)) == 0.0
+        assert interp.weight(AbsTime(0), AbsTime(10), AbsTime(10)) == 1.0
+
+    def test_outside_range_rejected(self):
+        interp = TemporalInterpolator()
+        with pytest.raises(InterpolationError):
+            interp.weight(AbsTime(0), AbsTime(10), AbsTime(11))
+
+    def test_equal_snapshots(self):
+        interp = TemporalInterpolator()
+        assert interp.weight(AbsTime(5), AbsTime(5), AbsTime(5)) == 0.0
+
+
+class TestAttributeBlending:
+    def test_floats_linear(self, setup):
+        a = _obj(setup, 0, 0.0, 0.0)
+        b = _obj(setup, 10, 100.0, 0.0)
+        values = TemporalInterpolator().interpolate(CLS, a, b, AbsTime(3))
+        assert values["level"] == pytest.approx(30.0)
+
+    def test_ints_rounded(self, setup):
+        a = _obj(setup, 0, 0.0, 0.0, count=0)
+        b = _obj(setup, 10, 0.0, 0.0, count=5)
+        values = TemporalInterpolator().interpolate(CLS, a, b, AbsTime(5))
+        assert values["count"] == 2  # round(2.5) banker's -> 2
+
+    def test_images_blend_pixelwise(self, setup):
+        a = _obj(setup, 0, 0.0, 1.0)
+        b = _obj(setup, 10, 0.0, 3.0)
+        values = TemporalInterpolator().interpolate(CLS, a, b, AbsTime(5))
+        assert np.allclose(values["data"].data, 2.0, atol=1e-6)
+
+    def test_timestamp_is_target(self, setup):
+        a = _obj(setup, 0, 0.0, 0.0)
+        b = _obj(setup, 10, 0.0, 0.0)
+        values = TemporalInterpolator().interpolate(CLS, a, b, AbsTime(7))
+        assert values["timestamp"] == AbsTime(7)
+
+    def test_categorical_must_agree(self, setup):
+        a = _obj(setup, 0, 0.0, 0.0, label="x")
+        b = _obj(setup, 10, 0.0, 0.0, label="y")
+        with pytest.raises(InterpolationError):
+            TemporalInterpolator().interpolate(CLS, a, b, AbsTime(5))
+
+    def test_swapped_snapshots_normalized(self, setup):
+        a = _obj(setup, 0, 0.0, 0.0)
+        b = _obj(setup, 10, 100.0, 0.0)
+        values = TemporalInterpolator().interpolate(CLS, b, a, AbsTime(3))
+        assert values["level"] == pytest.approx(30.0)
+
+    def test_image_shape_mismatch(self, setup):
+        a = _obj(setup, 0, 0.0, 0.0)
+        b = setup.store.store("field", {
+            "label": "x", "level": 0.0, "count": 0,
+            "data": Image.from_array(np.zeros((3, 3)), "float4"),
+            "spatialextent": Box(0, 0, 1, 1),
+            "timestamp": AbsTime(10),
+        })
+        with pytest.raises(InterpolationError):
+            TemporalInterpolator().interpolate(CLS, a, b, AbsTime(5))
+
+    def test_wrong_class_rejected(self, setup):
+        other_cls = NonPrimitiveClass(
+            name="other",
+            attributes=(("data", "image"), ("spatialextent", "box"),
+                        ("timestamp", "abstime")),
+        )
+        setup.derivations.define_class(other_cls)
+        a = _obj(setup, 0, 0.0, 0.0)
+        b = _obj(setup, 10, 0.0, 0.0)
+        with pytest.raises(InterpolationError):
+            TemporalInterpolator().interpolate(other_cls, a, b, AbsTime(5))

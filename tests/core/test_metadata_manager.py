@@ -1,0 +1,47 @@
+"""Tests for the metadata-manager facade (the Gaea kernel, Figure 1)."""
+
+from repro.core import open_kernel
+from repro.figures import AFRICA
+
+
+class TestComponentTree:
+    def test_figure1_boxes_present(self, kernel):
+        tree = kernel.component_tree()
+        manager = tree["GAEA KERNEL"]["Meta-Data Manager"]
+        assert "Data Type/Operator Manager" in manager
+        assert "Derivation Manager" in manager
+        assert "Experiment Manager" in manager
+        assert "POSTGRES BACKEND (substitute)" in tree
+
+    def test_counts_track_definitions(self, figure2_catalog):
+        tree = figure2_catalog.kernel.component_tree()
+        derivation = tree["GAEA KERNEL"]["Meta-Data Manager"][
+            "Derivation Manager"]
+        assert derivation["classes"] == len(figure2_catalog.class_names)
+        assert derivation["processes"] == len(figure2_catalog.process_names)
+        experiment = tree["GAEA KERNEL"]["Meta-Data Manager"][
+            "Experiment Manager"]
+        assert experiment["concepts"] == len(figure2_catalog.concept_names)
+
+    def test_describe_renders(self, kernel):
+        text = kernel.describe()
+        assert text.startswith("Gaea kernel")
+        assert "Derivation Manager" in text
+
+
+class TestOpenKernel:
+    def test_kernels_are_independent(self):
+        k1 = open_kernel(universe=AFRICA)
+        k2 = open_kernel(universe=AFRICA)
+        k1.concepts.define("only_in_k1")
+        assert "only_in_k1" not in k2.concepts
+
+    def test_standard_types_loaded(self, kernel):
+        assert "image" in kernel.types
+        assert "box" in kernel.types
+
+    def test_three_layers_share_the_store(self, kernel):
+        assert kernel.derivations.store is kernel.store
+        assert kernel.experiments.derivations is kernel.derivations
+        assert kernel.planner.manager is kernel.derivations
+        assert kernel.provenance.tasks is kernel.derivations.tasks

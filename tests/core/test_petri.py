@@ -1,0 +1,187 @@
+"""Tests for the derivation net (modified Petri nets, paper §2.1.6)."""
+
+import pytest
+
+from repro.core import DerivationNet, InputArc
+from repro.errors import DerivationError, UnderivableError
+
+
+@pytest.fixture()
+def chain_net():
+    """base -> P1 -> mid -> P2 -> top."""
+    net = DerivationNet()
+    net.add_transition("P1", [("base", 1)], "mid")
+    net.add_transition("P2", [("mid", 1)], "top")
+    return net
+
+
+@pytest.fixture()
+def pca_net():
+    """avhrr -> ndvi (needs 2 scenes); ndvi x2 -> change (threshold 2)."""
+    net = DerivationNet()
+    net.add_transition("ndvi", [("avhrr", 2)], "ndvi_cls")
+    net.add_transition("pca", [InputArc("ndvi_cls", 2)], "change")
+    return net
+
+
+class TestConstruction:
+    def test_places_created_implicitly(self, chain_net):
+        assert chain_net.places == {"base", "mid", "top"}
+
+    def test_duplicate_transition_rejected(self, chain_net):
+        with pytest.raises(DerivationError):
+            chain_net.add_transition("P1", [("base", 1)], "mid")
+
+    def test_zero_threshold_rejected(self):
+        net = DerivationNet()
+        with pytest.raises(DerivationError):
+            net.add_transition("T", [("a", 0)], "b")
+
+    def test_producers_of(self, chain_net):
+        assert [t.name for t in chain_net.producers_of("mid")] == ["P1"]
+        assert chain_net.producers_of("base") == []
+
+
+class TestFiring:
+    def test_non_consuming_fire(self, chain_net):
+        marking = {"base": 1}
+        after = chain_net.fire(marking, "P1")
+        assert after == {"base": 1, "mid": 1}  # base token kept
+
+    def test_consuming_fire(self, chain_net):
+        after = chain_net.fire({"base": 1}, "P1", consuming=True)
+        assert after == {"base": 0, "mid": 1}
+
+    def test_fire_disabled_rejected(self, chain_net):
+        with pytest.raises(DerivationError):
+            chain_net.fire({}, "P1")
+
+    def test_threshold_enabling(self, pca_net):
+        assert not pca_net.transition("ndvi").enabled({"avhrr": 1})
+        assert pca_net.transition("ndvi").enabled({"avhrr": 2})
+        assert pca_net.transition("ndvi").enabled({"avhrr": 5})
+
+    def test_guard_blocks_firing(self):
+        net = DerivationNet()
+        net.add_transition("T", [("a", 1)], "b",
+                           guard=lambda m: m.get("a", 0) >= 3)
+        assert not net.transition("T").enabled({"a": 1})
+        assert net.transition("T").enabled({"a": 3})
+
+
+class TestForwardAnalysis:
+    def test_reachable_chain(self, chain_net):
+        assert chain_net.reachable({"base": 1}, "top")
+        assert not chain_net.reachable({}, "top")
+
+    def test_reachable_unknown_place(self, chain_net):
+        with pytest.raises(DerivationError):
+            chain_net.reachable({}, "ghost")
+
+    def test_closure_grants_producible_supply(self, pca_net):
+        # One ndvi firing yields a place that must still satisfy the
+        # downstream threshold of 2 (distinct firings exist at object
+        # level), so closure marks it producible.
+        closure = pca_net.forward_closure({"avhrr": 2})
+        assert closure["change"] > 0
+
+    def test_closure_respects_base_thresholds(self, pca_net):
+        closure = pca_net.forward_closure({"avhrr": 1})
+        assert closure.get("ndvi_cls", 0) == 0
+        assert closure.get("change", 0) == 0
+
+
+class TestBackwardPlanning:
+    def test_plan_chain(self, chain_net):
+        plan = chain_net.backward_plan("top", {"base": 1})
+        assert plan.steps == ("P1", "P2")
+        assert plan.initial_places == {"base"}
+
+    def test_plan_prefers_stored_data(self, chain_net):
+        plan = chain_net.backward_plan("top", {"mid": 1})
+        assert plan.steps == ("P2",)
+
+    def test_plan_empty_when_target_stored(self, chain_net):
+        plan = chain_net.backward_plan("top", {"top": 1})
+        assert plan.steps == ()
+
+    def test_underivable(self, chain_net):
+        with pytest.raises(UnderivableError):
+            chain_net.backward_plan("top", {})
+
+    def test_or_choice(self):
+        net = DerivationNet()
+        net.add_transition("via_a", [("a", 1)], "goal")
+        net.add_transition("via_b", [("b", 1)], "goal")
+        plan = net.backward_plan("goal", {"b": 1})
+        assert plan.steps == ("via_b",)
+
+    def test_and_requirements(self):
+        net = DerivationNet()
+        net.add_transition("join", [("a", 1), ("b", 1)], "goal")
+        plan = net.backward_plan("goal", {"a": 1, "b": 1})
+        assert plan.steps == ("join",)
+        with pytest.raises(UnderivableError):
+            net.backward_plan("goal", {"a": 1})
+
+    def test_diamond_plan_serializes_once(self):
+        net = DerivationNet()
+        net.add_transition("left", [("base", 1)], "l")
+        net.add_transition("right", [("base", 1)], "r")
+        net.add_transition("join", [("l", 1), ("r", 1)], "goal")
+        plan = net.backward_plan("goal", {"base": 1})
+        assert sorted(plan.steps[:2]) == ["left", "right"]
+        assert plan.steps[2] == "join"
+
+    def test_cycle_bottoms_out(self):
+        # P5-style self-derivation: c5 from c2, c2 refinable from c5.
+        net = DerivationNet()
+        net.add_transition("refine", [("c2", 1)], "c5")
+        net.add_transition("back", [("c5", 1)], "c2")
+        plan = net.backward_plan("c5", {"c2": 1})
+        assert plan.steps == ("refine",)
+        with pytest.raises(UnderivableError):
+            net.backward_plan("c5", {})
+
+    def test_threshold_via_producible_place(self, pca_net):
+        plan = pca_net.backward_plan("change", {"avhrr": 2})
+        assert plan.steps == ("ndvi", "pca")
+
+    def test_plan_replay_non_consuming(self, chain_net):
+        plan = chain_net.backward_plan("top", {"base": 1})
+        final = chain_net.replay(plan, {"base": 1})
+        assert final["top"] == 1 and final["base"] == 1
+
+    def test_consuming_replay_ablation(self):
+        """The EXP-B ablation: a plan reusing an input twice fails under
+        classical consuming semantics but succeeds under the paper's."""
+        net = DerivationNet()
+        net.add_transition("mk_l", [("base", 1)], "l")
+        net.add_transition("mk_r", [("base", 1)], "r")
+        net.add_transition("join", [("l", 1), ("r", 1)], "goal")
+        plan = net.backward_plan("goal", {"base": 1})
+        ok = net.replay(plan, {"base": 1}, consuming=False)
+        assert ok["goal"] == 1
+        with pytest.raises(DerivationError):
+            net.replay(plan, {"base": 1}, consuming=True)
+
+    def test_initial_marking_for(self, pca_net):
+        needed = pca_net.initial_marking_for("change", {"avhrr": 5})
+        assert needed == {"avhrr": 2}
+
+
+class TestFromProcesses:
+    def test_built_from_figure2(self, figure2_catalog):
+        kernel = figure2_catalog.kernel
+        net = kernel.derivations.derivation_net()
+        assert set(net.transitions) == set(figure2_catalog.process_names)
+        # P20 takes 3 TM bands.
+        p20 = net.transition("P20")
+        assert p20.inputs == (InputArc("landsat_tm_rectified", 3),)
+        # P6 takes two distinct avhrr scenes (red + nir).
+        p6 = net.transition("P6")
+        assert p6.inputs == (InputArc("avhrr_scene", 2),)
+
+    def test_every_class_is_a_place(self, figure2_catalog):
+        net = figure2_catalog.kernel.derivations.derivation_net()
+        assert set(figure2_catalog.class_names) <= net.places

@@ -1,0 +1,153 @@
+"""Tests for lineage and derivation comparison."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image
+from repro.core import Apply, Argument, AttrRef, NonPrimitiveClass, Process
+from repro.spatial import Box
+from repro.temporal import AbsTime
+
+
+@pytest.fixture()
+def chain(kernel):
+    """base -> step1 -> step2 chain of classes and processes."""
+    for name, derived in (("c_base", None), ("c_mid", "mk_mid"),
+                          ("c_top", "mk_top")):
+        kernel.derivations.define_class(NonPrimitiveClass(
+            name=name,
+            attributes=(("data", "image"), ("spatialextent", "box"),
+                        ("timestamp", "abstime")),
+            derived_by=derived,
+        ))
+
+    def passthrough(name, src_cls, out_cls):
+        return Process(
+            name=name, output_class=out_cls,
+            arguments=(Argument(name="src", class_name=src_cls),),
+            mappings={
+                "data": Apply("img_scale", (AttrRef("src", "data"),
+                                            __import__("repro.core",
+                                                       fromlist=["Literal"]
+                                                       ).Literal(2.0))),
+                "spatialextent": AttrRef("src", "spatialextent"),
+                "timestamp": AttrRef("src", "timestamp"),
+            },
+        )
+
+    kernel.derivations.define_process(passthrough("mk_mid", "c_base", "c_mid"))
+    kernel.derivations.define_process(passthrough("mk_top", "c_mid", "c_top"))
+    base = kernel.store.store("c_base", {
+        "data": Image.from_array(np.ones((2, 2)), "float4"),
+        "spatialextent": Box(0, 0, 1, 1),
+        "timestamp": AbsTime(0),
+    })
+    mid = kernel.derivations.execute_process("mk_mid", {"src": base}).output
+    top = kernel.derivations.execute_process("mk_top", {"src": mid}).output
+    return kernel, base, mid, top
+
+
+class TestLineage:
+    def test_base_object_lineage(self, chain):
+        kernel, base, _, _ = chain
+        lineage = kernel.provenance.lineage(base.oid)
+        assert lineage.steps == ()
+        assert lineage.base_oids == {base.oid}
+        assert lineage.depth == 0
+        assert "base object" in lineage.describe()
+
+    def test_chain_lineage(self, chain):
+        kernel, base, mid, top = chain
+        lineage = kernel.provenance.lineage(top.oid)
+        assert [t.process_name for t in lineage.steps] == ["mk_mid", "mk_top"]
+        assert lineage.base_oids == {base.oid}
+        assert lineage.depth == 2
+        assert lineage.processes_used() == ["mk_mid", "mk_top"]
+
+    def test_derived_from(self, chain):
+        kernel, base, mid, top = chain
+        assert kernel.provenance.derived_from(base.oid) == {mid.oid, top.oid}
+        assert kernel.provenance.derived_from(top.oid) == set()
+
+
+class TestComparison:
+    def test_same_concept_different_derivation(self, chain):
+        kernel, base, mid, top = chain
+        assert kernel.provenance.same_concept_different_derivation(
+            mid.oid, top.oid
+        )
+        mid2 = kernel.derivations.execute_process(
+            "mk_mid", {"src": base}, reuse=False
+        ).output
+        assert not kernel.provenance.same_concept_different_derivation(
+            mid.oid, mid2.oid
+        )
+
+    def test_base_vs_derived(self, chain):
+        kernel, base, mid, _ = chain
+        assert kernel.provenance.same_concept_different_derivation(
+            base.oid, mid.oid
+        )
+
+    def test_compare_derivations_structure(self, chain):
+        kernel, base, mid, top = chain
+        report = kernel.provenance.compare_derivations(mid.oid, top.oid)
+        assert report["processes_a"] == ["mk_mid"]
+        assert report["processes_b"] == ["mk_mid", "mk_top"]
+        assert not report["identical_procedure"]
+        assert report["shared_base_inputs"] == [base.oid]
+        assert report["depth_a"] == 1 and report["depth_b"] == 2
+
+    def test_ndvi_scenario_from_paper(self, kernel):
+        """§1: subtraction vs division results are incomparable without
+        derivation metadata; the browser reports them as different."""
+        kernel.derivations.define_class(NonPrimitiveClass(
+            name="ndvi",
+            attributes=(("data", "image"), ("spatialextent", "box"),
+                        ("timestamp", "abstime")),
+        ))
+        kernel.derivations.define_class(NonPrimitiveClass(
+            name="chg_sub",
+            attributes=(("data", "image"), ("spatialextent", "box"),
+                        ("timestamp", "abstime")),
+            derived_by="by_sub",
+        ))
+        kernel.derivations.define_class(NonPrimitiveClass(
+            name="chg_div",
+            attributes=(("data", "image"), ("spatialextent", "box"),
+                        ("timestamp", "abstime")),
+            derived_by="by_div",
+        ))
+        from repro.core import Literal
+
+        def change(name, out_cls, op):
+            return Process(
+                name=name, output_class=out_cls,
+                arguments=(Argument(name="later", class_name="ndvi"),
+                           Argument(name="earlier", class_name="ndvi")),
+                mappings={
+                    "data": Apply(op, (AttrRef("later", "data"),
+                                       AttrRef("earlier", "data"))),
+                    "spatialextent": AttrRef("later", "spatialextent"),
+                    "timestamp": AttrRef("later", "timestamp"),
+                },
+            )
+
+        kernel.derivations.define_process(change("by_sub", "chg_sub",
+                                                 "img_subtract"))
+        kernel.derivations.define_process(change("by_div", "chg_div",
+                                                 "img_divide"))
+        rng = np.random.default_rng(1)
+        objs = [kernel.store.store("ndvi", {
+            "data": Image.from_array(rng.random((4, 4)) + 0.1, "float4"),
+            "spatialextent": Box(0, 0, 1, 1),
+            "timestamp": AbsTime(day),
+        }) for day in (0, 365)]
+        a = kernel.derivations.execute_process(
+            "by_sub", {"later": objs[1], "earlier": objs[0]}).output
+        b = kernel.derivations.execute_process(
+            "by_div", {"later": objs[1], "earlier": objs[0]}).output
+        assert kernel.provenance.same_concept_different_derivation(a.oid,
+                                                                   b.oid)
+        report = kernel.provenance.compare_derivations(a.oid, b.oid)
+        assert report["shared_base_inputs"] == [objs[0].oid, objs[1].oid]

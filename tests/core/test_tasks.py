@@ -1,0 +1,102 @@
+"""Tests for tasks and the task log."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image
+from repro.core import NonPrimitiveClass, TaskStatus, bindings_key
+from repro.errors import TaskExecutionError
+from repro.spatial import Box
+from repro.temporal import AbsTime
+
+
+SRC = NonPrimitiveClass(
+    name="src", attributes=(("data", "image"), ("spatialextent", "box"),
+                            ("timestamp", "abstime")),
+)
+
+
+@pytest.fixture()
+def setup(kernel):
+    kernel.derivations.define_class(SRC)
+    objs = [
+        kernel.store.store("src", {
+            "data": Image.from_array(np.full((2, 2), float(i)), "float4"),
+            "spatialextent": Box(0, 0, 1, 1),
+            "timestamp": AbsTime(i),
+        })
+        for i in range(4)
+    ]
+    return kernel, objs
+
+
+class TestBindingsKey:
+    def test_set_arguments_order_insensitive(self, setup):
+        _, objs = setup
+        key_a = bindings_key("P", {"xs": [objs[0], objs[1]]})
+        key_b = bindings_key("P", {"xs": [objs[1], objs[0]]})
+        assert key_a == key_b
+
+    def test_different_objects_different_key(self, setup):
+        _, objs = setup
+        assert bindings_key("P", {"x": objs[0]}) != \
+            bindings_key("P", {"x": objs[1]})
+
+    def test_process_name_in_key(self, setup):
+        _, objs = setup
+        assert bindings_key("P", {"x": objs[0]}) != \
+            bindings_key("Q", {"x": objs[0]})
+
+
+class TestTaskLog:
+    def test_record_and_get(self, setup):
+        kernel, objs = setup
+        log = kernel.derivations.tasks
+        task = log.record("P", {"x": objs[0]}, output_oids=(99,))
+        assert log.get(task.task_id) is task
+        assert task.succeeded
+        assert task.all_input_oids() == {objs[0].oid}
+
+    def test_get_unknown(self, kernel):
+        with pytest.raises(TaskExecutionError):
+            kernel.derivations.tasks.get(42)
+
+    def test_memoization_lookup(self, setup):
+        kernel, objs = setup
+        log = kernel.derivations.tasks
+        task = log.record("P", {"xs": [objs[0], objs[1]]}, output_oids=(99,))
+        hit = log.find_memoized("P", {"xs": [objs[1], objs[0]]})
+        assert hit is task
+        assert log.find_memoized("P", {"xs": [objs[0], objs[2]]}) is None
+
+    def test_producer_of(self, setup):
+        kernel, objs = setup
+        log = kernel.derivations.tasks
+        task = log.record("P", {"x": objs[0]}, output_oids=(99,))
+        assert log.producer_of(99) is task
+        assert log.producer_of(objs[0].oid) is None
+
+    def test_failures_recorded(self, setup):
+        kernel, objs = setup
+        log = kernel.derivations.tasks
+        failure = log.record_failure("P", {"x": objs[0]}, error="boom")
+        assert failure.status is TaskStatus.FAILED
+        assert not failure.succeeded
+        assert log.failed() == [failure]
+        assert log.completed() == []
+        # Failures never memoize.
+        assert log.find_memoized("P", {"x": objs[0]}) is None
+
+    def test_tasks_of_process(self, setup):
+        kernel, objs = setup
+        log = kernel.derivations.tasks
+        log.record("P", {"x": objs[0]}, output_oids=(90,))
+        log.record("Q", {"x": objs[1]}, output_oids=(91,))
+        assert len(log.tasks_of_process("P")) == 1
+
+    def test_describe(self, setup):
+        kernel, objs = setup
+        log = kernel.derivations.tasks
+        task = log.record("P", {"x": objs[0]}, output_oids=(99,))
+        text = task.describe()
+        assert "P(" in text and "[completed]" in text

@@ -1,0 +1,189 @@
+"""Tests for NDVI, compositing, classification and change detection."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image
+from repro.errors import SignatureMismatchError
+from repro.gis import (
+    band_count,
+    change_fraction,
+    composite,
+    confusion_counts,
+    decompose,
+    kmeans,
+    label_changes,
+    ndvi,
+    ndvi_difference,
+    ndvi_ratio,
+    superclassify,
+    threshold_change,
+    unsuperclassify,
+)
+
+
+def _img(array):
+    return Image.from_array(np.asarray(array, dtype=float), "float4")
+
+
+class TestNDVI:
+    def test_known_values(self):
+        red = _img([[0.1, 0.3]])
+        nir = _img([[0.5, 0.3]])
+        out = ndvi(red, nir)
+        assert out.data[0, 0] == pytest.approx((0.5 - 0.1) / 0.6, abs=1e-6)
+        assert out.data[0, 1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_zero_total_pixels(self):
+        out = ndvi(_img([[0.0]]), _img([[0.0]]))
+        assert out.data[0, 0] == 0.0
+
+    def test_range_bounded(self, scene_generator):
+        red = scene_generator.band("africa", 1988, 7, "red")
+        nir = scene_generator.band("africa", 1988, 7, "nir")
+        out = ndvi(red, nir).data
+        assert float(out.min()) >= -1.0 and float(out.max()) <= 1.0
+
+    def test_size_mismatch(self):
+        with pytest.raises(SignatureMismatchError):
+            ndvi(_img([[1.0]]), _img([[1.0, 2.0]]))
+
+    def test_difference_and_ratio_disagree(self):
+        """The §1 scenario: the two change derivations rank pixels
+        differently, so derivation metadata is essential."""
+        earlier = _img([[0.2, 0.8]])
+        later = _img([[0.4, 1.0]])
+        diff = ndvi_difference(later, earlier).data
+        ratio = ndvi_ratio(later, earlier).data
+        # Same absolute change, very different relative change.
+        assert diff[0, 0] == pytest.approx(diff[0, 1], abs=1e-6)
+        assert ratio[0, 0] > ratio[0, 1]
+
+    def test_ratio_zero_denominator(self):
+        out = ndvi_ratio(_img([[0.5]]), _img([[0.0]]))
+        assert out.data[0, 0] == 1.0
+
+
+class TestComposite:
+    def test_roundtrip(self):
+        bands = [_img(np.full((4, 4), float(i))) for i in range(3)]
+        stacked = composite(bands)
+        assert stacked.shape == (4, 12)
+        recovered = decompose(stacked, 3)
+        for original, back in zip(bands, recovered):
+            assert np.allclose(original.data, back.data)
+
+    def test_band_count(self):
+        bands = [_img(np.zeros((4, 4)))] * 3
+        assert band_count(composite(bands), 4, 4) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(SignatureMismatchError):
+            composite([])
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(SignatureMismatchError):
+            composite([_img(np.zeros((2, 2))), _img(np.zeros((3, 3)))])
+
+    def test_bad_decompose(self):
+        with pytest.raises(SignatureMismatchError):
+            decompose(_img(np.zeros((4, 10))), 3)
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.05, size=(50, 2))
+        b = rng.normal(5.0, 0.05, size=(50, 2))
+        samples = np.vstack([a, b])
+        labels, centers = kmeans(samples, 2, seed=1)
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[50]
+        assert centers.shape == (2, 2)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        samples = rng.random((100, 3))
+        l1, _ = kmeans(samples, 4, seed=7)
+        l2, _ = kmeans(samples, 4, seed=7)
+        assert np.array_equal(l1, l2)
+
+    def test_bad_k(self):
+        with pytest.raises(SignatureMismatchError):
+            kmeans(np.zeros((5, 2)), 6)
+        with pytest.raises(SignatureMismatchError):
+            kmeans(np.zeros((5, 2)), 0)
+
+
+class TestClassification:
+    def test_unsuperclassify_label_range(self, scene_generator):
+        bands = [scene_generator.band("africa", 1988, 7, b)
+                 for b in ("red", "nir", "green")]
+        labels = unsuperclassify(composite(bands), 5)
+        assert labels.pixtype == "int2"
+        assert int(labels.data.min()) >= 0
+        assert int(labels.data.max()) <= 4
+
+    def test_classification_tracks_land_cover(self):
+        """Clusters should align with the latent cover field far better
+        than chance."""
+        from repro.gis import SceneGenerator
+
+        gen = SceneGenerator(seed=2, nrow=32, ncol=32,
+                             classes=("water", "forest", "desert"))
+        field = gen.land_cover("africa")
+        bands = [gen.band("africa", 1988, 7, b)
+                 for b in ("red", "nir", "swir1")]
+        labels = unsuperclassify(composite(bands), 3).data
+        # Purity: majority latent class per cluster.
+        total = 0
+        for k in range(3):
+            members = field.labels[labels == k]
+            if len(members):
+                counts = np.bincount(members, minlength=3)
+                total += counts.max()
+        purity = total / field.labels.size
+        assert purity > 0.8
+
+    def test_superclassify(self):
+        bands = [_img([[0.0, 1.0]]), _img([[0.0, 1.0]])]
+        signatures = np.array([[0.0, 0.0], [1.0, 1.0]])
+        labels = superclassify(composite(bands), signatures)
+        assert labels.data.tolist() == [[0, 1]]
+
+    def test_superclassify_bad_signatures(self):
+        with pytest.raises(SignatureMismatchError):
+            superclassify(_img(np.zeros((2, 4))), np.zeros(3))
+
+
+class TestChangeDetection:
+    def test_label_changes(self):
+        earlier = Image.from_array(np.array([[0, 1], [2, 3]]), "int2")
+        later = Image.from_array(np.array([[0, 2], [2, 0]]), "int2")
+        mask = label_changes(later, earlier)
+        assert mask.data.tolist() == [[0, 1], [0, 1]]
+        assert change_fraction(later, earlier) == 0.5
+
+    def test_confusion_counts(self):
+        earlier = Image.from_array(np.array([[0, 0, 1]]), "int2")
+        later = Image.from_array(np.array([[0, 1, 1]]), "int2")
+        counts = confusion_counts(later, earlier, numclass=2)
+        assert counts.tolist() == [[1, 1], [0, 1]]
+
+    def test_confusion_rejects_out_of_range(self):
+        earlier = Image.from_array(np.array([[5]]), "int2")
+        later = Image.from_array(np.array([[0]]), "int2")
+        with pytest.raises(SignatureMismatchError):
+            confusion_counts(later, earlier, numclass=2)
+
+    def test_threshold_change(self):
+        data = np.zeros((10, 10))
+        data[5, 5] = 100.0  # one outlier pixel
+        mask = threshold_change(_img(data), sigma=2.0)
+        assert mask.data[5, 5] == 1
+        assert int(mask.data.sum()) == 1
+
+    def test_threshold_change_flat_image(self):
+        mask = threshold_change(_img(np.full((4, 4), 3.0)))
+        assert int(mask.data.sum()) == 0

@@ -1,0 +1,65 @@
+"""Tests for the climate-index operators (desert metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image
+from repro.errors import SignatureMismatchError
+from repro.gis import (
+    aridity_index,
+    desert_mask_aridity,
+    desert_mask_rainfall,
+    dryness_quotient,
+)
+
+
+def _img(values):
+    return Image.from_array(np.asarray(values, dtype=float), "float4")
+
+
+class TestAridityIndex:
+    def test_de_martonne_formula(self):
+        rain = _img([[300.0]])
+        temp = _img([[20.0]])
+        out = aridity_index(rain, temp)
+        assert out.data[0, 0] == pytest.approx(10.0)
+
+    def test_lower_is_drier(self):
+        rain = _img([[100.0, 1000.0]])
+        temp = _img([[25.0, 25.0]])
+        out = aridity_index(rain, temp).data
+        assert out[0, 0] < out[0, 1]
+
+    def test_size_mismatch(self):
+        with pytest.raises(SignatureMismatchError):
+            aridity_index(_img([[1.0]]), _img([[1.0, 2.0]]))
+
+
+class TestDrynessQuotient:
+    def test_drier_is_lower(self):
+        rain = _img([[100.0, 900.0]])
+        temp = _img([[28.0, 28.0]])
+        out = dryness_quotient(rain, temp).data
+        assert out[0, 0] < out[0, 1]
+
+    def test_positive(self):
+        out = dryness_quotient(_img([[500.0]]), _img([[20.0]]))
+        assert out.data[0, 0] > 0
+
+
+class TestDesertMasks:
+    def test_rainfall_cutoffs_differ(self):
+        rain = _img([[150.0, 220.0, 400.0]])
+        at_250 = desert_mask_rainfall(rain, 250.0).data
+        at_200 = desert_mask_rainfall(rain, 200.0).data
+        assert at_250.tolist() == [[1, 1, 0]]
+        assert at_200.tolist() == [[1, 0, 0]]
+
+    def test_aridity_mask(self):
+        aridity = _img([[5.0, 30.0]])
+        mask = desert_mask_aridity(aridity, 10.0).data
+        assert mask.tolist() == [[1, 0]]
+
+    def test_mask_is_char(self):
+        mask = desert_mask_rainfall(_img([[100.0]]), 250.0)
+        assert mask.pixtype == "char"

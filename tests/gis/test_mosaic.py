@@ -1,0 +1,87 @@
+"""Tests for spatial mosaicking (repro.gis.mosaic)."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image
+from repro.errors import SpatialError
+from repro.gis.mosaic import covers, mosaic
+from repro.spatial import Box
+
+
+def _tile(value, size=8):
+    return Image.from_array(np.full((size, size), float(value)), "float4")
+
+
+class TestCovers:
+    def test_single_containing_extent(self):
+        assert covers([Box(0, 0, 10, 10)], Box(2, 2, 8, 8))
+
+    def test_joint_coverage(self):
+        tiles = [Box(0, 0, 6, 10), Box(5, 0, 10, 10)]
+        assert covers(tiles, Box(1, 1, 9, 9))
+
+    def test_gap_detected(self):
+        tiles = [Box(0, 0, 4, 10), Box(6, 0, 10, 10)]
+        assert not covers(tiles, Box(1, 1, 9, 9))
+
+    def test_partial_fails(self):
+        assert not covers([Box(0, 0, 5, 5)], Box(0, 0, 10, 10))
+
+    def test_empty_extents(self):
+        assert not covers([], Box(0, 0, 1, 1))
+
+
+class TestMosaic:
+    def test_single_piece_passthrough_values(self):
+        out = mosaic([(_tile(5.0), Box(0, 0, 10, 10))], Box(2, 2, 8, 8))
+        assert np.allclose(out.data, 5.0)
+
+    def test_two_pieces_partition(self):
+        out = mosaic(
+            [(_tile(1.0), Box(0, 0, 10, 10)), (_tile(3.0), Box(10, 0, 20, 10))],
+            Box(5, 0, 15, 10),
+        )
+        assert float(out.data[:, 0].mean()) == pytest.approx(1.0)
+        assert float(out.data[:, -1].mean()) == pytest.approx(3.0)
+
+    def test_overlap_averages(self):
+        out = mosaic(
+            [(_tile(2.0), Box(0, 0, 10, 10)), (_tile(4.0), Box(0, 0, 10, 10))],
+            Box(1, 1, 9, 9),
+        )
+        assert np.allclose(out.data, 3.0)
+
+    def test_uncovered_cells_rejected(self):
+        with pytest.raises(SpatialError):
+            mosaic([(_tile(1.0), Box(0, 0, 5, 10))], Box(0, 0, 10, 10))
+
+    def test_no_pieces_rejected(self):
+        with pytest.raises(SpatialError):
+            mosaic([], Box(0, 0, 1, 1))
+
+    def test_ref_system_mismatch_rejected(self):
+        with pytest.raises(SpatialError):
+            mosaic(
+                [(_tile(1.0), Box(0, 0, 10, 10, ref_system="UTM"))],
+                Box(2, 2, 8, 8),
+            )
+
+    def test_output_grid_follows_density(self):
+        # 8px over 10 units => 0.8 px/unit; a 5-unit region => 4 px.
+        out = mosaic([(_tile(1.0), Box(0, 0, 10, 10))], Box(0, 0, 5, 5))
+        assert out.shape == (4, 4)
+
+    def test_explicit_grid(self):
+        out = mosaic([(_tile(1.0), Box(0, 0, 10, 10))], Box(0, 0, 5, 5),
+                     nrow=16, ncol=12)
+        assert out.shape == (16, 12)
+
+    def test_gradient_sampling_orientation(self):
+        """Row 0 of an image is the *north* edge of its extent."""
+        data = np.zeros((4, 4))
+        data[0, :] = 9.0  # north edge
+        img = Image.from_array(data, "float4")
+        out = mosaic([(img, Box(0, 0, 10, 10))], Box(0, 5, 10, 10))
+        # Querying the northern half: the top rows carry the 9s.
+        assert float(out.data[0].mean()) > float(out.data[-1].mean())

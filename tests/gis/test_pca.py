@@ -1,0 +1,146 @@
+"""Tests for PCA / SPCA and the Figure-4 stage operators."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image, Matrix, Vector
+from repro.errors import SignatureMismatchError
+from repro.gis import (
+    compute_correlation,
+    compute_covariance,
+    convert_image_matrix,
+    convert_matrix_image,
+    get_eigen_vector,
+    linear_combination,
+    pca,
+    spca,
+)
+
+
+def _stack(seed=0, n=3, size=8):
+    rng = np.random.default_rng(seed)
+    return [Image.from_array(rng.random((size, size)), "float4")
+            for _ in range(n)]
+
+
+class TestStageOperators:
+    def test_convert_image_matrix(self):
+        mats = convert_image_matrix(_stack())
+        assert len(mats) == 3 and all(isinstance(m, Matrix) for m in mats)
+
+    def test_convert_rejects_mixed_sizes(self):
+        images = [Image.zeros(2, 2), Image.zeros(3, 3)]
+        with pytest.raises(SignatureMismatchError):
+            convert_image_matrix(images)
+
+    def test_covariance_matches_numpy(self):
+        images = _stack()
+        cov = compute_covariance(convert_image_matrix(images))
+        samples = np.stack([i.data.astype(float).ravel() for i in images],
+                           axis=1)
+        assert np.allclose(cov.data, np.cov(samples, rowvar=False))
+
+    def test_covariance_needs_two(self):
+        with pytest.raises(SignatureMismatchError):
+            compute_covariance(convert_image_matrix(_stack(n=1)))
+
+    def test_correlation_unit_diagonal(self):
+        corr = compute_correlation(convert_image_matrix(_stack()))
+        assert np.allclose(np.diag(corr.data), 1.0)
+
+    def test_eigen_vector_is_principal(self):
+        cov = Matrix.from_array([[4.0, 0.0], [0.0, 1.0]])
+        vec = get_eigen_vector(cov)
+        assert np.allclose(np.abs(vec.data), [1.0, 0.0])
+
+    def test_eigen_vector_sign_normalized(self):
+        cov = Matrix.from_array([[2.0, 1.0], [1.0, 2.0]])
+        vec = get_eigen_vector(cov)
+        assert vec.data[int(np.argmax(np.abs(vec.data)))] > 0
+
+    def test_eigen_vector_component_selection(self):
+        cov = Matrix.from_array([[4.0, 0.0], [0.0, 1.0]])
+        second = get_eigen_vector(cov, 1)
+        assert np.allclose(np.abs(second.data), [0.0, 1.0])
+        with pytest.raises(SignatureMismatchError):
+            get_eigen_vector(cov, 5)
+
+    def test_linear_combination(self):
+        mats = [Matrix.from_array([[1.0]]), Matrix.from_array([[2.0]])]
+        out = linear_combination(Vector.from_array([0.5, 0.25]), mats)
+        assert len(out) == 1
+        assert out[0].data[0, 0] == pytest.approx(1.0)
+
+    def test_linear_combination_length_mismatch(self):
+        with pytest.raises(SignatureMismatchError):
+            linear_combination(Vector.from_array([1.0]),
+                               [Matrix.from_array([[1.0]])] * 2)
+
+    def test_convert_matrix_image(self):
+        images = convert_matrix_image([Matrix.from_array([[1.0, 2.0]])])
+        assert images[0].pixtype == "float4"
+
+
+class TestWholeAlgorithms:
+    def test_pc1_captures_most_variance(self):
+        images = _stack(seed=3)
+        _, eigenvalues = pca(images, ncomp=3)
+        assert eigenvalues[0] >= eigenvalues[1] >= eigenvalues[2]
+
+    def test_component_count_validated(self):
+        with pytest.raises(SignatureMismatchError):
+            pca(_stack(), ncomp=9)
+
+    def test_pca_reconstructs_known_structure(self):
+        """Two anti-correlated images: PC1 is the difference axis."""
+        rng = np.random.default_rng(5)
+        base = rng.random((8, 8))
+        images = [
+            Image.from_array(base, "float4"),
+            Image.from_array(1.0 - base, "float4"),
+        ]
+        _, eigenvalues = pca(images, ncomp=2)
+        # Nearly all variance on one axis.
+        assert eigenvalues[0] > 50 * max(eigenvalues[1], 1e-12)
+
+    def test_spca_equals_pca_for_standardized_input(self):
+        """When inputs already have equal variance, SPCA and PCA loadings
+        coincide (up to scale)."""
+        rng = np.random.default_rng(7)
+        shared = rng.random((8, 8))
+        noise = rng.random((8, 8)) * 0.1
+        images = [
+            Image.from_array((shared - shared.mean()) / shared.std(),
+                             "float8"),
+            Image.from_array(
+                ((shared + noise) - (shared + noise).mean())
+                / (shared + noise).std(), "float8"),
+        ]
+        p, _ = pca(images, 1)
+        s, _ = spca(images, 1)
+        corr = np.corrcoef(p[0].data.ravel(), s[0].data.ravel())[0, 1]
+        assert abs(corr) > 0.999
+
+    def test_spca_downweights_high_variance_scene(self):
+        """Eastman's point: a scene with inflated variance dominates PCA
+        loadings but not SPCA loadings."""
+        rng = np.random.default_rng(11)
+        quiet = rng.normal(0.0, 1.0, size=(16, 16))
+        loud = rng.normal(0.0, 10.0, size=(16, 16))
+        images = [Image.from_array(quiet, "float8"),
+                  Image.from_array(loud, "float8")]
+        mats = convert_image_matrix(images)
+        cov = compute_covariance(mats).data
+        corr = compute_correlation(mats).data
+        pca_vec = get_eigen_vector(Matrix.from_array(cov)).data
+        spca_vec = get_eigen_vector(Matrix.from_array(corr)).data
+        # PCA loads almost entirely on the loud scene...
+        assert abs(pca_vec[1]) > 0.99
+        # ...while SPCA balances the two.
+        assert abs(abs(spca_vec[0]) - abs(spca_vec[1])) < 0.2
+
+    def test_deterministic(self):
+        images = _stack(seed=13)
+        a, _ = pca(images, 2)
+        b, _ = pca(images, 2)
+        assert a[0] == b[0] and a[1] == b[1]

@@ -1,0 +1,115 @@
+"""Tests for the synthetic scene generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GaeaError
+from repro.gis import COVER_CLASSES, SceneGenerator, TM_BAND_NAMES
+
+
+class TestDeterminism:
+    def test_same_seed_same_scene(self):
+        a = SceneGenerator(seed=5, nrow=16, ncol=16)
+        b = SceneGenerator(seed=5, nrow=16, ncol=16)
+        img_a = a.band("africa", 1988, 7, "nir")
+        img_b = b.band("africa", 1988, 7, "nir")
+        assert img_a == img_b
+
+    def test_different_seed_differs(self):
+        a = SceneGenerator(seed=5, nrow=16, ncol=16)
+        b = SceneGenerator(seed=6, nrow=16, ncol=16)
+        assert a.band("africa", 1988, 7, "nir") != \
+            b.band("africa", 1988, 7, "nir")
+
+    def test_different_region_differs(self, scene_generator):
+        assert scene_generator.band("africa", 1988, 7, "nir") != \
+            scene_generator.band("amazon", 1988, 7, "nir")
+
+
+class TestLandCover:
+    def test_every_class_appears(self, scene_generator):
+        field = scene_generator.land_cover("africa")
+        for name in scene_generator.classes:
+            assert field.fraction(name) > 0.0
+
+    def test_fractions_sum_to_one(self, scene_generator):
+        field = scene_generator.land_cover("africa")
+        total = sum(field.fraction(n) for n in scene_generator.classes)
+        assert total == pytest.approx(1.0)
+
+    def test_unknown_class_rejected(self, scene_generator):
+        with pytest.raises(GaeaError):
+            scene_generator.land_cover("africa").fraction("tundra")
+
+    def test_patches_are_contiguous(self, scene_generator):
+        """Smoothed fields should produce patches, not salt-and-pepper:
+        most 4-neighbour pairs agree."""
+        labels = scene_generator.land_cover("africa").labels
+        horizontal_agree = np.mean(labels[:, 1:] == labels[:, :-1])
+        assert horizontal_agree > 0.75
+
+
+class TestSpectralStructure:
+    def test_vegetation_has_red_edge(self):
+        gen = SceneGenerator(seed=9, nrow=32, ncol=32,
+                             classes=("water", "forest", "desert"))
+        field = gen.land_cover("africa")
+        red = gen.band("africa", 1988, 7, "red").data.astype(float)
+        nir = gen.band("africa", 1988, 7, "nir").data.astype(float)
+        forest = field.labels == gen.classes.index("forest")
+        ndvi_forest = np.mean(
+            (nir[forest] - red[forest]) / (nir[forest] + red[forest] + 1e-9)
+        )
+        desert = field.labels == gen.classes.index("desert")
+        ndvi_desert = np.mean(
+            (nir[desert] - red[desert]) / (nir[desert] + red[desert] + 1e-9)
+        )
+        assert ndvi_forest > 0.4
+        assert ndvi_forest > ndvi_desert + 0.3
+
+    def test_unknown_band_rejected(self, scene_generator):
+        with pytest.raises(GaeaError):
+            scene_generator.band("africa", 1988, 7, "thermal")
+
+    def test_scene_returns_requested_bands(self, scene_generator):
+        bands = scene_generator.scene("africa", 1988, 7,
+                                      bands=("red", "nir"))
+        assert len(bands) == 2
+
+    def test_all_tm_bands_generate(self, scene_generator):
+        for band in TM_BAND_NAMES:
+            img = scene_generator.band("africa", 1988, 7, band)
+            assert 0.0 <= float(img.data.min()) <= float(img.data.max()) <= 1.0
+
+    def test_seasonality_changes_vigor(self, scene_generator):
+        january = scene_generator.vegetation_vigor("africa", 1988, 1)
+        july = scene_generator.vegetation_vigor("africa", 1988, 7)
+        assert abs(float(january.mean()) - float(july.mean())) > 0.1
+
+
+class TestClimateRasters:
+    def test_desert_is_dry(self):
+        gen = SceneGenerator(seed=3, nrow=32, ncol=32)
+        field = gen.land_cover("africa")
+        rain = gen.rainfall("africa", 1988).data.astype(float)
+        desert = field.labels == gen.classes.index("desert")
+        assert float(rain[desert].mean()) < float(rain[~desert].mean()) - 200
+
+    def test_rainfall_nonnegative(self, scene_generator):
+        assert float(scene_generator.rainfall("africa", 1988).data.min()) >= 0
+
+    def test_hot_where_dry(self, scene_generator):
+        rain = scene_generator.rainfall("africa", 1988).data.astype(float)
+        temp = scene_generator.temperature("africa", 1988).data.astype(float)
+        corr = np.corrcoef(rain.ravel(), temp.ravel())[0, 1]
+        assert corr < -0.5
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(GaeaError):
+            SceneGenerator(classes=("water", "lava"))
+        with pytest.raises(GaeaError):
+            SceneGenerator(nrow=1, ncol=10)
+
+    def test_cover_constants_cover_tm_bands(self):
+        for signature in COVER_CLASSES.values():
+            assert len(signature) == len(TM_BAND_NAMES)

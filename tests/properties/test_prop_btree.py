@@ -1,0 +1,61 @@
+"""Property-based tests: the B-tree behaves like a sorted multimap."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BTree
+
+_KEYS = st.integers(min_value=-1000, max_value=1000)
+_OPS = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), _KEYS,
+              st.integers(min_value=0, max_value=5)),
+    max_size=200,
+)
+
+
+class TestBTreeModel:
+    @given(pairs=st.lists(st.tuples(_KEYS, st.integers(0, 50)), max_size=300))
+    def test_matches_dict_model(self, pairs):
+        tree = BTree(order=6)
+        model: dict[int, set[int]] = defaultdict(set)
+        for key, entry in pairs:
+            tree.insert(key, entry)
+            model[key].add(entry)
+        for key, entries in model.items():
+            assert tree.search(key) == entries
+        assert len(tree) == sum(len(v) for v in model.values())
+
+    @given(keys=st.lists(_KEYS, unique=True, max_size=300))
+    def test_keys_always_sorted(self, keys):
+        tree = BTree(order=4)
+        for key in keys:
+            tree.insert(key, "e")
+        assert tree.keys() == sorted(keys)
+
+    @given(keys=st.lists(_KEYS, unique=True, min_size=1, max_size=200),
+           lo=_KEYS, hi=_KEYS)
+    def test_range_scan_matches_filter(self, keys, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        tree = BTree(order=5)
+        for key in keys:
+            tree.insert(key, key)
+        got = [k for k, _ in tree.range_scan(lo, hi)]
+        assert got == sorted(k for k in keys if lo <= k <= hi)
+
+    @given(ops=_OPS)
+    @settings(max_examples=50)
+    def test_insert_delete_interleaving(self, ops):
+        tree = BTree(order=4)
+        model: dict[int, set[int]] = defaultdict(set)
+        for op, key, entry in ops:
+            if op == "insert":
+                tree.insert(key, entry)
+                model[key].add(entry)
+            elif entry in model.get(key, set()):
+                tree.delete(key, entry)
+                model[key].discard(entry)
+        for key in {k for _, k, _ in ops}:
+            assert tree.search(key) == model.get(key, set())

@@ -1,0 +1,126 @@
+"""Property-based tests: GIS algorithm invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.adt import Image
+from repro.gis import (
+    composite,
+    decompose,
+    ndvi,
+    ndvi_difference,
+    pca,
+    spca,
+)
+from repro.gis.mosaic import covers, mosaic
+from repro.spatial import Box
+
+_PIXELS = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 8), st.integers(2, 8)),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+@st.composite
+def image_pairs(draw):
+    """Two same-shaped pixel arrays (shapes drawn once, not filtered)."""
+    shape = draw(st.tuples(st.integers(2, 8), st.integers(2, 8)))
+    elements = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+    a = draw(arrays(dtype=np.float64, shape=shape, elements=elements))
+    b = draw(arrays(dtype=np.float64, shape=shape, elements=elements))
+    return a, b
+
+
+def _img(data) -> Image:
+    return Image.from_array(np.asarray(data), "float8")
+
+
+class TestNDVIProperties:
+    @given(pair=image_pairs())
+    def test_bounded(self, pair):
+        red, nir = pair
+        out = ndvi(_img(red), _img(nir)).data
+        assert float(out.min()) >= -1.0 - 1e-6
+        assert float(out.max()) <= 1.0 + 1e-6
+
+    @given(pair=image_pairs())
+    def test_antisymmetric_in_band_swap(self, pair):
+        red, nir = pair
+        forward = ndvi(_img(red), _img(nir)).data
+        backward = ndvi(_img(nir), _img(red)).data
+        assert np.allclose(forward, -backward, atol=1e-5)
+
+    @given(pair=image_pairs())
+    def test_difference_antisymmetric(self, pair):
+        a, b = pair
+        d1 = ndvi_difference(_img(a), _img(b)).data
+        d2 = ndvi_difference(_img(b), _img(a)).data
+        assert np.allclose(d1, -d2, atol=1e-5)
+
+
+class TestCompositeProperties:
+    @given(data=_PIXELS, n=st.integers(1, 5))
+    def test_roundtrip(self, data, n):
+        bands = [_img(data + i * 0.01) for i in range(n)]
+        back = decompose(composite(bands), n)
+        for original, recovered in zip(bands, back):
+            assert np.allclose(original.data, recovered.data, atol=1e-6)
+
+
+class TestPCAProperties:
+    @given(data=_PIXELS, n=st.integers(2, 4))
+    @settings(max_examples=30)
+    def test_eigenvalues_sorted_nonnegative(self, data, n):
+        rng = np.random.default_rng(0)
+        images = [_img(np.clip(data + rng.normal(scale=0.1, size=data.shape),
+                               0, 1)) for _ in range(n)]
+        _, eigenvalues = pca(images, ncomp=n)
+        assert all(eigenvalues[i] >= eigenvalues[i + 1] - 1e-9
+                   for i in range(n - 1))
+        assert all(v >= -1e-9 for v in eigenvalues)
+
+    @given(data=_PIXELS)
+    @settings(max_examples=20)
+    def test_spca_invariant_to_scaling(self, data):
+        """Standardized PCA ignores per-scene gain: scaling one input by
+        a constant leaves the component image unchanged."""
+        assume(float(np.std(data)) > 1e-3)
+        rng = np.random.default_rng(1)
+        other = np.clip(data + rng.normal(scale=0.2, size=data.shape), 0, 1)
+        assume(float(np.std(other)) > 1e-3)
+        base, _ = spca([_img(data), _img(other)], 1)
+        scaled, _ = spca([_img(data * 10.0), _img(other)], 1)
+        assert np.allclose(base[0].data, scaled[0].data, atol=1e-6)
+
+
+class TestMosaicProperties:
+    @given(
+        split=st.floats(min_value=0.3, max_value=0.7),
+        value_a=st.floats(min_value=0.0, max_value=10.0),
+        value_b=st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_two_tile_partition_always_covers(self, split, value_a, value_b):
+        left = Box(0.0, 0.0, 10.0 * split + 1.0, 10.0)
+        right = Box(10.0 * split - 1.0, 0.0, 10.0, 10.0)
+        region = Box(1.0, 1.0, 9.0, 9.0)
+        assert covers([left, right], region)
+        out = mosaic(
+            [(_img(np.full((8, 8), value_a)), left),
+             (_img(np.full((8, 8), value_b)), right)],
+            region,
+        )
+        lo, hi = sorted((value_a, value_b))
+        assert float(out.data.min()) >= lo - 1e-4
+        assert float(out.data.max()) <= hi + 1e-4
+
+    @given(value=st.floats(min_value=-5.0, max_value=5.0))
+    def test_constant_tiles_constant_mosaic(self, value):
+        pieces = [
+            (_img(np.full((4, 4), value)), Box(0, 0, 6, 10)),
+            (_img(np.full((4, 4), value)), Box(4, 0, 10, 10)),
+        ]
+        out = mosaic(pieces, Box(1, 1, 9, 9))
+        assert np.allclose(out.data, value, atol=1e-5)

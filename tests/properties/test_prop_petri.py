@@ -1,0 +1,111 @@
+"""Property-based tests: derivation-net invariants (paper §2.1.6).
+
+The key soundness/completeness pair:
+
+* every plan returned by :meth:`backward_plan` replays successfully under
+  non-consuming semantics and marks the target (soundness);
+* :meth:`backward_plan` succeeds exactly when forward closure reaches the
+  target (agreement of the two analyses).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DerivationNet
+from repro.errors import UnderivableError
+
+
+@st.composite
+def random_nets(draw):
+    """A random layered derivation net plus a random initial marking.
+
+    Layered construction (transitions only consume from earlier places)
+    keeps nets acyclic-ish while still exercising OR-choices, shared
+    subgoals and thresholds; a few back-edges are added to exercise
+    cycles.
+    """
+    n_places = draw(st.integers(2, 10))
+    places = [f"p{i}" for i in range(n_places)]
+    net = DerivationNet()
+    for place in places:
+        net.add_place(place)
+    n_transitions = draw(st.integers(1, 12))
+    for t in range(n_transitions):
+        output_idx = draw(st.integers(1, n_places - 1))
+        n_inputs = draw(st.integers(1, min(3, output_idx)))
+        input_idxs = draw(st.lists(
+            st.integers(0, output_idx - 1),
+            min_size=n_inputs, max_size=n_inputs, unique=True,
+        ))
+        inputs = [
+            (places[i], draw(st.integers(1, 3))) for i in input_idxs
+        ]
+        net.add_transition(f"t{t}", inputs, places[output_idx])
+    # Occasional back-edge transition (cycle) — must not break planning.
+    if draw(st.booleans()) and n_places >= 3:
+        net.add_transition("back", [(places[-1], 1)], places[0])
+    marking = {
+        place: draw(st.integers(0, 3)) for place in places
+    }
+    target = draw(st.sampled_from(places))
+    return net, marking, target
+
+
+class TestPlannerProperties:
+    @given(data=random_nets())
+    @settings(max_examples=80)
+    def test_plan_soundness(self, data):
+        net, marking, target = data
+        try:
+            plan = net.backward_plan(target, marking)
+        except UnderivableError:
+            return
+        final = net.replay(plan, marking, consuming=False)
+        assert final.get(target, 0) > 0
+        # Non-consuming: no place ever loses tokens.
+        for place, count in marking.items():
+            assert final.get(place, 0) >= count
+
+    @given(data=random_nets())
+    @settings(max_examples=80)
+    def test_backward_agrees_with_forward(self, data):
+        net, marking, target = data
+        reachable = net.reachable(marking, target)
+        try:
+            net.backward_plan(target, marking)
+            planned = True
+        except UnderivableError:
+            planned = False
+        assert planned == reachable
+
+    @given(data=random_nets())
+    @settings(max_examples=60)
+    def test_plan_steps_unique(self, data):
+        net, marking, target = data
+        try:
+            plan = net.backward_plan(target, marking)
+        except UnderivableError:
+            return
+        assert len(set(plan.steps)) == len(plan.steps)
+
+    @given(data=random_nets())
+    @settings(max_examples=60)
+    def test_monotonicity_more_tokens_never_hurt(self, data):
+        net, marking, target = data
+        richer = {place: count + 1 for place, count in marking.items()}
+        if net.reachable(marking, target):
+            assert net.reachable(richer, target)
+
+    @given(data=random_nets())
+    @settings(max_examples=60)
+    def test_initial_marking_sufficient(self, data):
+        """The paper's 'find the initial marking' answer really leads to
+        the final marking: planning again from just those places works."""
+        net, marking, target = data
+        try:
+            needed = net.initial_marking_for(target, marking)
+        except UnderivableError:
+            return
+        plan = net.backward_plan(target, dict(needed))
+        final = net.replay(plan, dict(needed), consuming=False)
+        assert final.get(target, 0) > 0

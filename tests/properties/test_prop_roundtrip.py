@@ -1,0 +1,129 @@
+"""Property-based round-trip tests: rendered definitions re-parse.
+
+``Process.describe()`` emits the paper's DEFINE PROCESS syntax and
+``NonPrimitiveClass.describe()`` the CLASS syntax; both must re-parse to
+equivalent definitions — the textual form is the sharing medium the
+paper's scenario depends on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AnyOf,
+    Apply,
+    Argument,
+    AttrRef,
+    CardinalityAssertion,
+    CommonSpatialAssertion,
+    CommonTemporalAssertion,
+    Literal,
+    NonPrimitiveClass,
+    ParamRef,
+    Process,
+)
+from repro.query import parse_statement
+from repro.query.ast import DefineClass, DefineProcess
+from repro.query.tokens import KEYWORDS
+
+# GaeaQL reserves its keywords (AT, IN, CARD, ...), like any SQL-family
+# language; generated names must avoid them.
+_IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s.upper() not in KEYWORDS
+)
+_SCALARS = st.sampled_from(["int4", "float4", "char16", "image"])
+
+
+@st.composite
+def classes(draw):
+    name = draw(_IDENT)
+    n_attrs = draw(st.integers(1, 5))
+    attr_names = draw(st.lists(_IDENT, min_size=n_attrs, max_size=n_attrs,
+                               unique=True))
+    attributes = [(a, draw(_SCALARS)) for a in attr_names]
+    has_spatial = draw(st.booleans())
+    has_temporal = draw(st.booleans())
+    if has_spatial:
+        attributes.append(("spatialextent", "box"))
+    if has_temporal:
+        attributes.append(("timestamp", "abstime"))
+    derived = draw(st.none() | _IDENT)
+    return NonPrimitiveClass(
+        name=name,
+        attributes=tuple(attributes),
+        spatial_attr="spatialextent" if has_spatial else None,
+        temporal_attr="timestamp" if has_temporal else None,
+        derived_by=derived,
+    )
+
+
+@st.composite
+def processes(draw):
+    arg = draw(_IDENT)
+    out = draw(_IDENT.filter(lambda s: s != arg))
+    attrs = draw(st.lists(_IDENT, min_size=1, max_size=4, unique=True))
+    is_set = draw(st.booleans())
+    assertions = []
+    if is_set and draw(st.booleans()):
+        assertions.append(CardinalityAssertion(
+            arg=arg, count=draw(st.integers(1, 5)),
+            exact=draw(st.booleans()),
+        ))
+    if draw(st.booleans()):
+        assertions.append(CommonSpatialAssertion(arg=arg))
+    if draw(st.booleans()):
+        assertions.append(CommonTemporalAssertion(arg=arg))
+    mappings = {}
+    for attr in attrs:
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            mappings[attr] = Literal(draw(st.integers(-100, 100)))
+        elif kind == 1:
+            mappings[attr] = AttrRef(arg, draw(_IDENT))
+        elif kind == 2:
+            mappings[attr] = AnyOf(AttrRef(arg, draw(_IDENT)))
+        else:
+            mappings[attr] = Apply(
+                draw(_IDENT), (AttrRef(arg, draw(_IDENT)),
+                               ParamRef(draw(_IDENT)))
+            )
+    return Process(
+        name=draw(_IDENT),
+        output_class=out,
+        arguments=(Argument(name=arg, class_name=draw(_IDENT),
+                            is_set=is_set,
+                            min_cardinality=draw(st.integers(1, 4))
+                            if is_set else 1),),
+        assertions=tuple(assertions),
+        mappings=mappings,
+        parameters={draw(_IDENT): draw(st.integers(0, 10))}
+        if draw(st.booleans()) else {},
+    )
+
+
+class TestDescribeParseRoundtrip:
+    @given(cls=classes())
+    @settings(max_examples=80)
+    def test_class_roundtrip(self, cls):
+        stmt = parse_statement(cls.describe())
+        assert isinstance(stmt, DefineClass)
+        assert stmt.name == cls.name
+        assert set(stmt.attributes) == set(cls.attributes)
+        assert stmt.spatial_attr == cls.spatial_attr
+        assert stmt.temporal_attr == cls.temporal_attr
+        assert stmt.derived_by == cls.derived_by
+
+    @given(process=processes())
+    @settings(max_examples=80)
+    def test_process_roundtrip(self, process):
+        stmt = parse_statement(process.describe())
+        assert isinstance(stmt, DefineProcess)
+        assert stmt.name == process.name
+        assert stmt.output_class == process.output_class
+        [arg_spec] = stmt.arguments
+        [arg] = process.arguments
+        assert arg_spec.name == arg.name
+        assert arg_spec.is_set == arg.is_set
+        assert dict(stmt.mappings) == process.mappings
+        assert stmt.assertions == process.assertions
+        assert dict(stmt.parameters) == process.parameters

@@ -1,0 +1,68 @@
+"""Property-based tests: box algebra invariants."""
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.spatial import Box, GridIndex, relate, TopoRelation
+
+_COORD = st.floats(min_value=-500, max_value=500, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def boxes(draw):
+    x1, x2 = sorted((draw(_COORD), draw(_COORD)))
+    y1, y2 = sorted((draw(_COORD), draw(_COORD)))
+    return Box(x1, y1, x2, y2)
+
+
+class TestBoxAlgebra:
+    @given(a=boxes(), b=boxes())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(a=boxes(), b=boxes())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(a=boxes(), b=boxes())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        assume(inter is not None)
+        assert a.contains(inter) and b.contains(inter)
+
+    @given(a=boxes(), b=boxes())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(a=boxes())
+    def test_self_relations(self, a):
+        assert a.contains(a)
+        assert a.overlaps(a)
+        assert a.intersection(a) == a
+        assert relate(a, a) is TopoRelation.EQUAL
+
+    @given(a=boxes(), b=boxes())
+    def test_relate_consistent_with_overlap(self, a, b):
+        relation = relate(a, b)
+        if relation is TopoRelation.DISJOINT:
+            assert not a.overlaps(b)
+        else:
+            assert a.overlaps(b)
+
+    @given(a=boxes(), b=boxes())
+    def test_intersection_area_bounded(self, a, b):
+        inter = a.intersection(b)
+        assume(inter is not None)
+        assert inter.area <= min(a.area, b.area) + 1e-9
+
+
+class TestGridIndexProperty:
+    @given(items=st.lists(boxes(), min_size=1, max_size=40), query=boxes())
+    def test_query_matches_linear_scan(self, items, query):
+        index = GridIndex(universe=Box(-500, -500, 500, 500), nx=8, ny=8)
+        for i, box in enumerate(items):
+            index.insert(i, box)
+        expected = {i for i, box in enumerate(items) if box.overlaps(query)}
+        assert index.query(query) == expected

@@ -1,0 +1,73 @@
+"""Property-based tests: storage-engine visibility and recovery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adt import make_standard_registries
+from repro.storage import StorageEngine
+
+
+def _fresh_engine():
+    types, _ = make_standard_registries()
+    engine = StorageEngine(types=types)
+    engine.create_relation("t", [("k", "int4"), ("v", "char16")])
+    return engine, types
+
+# Operation stream: (action, key) — begin/insert/commit/abort cycles.
+_SCRIPTS = st.lists(
+    st.tuples(st.sampled_from(["committed", "aborted"]),
+              st.lists(st.integers(0, 50), min_size=0, max_size=5)),
+    max_size=20,
+)
+
+
+class TestVisibilityProperties:
+    @given(script=_SCRIPTS)
+    @settings(max_examples=60, deadline=None)
+    def test_only_committed_rows_visible(self, script):
+        engine, _ = _fresh_engine()
+        expected = []
+        for outcome, keys in script:
+            tx = engine.begin()
+            for key in keys:
+                engine.insert("t", (key, f"v{key}"), tx)
+            if outcome == "committed":
+                engine.commit(tx)
+                expected.extend(keys)
+            else:
+                engine.abort(tx)
+        got = sorted(row["k"] for row in engine.scan("t"))
+        assert got == sorted(expected)
+
+    @given(script=_SCRIPTS)
+    @settings(max_examples=40, deadline=None)
+    def test_recovery_equals_live_state(self, script):
+        engine, types = _fresh_engine()
+        for outcome, keys in script:
+            tx = engine.begin()
+            for key in keys:
+                engine.insert("t", (key, f"v{key}"), tx)
+            if outcome == "committed":
+                engine.commit(tx)
+            else:
+                engine.abort(tx)
+        live = sorted(row["k"] for row in engine.scan("t"))
+        recovered = StorageEngine.recover(engine.wal, types)
+        replayed = sorted(row["k"] for row in recovered.scan("t"))
+        assert replayed == live
+
+    @given(keys=st.lists(st.integers(0, 30), min_size=1, max_size=40),
+           delete_positions=st.sets(st.integers(0, 39)))
+    @settings(max_examples=40, deadline=None)
+    def test_delete_recovery(self, keys, delete_positions):
+        engine, types = _fresh_engine()
+        tids = [engine.insert_row("t", (key, "x")) for key in keys]
+        surviving = []
+        for position, (key, tid) in enumerate(zip(keys, tids)):
+            if position in delete_positions:
+                engine.delete_row("t", tid)
+            else:
+                surviving.append(key)
+        recovered = StorageEngine.recover(engine.wal, types)
+        got = sorted(row["k"] for row in recovered.scan("t"))
+        assert got == sorted(surviving)

@@ -1,0 +1,98 @@
+"""Property-based tests: calendar and Allen-relation invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.temporal import (
+    AbsTime,
+    AllenRelation,
+    Interval,
+    Timeline,
+    allen_relation,
+)
+
+_DAYS = st.integers(min_value=-100_000, max_value=100_000)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(_DAYS)
+    b = draw(_DAYS)
+    lo, hi = sorted((a, b))
+    return Interval(AbsTime(lo), AbsTime(hi))
+
+
+_INVERSE = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.EQUAL: AllenRelation.EQUAL,
+}
+
+
+class TestCalendar:
+    @given(days=_DAYS)
+    def test_ymd_roundtrip(self, days):
+        at = AbsTime(days)
+        assert AbsTime.from_ymd(*at.to_ymd()) == at
+
+    @given(days=_DAYS)
+    def test_str_parse_roundtrip(self, days):
+        at = AbsTime(days)
+        if days >= -719468:  # parse requires 4-digit non-negative years
+            year = at.to_ymd()[0]
+            if 0 <= year <= 9999:
+                assert AbsTime.parse(str(at)) == at
+
+    @given(days=_DAYS, delta=st.integers(-10_000, 10_000))
+    def test_plus_days_consistent(self, days, delta):
+        at = AbsTime(days)
+        assert at.days_between(at.plus_days(delta)) == delta
+
+
+class TestAllen:
+    @given(a=intervals(), b=intervals())
+    def test_relation_total_and_inverse(self, a, b):
+        rel_ab = allen_relation(a, b)
+        rel_ba = allen_relation(b, a)
+        assert rel_ba is _INVERSE[rel_ab]
+
+    @given(a=intervals(), b=intervals())
+    def test_overlap_consistency(self, a, b):
+        disjoint = allen_relation(a, b) in (AllenRelation.BEFORE,
+                                            AllenRelation.AFTER)
+        assert a.overlaps(b) == (not disjoint)
+
+    @given(a=intervals(), b=intervals())
+    def test_intersection_inside_hull(self, a, b):
+        hull = a.union_hull(b)
+        inter = a.intersection(b)
+        if inter is not None:
+            assert hull.start <= inter.start and inter.end <= hull.end
+
+
+class TestTimelineProperty:
+    @given(entries=st.lists(st.tuples(_DAYS, st.integers(0, 20)),
+                            min_size=1, max_size=60),
+           probe=_DAYS)
+    def test_bracketing_is_tight(self, entries, probe):
+        timeline = Timeline()
+        for day, oid in entries:
+            timeline.add(AbsTime(day), oid)
+        before, after = timeline.bracketing(AbsTime(probe))
+        stamps = sorted({day for day, _ in entries})
+        earlier = [d for d in stamps if d <= probe]
+        later = [d for d in stamps if d >= probe]
+        assert (before.days if before else None) == \
+            (max(earlier) if earlier else None)
+        assert (after.days if after else None) == \
+            (min(later) if later else None)

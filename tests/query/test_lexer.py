@@ -1,0 +1,83 @@
+"""Tests for the GaeaQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.query import TokenType, tokenize
+
+
+def _types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def _texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+    def test_keywords_case_insensitive(self):
+        for form in ("select", "SELECT", "Select"):
+            token = tokenize(form)[0]
+            assert token.type is TokenType.KEYWORD and token.text == "SELECT"
+
+    def test_identifiers(self):
+        token = tokenize("land_cover")[0]
+        assert token.type is TokenType.IDENT and token.text == "land_cover"
+
+    def test_hyphenated_identifier(self):
+        assert _texts("unsupervised-classification") == [
+            "unsupervised-classification"
+        ]
+
+    def test_hyphen_before_number_is_negative_literal(self):
+        tokens = tokenize("x -5")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[1].type is TokenType.NUMBER
+        assert tokens[1].text == "-5"
+
+    def test_numbers(self):
+        assert _texts("12 3.5 -7.25") == ["12", "3.5", "-7.25"]
+
+    def test_strings_both_quotes(self):
+        assert _texts("'abc' \"def\"") == ["abc", "def"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_comments_skipped(self):
+        assert _texts("a // comment here\nb") == ["a", "b"]
+
+    def test_comparison_operators(self):
+        assert _types(">= <= > < =")[:-1] == [
+            TokenType.GE, TokenType.LE, TokenType.GT, TokenType.LT,
+            TokenType.EQUALS,
+        ]
+
+    def test_punctuation(self):
+        assert _types("( ) { } , ; : . $")[:-1] == [
+            TokenType.LPAREN, TokenType.RPAREN, TokenType.LBRACE,
+            TokenType.RBRACE, TokenType.COMMA, TokenType.SEMICOLON,
+            TokenType.COLON, TokenType.DOT, TokenType.DOLLAR,
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_figure3_statement_lexes(self):
+        from repro.figures import FIGURE3_SOURCE
+
+        tokens = tokenize(FIGURE3_SOURCE)
+        texts = [t.text for t in tokens]
+        assert "DEFINE" in texts and "TEMPLATE" in texts
+        assert "unsupervised-classification" in texts

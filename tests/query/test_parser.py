@@ -1,0 +1,268 @@
+"""Tests for the GaeaQL parser."""
+
+import pytest
+
+from repro.core import (
+    AnyOf,
+    Apply,
+    AttrRef,
+    CardinalityAssertion,
+    CommonSpatialAssertion,
+    CommonTemporalAssertion,
+    Literal,
+    ParamRef,
+)
+from repro.errors import ParseError
+from repro.query import (
+    DefineClass,
+    DefineCompound,
+    DefineConcept,
+    DefineProcess,
+    Derive,
+    Explain,
+    LineageQuery,
+    RunProcess,
+    Select,
+    Show,
+    parse,
+    parse_statement,
+)
+from repro.spatial import Box
+from repro.temporal import AbsTime
+
+
+class TestDefineClass:
+    def test_full_class(self):
+        stmt = parse_statement("""
+        DEFINE CLASS landcover (
+          ATTRIBUTES: area = char16; data = image;
+          SPATIAL EXTENT: spatialextent = box;
+          TEMPORAL EXTENT: timestamp = abstime;
+          DERIVED BY: unsupervised-classification
+        )
+        """)
+        assert isinstance(stmt, DefineClass)
+        assert stmt.name == "landcover"
+        assert ("area", "char16") in stmt.attributes
+        assert stmt.spatial_attr == "spatialextent"
+        assert stmt.temporal_attr == "timestamp"
+        assert stmt.derived_by == "unsupervised-classification"
+
+    def test_base_class_without_derived_by(self):
+        stmt = parse_statement("""
+        DEFINE CLASS tm ( ATTRIBUTES: data = image; )
+        """)
+        assert stmt.derived_by is None
+        assert stmt.spatial_attr is None
+
+    def test_two_spatial_extents_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("""
+            DEFINE CLASS bad (
+              SPATIAL EXTENT: a = box; b = box;
+            )
+            """)
+
+
+class TestDefineProcess:
+    FIG3 = """
+    DEFINE PROCESS P20
+    OUTPUT land_cover
+    ARGUMENT ( SETOF landsat_tm bands >= 3 )
+    TEMPLATE {
+      ASSERTIONS:
+        card(bands) = 3;
+        common(bands.spatialextent);
+        common(bands.timestamp);
+      MAPPINGS:
+        land_cover.data = unsuperclassify(composite(bands), 12);
+        land_cover.numclass = 12;
+        land_cover.spatialextent = ANYOF bands.spatialextent;
+        land_cover.timestamp = ANYOF bands.timestamp;
+    }
+    """
+
+    def test_figure3_parses(self):
+        stmt = parse_statement(self.FIG3)
+        assert isinstance(stmt, DefineProcess)
+        assert stmt.name == "P20"
+        assert stmt.output_class == "land_cover"
+        [arg] = stmt.arguments
+        assert arg.is_set and arg.min_cardinality == 3
+
+    def test_figure3_assertions(self):
+        stmt = parse_statement(self.FIG3)
+        kinds = [type(a) for a in stmt.assertions]
+        assert kinds == [CardinalityAssertion, CommonSpatialAssertion,
+                         CommonTemporalAssertion]
+        card = stmt.assertions[0]
+        assert card.count == 3 and card.exact
+
+    def test_figure3_mappings(self):
+        stmt = parse_statement(self.FIG3)
+        mappings = dict(stmt.mappings)
+        data = mappings["data"]
+        assert isinstance(data, Apply) and data.operator == "unsuperclassify"
+        inner = data.args[0]
+        # Bare `bands` is sugar for bands.data.
+        assert inner == Apply("composite", (AttrRef("bands", "data"),))
+        assert data.args[1] == Literal(12)
+        assert mappings["numclass"] == Literal(12)
+        assert mappings["spatialextent"] == AnyOf(
+            AttrRef("bands", "spatialextent")
+        )
+
+    def test_parameters_section(self):
+        stmt = parse_statement("""
+        DEFINE PROCESS P2
+        OUTPUT desert
+        ARGUMENT ( rainfall rain )
+        TEMPLATE {
+          MAPPINGS:
+            desert.data = desert_mask_rainfall(rain.data, $cutoff);
+          PARAMETERS:
+            cutoff = 250.0;
+        }
+        """)
+        assert dict(stmt.parameters) == {"cutoff": 250.0}
+        data = dict(stmt.mappings)["data"]
+        assert data.args[1] == ParamRef("cutoff")
+
+    def test_card_ge_form(self):
+        stmt = parse_statement("""
+        DEFINE PROCESS P
+        OUTPUT c
+        ARGUMENT ( SETOF s xs )
+        TEMPLATE {
+          ASSERTIONS: card(xs) >= 2;
+          MAPPINGS: c.data = first_image(xs);
+        }
+        """)
+        assertion = stmt.assertions[0]
+        assert assertion.count == 2 and not assertion.exact
+
+    def test_mapping_to_wrong_class_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("""
+            DEFINE PROCESS P
+            OUTPUT c
+            ARGUMENT ( s x )
+            TEMPLATE { MAPPINGS: other.data = x.data; }
+            """)
+
+    def test_unknown_name_in_expression(self):
+        with pytest.raises(ParseError):
+            parse_statement("""
+            DEFINE PROCESS P
+            OUTPUT c
+            ARGUMENT ( s x )
+            TEMPLATE { MAPPINGS: c.data = mystery; }
+            """)
+
+    def test_attr_ref_on_non_argument_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("""
+            DEFINE PROCESS P
+            OUTPUT c
+            ARGUMENT ( s x )
+            TEMPLATE { MAPPINGS: c.data = ghost.data; }
+            """)
+
+    def test_no_arguments_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("""
+            DEFINE PROCESS P
+            OUTPUT c
+            ARGUMENT ( )
+            TEMPLATE { MAPPINGS: c.data = 1; }
+            """)
+
+
+class TestDefineCompoundAndConcept:
+    def test_compound(self):
+        stmt = parse_statement("""
+        DEFINE COMPOUND PROCESS detect
+        OUTPUT changes
+        ARGUMENT ( SETOF tm a >= 3, SETOF tm b >= 3 )
+        STEPS {
+          c1: P20 ( bands = $a );
+          c2: P20 ( bands = $b );
+          cmp: P21 ( later = c2, earlier = c1 );
+        }
+        RESULT cmp
+        """)
+        assert isinstance(stmt, DefineCompound)
+        assert [s.name for s in stmt.steps] == ["c1", "c2", "cmp"]
+        assert dict(stmt.steps[0].bindings) == {"bands": "@a"}
+        assert dict(stmt.steps[2].bindings) == {"later": "c2",
+                                                "earlier": "c1"}
+        assert stmt.output_step == "cmp"
+
+    def test_concept_with_isa_and_members(self):
+        stmt = parse_statement(
+            "DEFINE CONCEPT hot_desert ISA desert, arid MEMBERS C2, C3"
+        )
+        assert isinstance(stmt, DefineConcept)
+        assert stmt.isa == ("desert", "arid")
+        assert stmt.members == ("C2", "C3")
+
+    def test_bare_concept(self):
+        stmt = parse_statement("DEFINE CONCEPT desert")
+        assert stmt.isa == () and stmt.members == ()
+
+
+class TestRetrievalStatements:
+    def test_select_plain(self):
+        stmt = parse_statement("SELECT FROM land_cover")
+        assert isinstance(stmt, Select)
+        assert stmt.source == "land_cover"
+        assert stmt.spatial is None and stmt.temporal is None
+
+    def test_select_with_predicates(self):
+        stmt = parse_statement(
+            "SELECT FROM land_cover WHERE spatialextent OVERLAPS "
+            "(0, 0, 10, 10) AND timestamp = '1986-01-15'"
+        )
+        assert stmt.spatial == Box(0, 0, 10, 10)
+        assert stmt.temporal == AbsTime.from_ymd(1986, 1, 15)
+
+    def test_derive(self):
+        stmt = parse_statement("DERIVE land_cover AT '1986-01-15' "
+                               "IN (0, 0, 5, 5)")
+        assert isinstance(stmt, Derive)
+        assert stmt.temporal == AbsTime.from_ymd(1986, 1, 15)
+        assert stmt.spatial == Box(0, 0, 5, 5)
+
+    def test_explain(self):
+        stmt = parse_statement("EXPLAIN SELECT FROM land_cover")
+        assert isinstance(stmt, Explain)
+        assert stmt.inner.source == "land_cover"
+
+    def test_run(self):
+        stmt = parse_statement("RUN P20 WITH bands = (1, 2, 3)")
+        assert isinstance(stmt, RunProcess)
+        assert dict(stmt.bindings) == {"bands": (1, 2, 3)}
+
+    def test_show_variants(self):
+        for what in ("CLASSES", "PROCESSES", "CONCEPTS", "TASKS",
+                     "EXPERIMENTS"):
+            stmt = parse_statement(f"SHOW {what}")
+            assert isinstance(stmt, Show) and stmt.what == what.lower()
+
+    def test_lineage(self):
+        stmt = parse_statement("LINEAGE 42")
+        assert isinstance(stmt, LineageQuery) and stmt.oid == 42
+
+    def test_multiple_statements(self):
+        statements = parse(
+            "DEFINE CONCEPT a; DEFINE CONCEPT b; SELECT FROM x"
+        )
+        assert len(statements) == 3
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("FROBNICATE everything")
+
+    def test_parse_statement_rejects_plural(self):
+        with pytest.raises(ParseError):
+            parse_statement("SHOW TASKS SHOW TASKS")

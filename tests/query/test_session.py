@@ -1,0 +1,167 @@
+"""End-to-end tests for the GaeaQL session (optimizer + executor)."""
+
+import pytest
+
+from repro.errors import PlanningError, UnderivableError
+from repro.figures import AFRICA
+from repro.gis import SceneGenerator
+from repro.temporal import AbsTime
+
+
+DDL = """
+DEFINE CLASS landsat_tm (
+  ATTRIBUTES: area = char16; band = char16; data = image;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+)
+DEFINE CLASS land_cover (
+  ATTRIBUTES: area = char16; numclass = int4; data = image;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: P20
+)
+DEFINE PROCESS P20
+OUTPUT land_cover
+ARGUMENT ( SETOF landsat_tm bands >= 3 )
+TEMPLATE {
+  ASSERTIONS:
+    card(bands) = 3;
+    common(bands.spatialextent);
+    common(bands.timestamp);
+  MAPPINGS:
+    land_cover.data = unsuperclassify(composite(bands), 12);
+    land_cover.numclass = 12;
+    land_cover.area = ANYOF bands.area;
+    land_cover.spatialextent = ANYOF bands.spatialextent;
+    land_cover.timestamp = ANYOF bands.timestamp;
+}
+"""
+
+
+@pytest.fixture()
+def loaded(session):
+    session.execute(DDL)
+    generator = SceneGenerator(seed=4, nrow=16, ncol=16)
+    stamp = AbsTime.from_ymd(1986, 1, 15)
+    for band, image in zip(("red", "nir", "green"),
+                           generator.scene("africa", 1986, 1)):
+        session.kernel.store.store("landsat_tm", {
+            "area": "africa", "band": band, "data": image,
+            "spatialextent": AFRICA, "timestamp": stamp,
+        })
+    return session
+
+
+class TestDDL:
+    def test_definitions_land_in_kernel(self, loaded):
+        assert "land_cover" in loaded.kernel.classes
+        assert "P20" in loaded.kernel.derivations.processes
+
+    def test_show_classes(self, loaded):
+        message = loaded.execute_one("SHOW CLASSES").message
+        assert "CLASS landsat_tm" in message
+        assert "DERIVED BY: P20" in message
+
+    def test_show_processes(self, loaded):
+        message = loaded.execute_one("SHOW PROCESSES").message
+        assert "DEFINE PROCESS P20" in message
+
+
+class TestRetrieval:
+    def test_derive_then_retrieve(self, loaded):
+        first = loaded.execute_one(
+            "SELECT FROM land_cover WHERE timestamp = '1986-01-15'"
+        )
+        assert first.path == "derive"
+        assert first.details["plan_steps"] == ["P20"]
+        second = loaded.execute_one(
+            "SELECT FROM land_cover WHERE timestamp = '1986-01-15'"
+        )
+        assert second.path == "retrieve"
+
+    def test_explain_before_and_after(self, loaded):
+        before = loaded.execute_one("EXPLAIN SELECT FROM land_cover")
+        assert before.details["paths"]["land_cover"] == "derive"
+        loaded.execute_one("SELECT FROM land_cover")
+        after = loaded.execute_one("EXPLAIN SELECT FROM land_cover")
+        assert after.details["paths"]["land_cover"] == "retrieve"
+
+    def test_derive_statement_forces_recomputation(self, loaded):
+        loaded.execute_one("SELECT FROM land_cover")
+        result = loaded.execute_one("DERIVE land_cover")
+        assert result.path == "derive"
+
+    def test_unknown_source(self, loaded):
+        with pytest.raises(PlanningError):
+            loaded.execute("SELECT FROM ghost")
+
+    def test_underivable_query(self, session):
+        session.execute(DDL)  # classes defined but no scenes loaded
+        with pytest.raises(UnderivableError):
+            session.execute("SELECT FROM land_cover")
+
+    def test_spatial_predicate_filters(self, loaded):
+        result = loaded.execute_one(
+            "SELECT FROM landsat_tm WHERE spatialextent OVERLAPS "
+            "(-20, -35, 52, 38)"
+        )
+        assert len(result.objects) == 3
+
+
+class TestConceptQueries:
+    def test_select_from_concept(self, loaded):
+        loaded.execute("DEFINE CONCEPT cover_concept MEMBERS land_cover")
+        results = loaded.execute("SELECT FROM cover_concept")
+        assert len(results) == 1
+        assert results[0].details["class"] == "land_cover"
+        assert results[0].details["concept"] == "cover_concept"
+
+    def test_concept_without_members_rejected(self, loaded):
+        loaded.execute("DEFINE CONCEPT empty_concept")
+        with pytest.raises(PlanningError):
+            loaded.execute("SELECT FROM empty_concept")
+
+    def test_show_concepts(self, loaded):
+        loaded.execute("DEFINE CONCEPT cover_concept MEMBERS land_cover")
+        message = loaded.execute_one("SHOW CONCEPTS").message
+        assert "cover_concept" in message and "land_cover" in message
+
+
+class TestRunAndLineage:
+    def test_run_process_by_oids(self, loaded):
+        result = loaded.execute_one("RUN P20 WITH bands = (1, 2, 3)")
+        assert result.path == "run"
+        assert result.objects[0].class_name == "land_cover"
+
+    def test_run_unbound_argument(self, loaded):
+        with pytest.raises(UnderivableError):
+            loaded.execute("RUN P20")
+
+    def test_lineage_query(self, loaded):
+        run = loaded.execute_one("RUN P20 WITH bands = (1, 2, 3)")
+        oid = run.objects[0].oid
+        lineage = loaded.execute_one(f"LINEAGE {oid}")
+        assert lineage.details["base_oids"] == [1, 2, 3]
+        assert lineage.details["depth"] == 1
+
+    def test_show_tasks(self, loaded):
+        loaded.execute_one("RUN P20 WITH bands = (1, 2, 3)")
+        message = loaded.execute_one("SHOW TASKS").message
+        assert "P20" in message
+
+    def test_run_memoizes(self, loaded):
+        first = loaded.execute_one("RUN P20 WITH bands = (1, 2, 3)")
+        second = loaded.execute_one("RUN P20 WITH bands = (1, 2, 3)")
+        assert not first.details["reused"]
+        assert second.details["reused"]
+        assert first.objects[0].oid == second.objects[0].oid
+
+
+class TestSessionMechanics:
+    def test_history_recorded(self, loaded):
+        loaded.execute("SHOW TASKS")
+        assert loaded.history[-1] == "SHOW TASKS"
+
+    def test_execute_one_rejects_multi(self, loaded):
+        with pytest.raises(ValueError):
+            loaded.execute_one("SHOW TASKS; SHOW CLASSES")

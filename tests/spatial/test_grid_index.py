@@ -1,0 +1,81 @@
+"""Tests for the grid spatial index."""
+
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial import Box, GridIndex
+
+
+@pytest.fixture()
+def index():
+    return GridIndex(universe=Box(0, 0, 100, 100), nx=10, ny=10)
+
+
+class TestInsertRemove:
+    def test_insert_and_query(self, index):
+        index.insert("a", Box(5, 5, 15, 15))
+        index.insert("b", Box(50, 50, 60, 60))
+        assert index.query(Box(0, 0, 20, 20)) == {"a"}
+        assert index.query(Box(0, 0, 100, 100)) == {"a", "b"}
+        assert len(index) == 2
+
+    def test_duplicate_id_rejected(self, index):
+        index.insert("a", Box(0, 0, 1, 1))
+        with pytest.raises(SpatialError):
+            index.insert("a", Box(2, 2, 3, 3))
+
+    def test_outside_universe_goes_to_overflow(self, index):
+        index.insert("far", Box(200, 200, 300, 300))
+        assert index.query(Box(250, 250, 260, 260)) == {"far"}
+        assert index.query(Box(0, 0, 50, 50)) == set()
+        index.remove("far")
+        assert "far" not in index
+
+    def test_remove(self, index):
+        index.insert("a", Box(5, 5, 15, 15))
+        index.remove("a")
+        assert index.query(Box(0, 0, 100, 100)) == set()
+        assert "a" not in index
+
+    def test_remove_unknown(self, index):
+        with pytest.raises(SpatialError):
+            index.remove("ghost")
+
+
+class TestQueries:
+    def test_query_filters_false_positives(self, index):
+        # Same grid cell, but extents do not overlap the query box.
+        index.insert("a", Box(0, 0, 4, 4))
+        index.insert("b", Box(6, 6, 9, 9))
+        assert index.query(Box(0, 0, 5, 5)) == {"a"}
+
+    def test_query_contained(self, index):
+        index.insert("inside", Box(10, 10, 20, 20))
+        index.insert("straddling", Box(15, 15, 40, 40))
+        assert index.query_contained(Box(5, 5, 25, 25)) == {"inside"}
+
+    def test_extent_of(self, index):
+        box = Box(1, 2, 3, 4)
+        index.insert("x", box)
+        assert index.extent_of("x") == box
+        with pytest.raises(SpatialError):
+            index.extent_of("ghost")
+
+    def test_spanning_extent_found_from_any_cell(self, index):
+        index.insert("wide", Box(0, 45, 100, 55))
+        assert "wide" in index.query(Box(90, 50, 95, 52))
+        assert "wide" in index.query(Box(2, 50, 3, 52))
+
+    def test_boundary_extent(self, index):
+        index.insert("edge", Box(95, 95, 100, 100))
+        assert index.query(Box(99, 99, 100, 100)) == {"edge"}
+
+
+class TestValidation:
+    def test_bad_resolution(self):
+        with pytest.raises(SpatialError):
+            GridIndex(universe=Box(0, 0, 1, 1), nx=0, ny=5)
+
+    def test_zero_area_universe(self):
+        with pytest.raises(SpatialError):
+            GridIndex(universe=Box(0, 0, 0, 5))

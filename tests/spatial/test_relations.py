@@ -1,0 +1,66 @@
+"""Tests for spatial relations and the common() guard."""
+
+from repro.spatial import Box, TopoRelation, common, common_box, mutual_overlap, relate
+
+
+class TestRelate:
+    def test_equal(self):
+        assert relate(Box(0, 0, 1, 1), Box(0, 0, 1, 1)) is TopoRelation.EQUAL
+
+    def test_disjoint(self):
+        assert relate(Box(0, 0, 1, 1), Box(2, 2, 3, 3)) is TopoRelation.DISJOINT
+
+    def test_meet(self):
+        assert relate(Box(0, 0, 1, 1), Box(1, 0, 2, 1)) is TopoRelation.MEET
+
+    def test_overlap(self):
+        assert relate(Box(0, 0, 2, 2), Box(1, 1, 3, 3)) is TopoRelation.OVERLAP
+
+    def test_covers_and_covered_by(self):
+        outer, inner = Box(0, 0, 4, 4), Box(1, 1, 2, 2)
+        assert relate(outer, inner) is TopoRelation.COVERS
+        assert relate(inner, outer) is TopoRelation.COVERED_BY
+
+
+class TestCommon:
+    """The Figure-3 assertion: extents must be the same or overlap."""
+
+    def test_empty_is_vacuous(self):
+        assert common([])
+
+    def test_single_extent(self):
+        assert common([Box(0, 0, 1, 1)])
+
+    def test_identical_extents(self):
+        assert common([Box(0, 0, 1, 1)] * 3)
+
+    def test_overlapping_extents(self):
+        assert common([Box(0, 0, 2, 2), Box(1, 1, 3, 3), Box(1.5, 1.5, 4, 4)])
+
+    def test_pairwise_overlap_without_shared_region_fails(self):
+        # a-b overlap, b-c overlap, but no point common to all three.
+        a = Box(0, 0, 2, 2)
+        b = Box(1.5, 0, 3.5, 2)
+        c = Box(3, 0, 5, 2)
+        assert mutual_overlap([a, b]) and mutual_overlap([b, c])
+        assert not common([a, b, c])
+
+    def test_disjoint_fails(self):
+        assert not common([Box(0, 0, 1, 1), Box(5, 5, 6, 6)])
+
+    def test_common_box_value(self):
+        got = common_box([Box(0, 0, 2, 2), Box(1, 1, 3, 3)])
+        assert got == Box(1, 1, 2, 2)
+
+    def test_common_box_none_when_empty_input(self):
+        assert common_box([]) is None
+
+
+class TestMutualOverlap:
+    def test_all_pairs(self):
+        boxes = [Box(0, 0, 3, 3), Box(1, 1, 4, 4), Box(2, 2, 5, 5)]
+        assert mutual_overlap(boxes)
+
+    def test_one_bad_pair(self):
+        boxes = [Box(0, 0, 1, 1), Box(0.5, 0.5, 2, 2), Box(10, 10, 11, 11)]
+        assert not mutual_overlap(boxes)

@@ -1,0 +1,102 @@
+"""Tests for the B-tree index."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.storage import BTree
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        tree = BTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        tree.insert(7, "c")
+        assert tree.search(5) == {"a", "b"}
+        assert tree.search(7) == {"c"}
+        assert tree.search(99) == set()
+        assert len(tree) == 3
+
+    def test_duplicate_pair_idempotent(self):
+        tree = BTree(order=4)
+        tree.insert(1, "x")
+        tree.insert(1, "x")
+        assert len(tree) == 1
+
+    def test_order_validation(self):
+        with pytest.raises(IndexError_):
+            BTree(order=2)
+
+    def test_delete(self):
+        tree = BTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        tree.delete(1, "a")
+        assert tree.search(1) == {"b"}
+        assert len(tree) == 1
+
+    def test_delete_missing(self):
+        tree = BTree(order=4)
+        tree.insert(1, "a")
+        with pytest.raises(IndexError_):
+            tree.delete(2, "a")
+        with pytest.raises(IndexError_):
+            tree.delete(1, "zzz")
+
+
+class TestScaling:
+    def test_many_keys_sorted(self):
+        tree = BTree(order=8)
+        keys = list(range(1000))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, f"t{key}")
+        assert tree.keys() == sorted(range(1000))
+        assert tree.depth() > 1
+        for key in (0, 500, 999):
+            assert tree.search(key) == {f"t{key}"}
+
+    def test_reverse_insert_order(self):
+        tree = BTree(order=4)
+        for key in range(200, 0, -1):
+            tree.insert(key, key)
+        assert tree.keys() == list(range(1, 201))
+
+    def test_string_keys(self):
+        tree = BTree(order=4)
+        for word in ("pear", "apple", "mango", "fig"):
+            tree.insert(word, word.upper())
+        assert tree.keys() == ["apple", "fig", "mango", "pear"]
+
+
+class TestRangeScan:
+    @pytest.fixture()
+    def tree(self):
+        t = BTree(order=4)
+        for key in range(0, 100, 10):
+            t.insert(key, f"e{key}")
+        return t
+
+    def test_closed_range(self, tree):
+        got = [k for k, _ in tree.range_scan(20, 50)]
+        assert got == [20, 30, 40, 50]
+
+    def test_exclusive_bounds(self, tree):
+        got = [k for k, _ in tree.range_scan(20, 50, include_lo=False,
+                                             include_hi=False)]
+        assert got == [30, 40]
+
+    def test_open_ended(self, tree):
+        assert [k for k, _ in tree.range_scan(lo=70)] == [70, 80, 90]
+        assert [k for k, _ in tree.range_scan(hi=20)] == [0, 10, 20]
+        assert len(list(tree.range_scan())) == 10
+
+    def test_range_between_keys(self, tree):
+        assert list(tree.range_scan(41, 49)) == []
+
+    def test_entries_are_copies(self, tree):
+        for _, bucket in tree.range_scan(0, 0):
+            bucket.add("mutation")
+        assert tree.search(0) == {"e0"}

@@ -1,0 +1,78 @@
+"""Tests for the system catalog."""
+
+import pytest
+
+from repro.errors import (
+    RelationExistsError,
+    StorageError,
+    UnknownRelationError,
+    UnknownTypeError,
+    ValueRepresentationError,
+)
+from repro.storage import Catalog
+
+
+@pytest.fixture()
+def catalog(types):
+    return Catalog(types=types)
+
+
+class TestSchemas:
+    def test_create_and_get(self, catalog):
+        schema = catalog.create("scenes", [("name", "char16"),
+                                           ("res", "float4")])
+        assert schema.column_names == ("name", "res")
+        assert catalog.get("scenes") is schema
+        assert "scenes" in catalog
+
+    def test_duplicate_relation(self, catalog):
+        catalog.create("r", [("a", "int4")])
+        with pytest.raises(RelationExistsError):
+            catalog.create("r", [("a", "int4")])
+
+    def test_unknown_type_rejected(self, catalog):
+        with pytest.raises(UnknownTypeError):
+            catalog.create("r", [("a", "ghost_type")])
+
+    def test_duplicate_columns_rejected(self, catalog):
+        with pytest.raises(StorageError):
+            catalog.create("r", [("a", "int4"), ("a", "float4")])
+
+    def test_drop(self, catalog):
+        catalog.create("r", [("a", "int4")])
+        catalog.drop("r")
+        with pytest.raises(UnknownRelationError):
+            catalog.get("r")
+        with pytest.raises(UnknownRelationError):
+            catalog.drop("r")
+
+    def test_index_and_type_of(self, catalog):
+        schema = catalog.create("r", [("a", "int4"), ("b", "char16")])
+        assert schema.index_of("b") == 1
+        assert schema.type_of("b") == "char16"
+        with pytest.raises(StorageError):
+            schema.index_of("zzz")
+
+
+class TestRowValidation:
+    def test_normalizes_values(self, catalog):
+        catalog.create("r", [("a", "int4"), ("b", "float4")])
+        row = catalog.validate_row("r", (5, 1))
+        assert row == (5, 1.0)
+        assert isinstance(row[1], float)
+
+    def test_wrong_arity(self, catalog):
+        catalog.create("r", [("a", "int4")])
+        with pytest.raises(StorageError):
+            catalog.validate_row("r", (1, 2))
+
+    def test_wrong_type(self, catalog):
+        catalog.create("r", [("a", "int4")])
+        with pytest.raises(ValueRepresentationError):
+            catalog.validate_row("r", ("not an int",))
+
+    def test_as_dict(self, catalog):
+        schema = catalog.create("r", [("a", "int4"), ("b", "char16")])
+        assert schema.as_dict((1, "x")) == {"a": 1, "b": "x"}
+        with pytest.raises(StorageError):
+            schema.as_dict((1,))

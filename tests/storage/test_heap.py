@@ -1,0 +1,83 @@
+"""Tests for slotted pages and heap files."""
+
+import numpy as np
+import pytest
+
+from repro.adt import Image
+from repro.errors import PageFullError, TupleNotFoundError
+from repro.storage import TID, HeapFile, SlottedPage, TupleVersion
+
+
+def _version(payload="x", xmin=1) -> TupleVersion:
+    return TupleVersion(values=(payload,), xmin=xmin)
+
+
+class TestSlottedPage:
+    def test_insert_and_get(self):
+        page = SlottedPage(page_no=0)
+        slot = page.insert(_version("a"))
+        assert page.get(slot).values == ("a",)
+
+    def test_slots_grow_monotonically(self):
+        page = SlottedPage(page_no=0)
+        slots = [page.insert(_version(str(i))) for i in range(5)]
+        assert slots == [0, 1, 2, 3, 4]
+
+    def test_page_full(self):
+        page = SlottedPage(page_no=0, capacity=64)
+        with pytest.raises(PageFullError):
+            while True:
+                page.insert(_version("payload"))
+
+    def test_bad_slot(self):
+        page = SlottedPage(page_no=0)
+        with pytest.raises(TupleNotFoundError):
+            page.get(0)
+
+    def test_free_space_decreases(self):
+        page = SlottedPage(page_no=0)
+        before = page.free_space
+        page.insert(_version("abc"))
+        assert page.free_space < before
+
+
+class TestHeapFile:
+    def test_insert_returns_stable_tids(self):
+        heap = HeapFile(name="t")
+        tids = [heap.insert(_version(str(i))) for i in range(10)]
+        assert len(set(tids)) == 10
+        for i, tid in enumerate(tids):
+            assert heap.get(tid).values == (str(i),)
+
+    def test_scan_in_tid_order(self):
+        heap = HeapFile(name="t")
+        for i in range(20):
+            heap.insert(_version(str(i)))
+        scanned = [v.values[0] for _, v in heap.scan()]
+        assert scanned == [str(i) for i in range(20)]
+
+    def test_spills_to_new_pages(self):
+        heap = HeapFile(name="t", page_bytes=256)
+        for i in range(50):
+            heap.insert(_version(f"payload-{i}"))
+        assert heap.page_count > 1
+        assert heap.version_count() == 50
+
+    def test_oversized_tuple_gets_toast_page(self):
+        heap = HeapFile(name="t", page_bytes=1024)
+        big = Image.from_array(np.zeros((64, 64)), "float8")
+        version = TupleVersion(values=(big,), xmin=1)
+        tid = heap.insert(version)
+        assert heap.get(tid).values[0] == big
+
+    def test_small_tuples_after_oversized(self):
+        heap = HeapFile(name="t", page_bytes=1024)
+        big = Image.from_array(np.zeros((64, 64)), "float8")
+        heap.insert(TupleVersion(values=(big,), xmin=1))
+        tid = heap.insert(_version("small"))
+        assert heap.get(tid).values == ("small",)
+
+    def test_get_bad_page(self):
+        heap = HeapFile(name="t")
+        with pytest.raises(TupleNotFoundError):
+            heap.get(TID(page=4, slot=0))

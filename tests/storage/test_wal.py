@@ -1,0 +1,66 @@
+"""Tests for the write-ahead log."""
+
+import pytest
+
+from repro.errors import WALError
+from repro.storage import LogKind, WriteAheadLog, read_log_file
+
+
+class TestAppend:
+    def test_lsns_are_dense(self):
+        wal = WriteAheadLog()
+        records = [wal.append(LogKind.BEGIN, xid=1),
+                   wal.append(LogKind.COMMIT, xid=1)]
+        assert [r.lsn for r in records] == [1, 2]
+        wal.verify()
+
+    def test_committed_xids(self):
+        wal = WriteAheadLog()
+        wal.append(LogKind.BEGIN, xid=1)
+        wal.append(LogKind.BEGIN, xid=2)
+        wal.append(LogKind.COMMIT, xid=1)
+        wal.append(LogKind.ABORT, xid=2)
+        assert wal.committed_xids() == {1}
+
+    def test_verify_detects_corruption(self):
+        wal = WriteAheadLog()
+        wal.append(LogKind.BEGIN, xid=1)
+        wal._records[0] = type(wal._records[0])(
+            lsn=99, kind=LogKind.BEGIN, xid=1, payload={}
+        )
+        with pytest.raises(WALError):
+            wal.verify()
+
+    def test_payload_preserved(self):
+        wal = WriteAheadLog()
+        record = wal.append(LogKind.INSERT, xid=3,
+                            payload={"relation": "r", "values": (1, 2)})
+        assert record.payload["values"] == (1, 2)
+
+
+class TestFileMirroring:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog()
+        wal.attach_file(path)
+        wal.append(LogKind.BEGIN, xid=1)
+        wal.append(LogKind.INSERT, xid=1, payload={"relation": "r"})
+        wal.append(LogKind.COMMIT, xid=1)
+        wal.close()
+        records = read_log_file(path)
+        assert [r.kind for r in records] == [
+            LogKind.BEGIN, LogKind.INSERT, LogKind.COMMIT
+        ]
+
+    def test_double_attach_rejected(self, tmp_path):
+        wal = WriteAheadLog()
+        wal.attach_file(tmp_path / "a.log")
+        with pytest.raises(WALError):
+            wal.attach_file(tmp_path / "b.log")
+        wal.close()
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_bytes(b"not a pickle stream")
+        with pytest.raises(WALError):
+            read_log_file(path)

@@ -1,0 +1,86 @@
+"""Tests for absolute time (repro.temporal.abstime)."""
+
+import pytest
+
+from repro.errors import TemporalError, ValueRepresentationError
+from repro.temporal import AbsTime
+
+
+class TestCalendar:
+    def test_epoch(self):
+        assert AbsTime.from_ymd(1970, 1, 1).days == 0
+
+    def test_known_dates(self):
+        assert AbsTime.from_ymd(1970, 1, 2).days == 1
+        assert AbsTime.from_ymd(1971, 1, 1).days == 365
+        assert AbsTime.from_ymd(1986, 1, 15).days == 5858
+
+    def test_roundtrip_many_dates(self):
+        for days in range(-3000, 30000, 137):
+            at = AbsTime(days)
+            assert AbsTime.from_ymd(*at.to_ymd()).days == days
+
+    def test_leap_years(self):
+        assert AbsTime.from_ymd(1992, 2, 29)  # leap
+        with pytest.raises(TemporalError):
+            AbsTime.from_ymd(1993, 2, 29)
+        with pytest.raises(TemporalError):
+            AbsTime.from_ymd(1900, 2, 29)  # century, not leap
+        assert AbsTime.from_ymd(2000, 2, 29)  # 400-year rule
+
+    def test_bad_month_day(self):
+        with pytest.raises(TemporalError):
+            AbsTime.from_ymd(1990, 13, 1)
+        with pytest.raises(TemporalError):
+            AbsTime.from_ymd(1990, 4, 31)
+
+    def test_properties(self):
+        at = AbsTime.from_ymd(1986, 1, 15)
+        assert (at.year, at.month, at.day) == (1986, 1, 15)
+
+
+class TestRepresentation:
+    def test_parse(self):
+        assert AbsTime.parse("1986-01-15") == AbsTime.from_ymd(1986, 1, 15)
+
+    def test_str(self):
+        assert str(AbsTime.from_ymd(1986, 1, 5)) == "1986-01-05"
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("1986/01/15", "15-01-1986", "1986-1-15", "soon"):
+            with pytest.raises(ValueRepresentationError):
+                AbsTime.parse(bad)
+
+    def test_parse_rejects_invalid_date(self):
+        with pytest.raises(ValueRepresentationError):
+            AbsTime.parse("1986-02-30")
+
+    def test_validate_forms(self):
+        at = AbsTime.from_ymd(1990, 6, 1)
+        assert AbsTime.validate(at) is at
+        assert AbsTime.validate("1990-06-01") == at
+        assert AbsTime.validate(at.days) == at
+        with pytest.raises(ValueRepresentationError):
+            AbsTime.validate(1.5)
+
+
+class TestArithmeticAndOrder:
+    def test_ordering(self):
+        early = AbsTime.from_ymd(1988, 1, 1)
+        late = AbsTime.from_ymd(1989, 1, 1)
+        assert early < late
+        assert sorted([late, early]) == [early, late]
+
+    def test_plus_days(self):
+        at = AbsTime.from_ymd(1988, 12, 31)
+        assert str(at.plus_days(1)) == "1989-01-01"
+        assert str(at.plus_days(-365)) == "1988-01-01"
+
+    def test_days_between(self):
+        a = AbsTime.from_ymd(1988, 1, 1)
+        b = AbsTime.from_ymd(1989, 1, 1)
+        assert a.days_between(b) == 366  # 1988 is a leap year
+        assert b.days_between(a) == -366
+
+    def test_hashable_value_identity(self):
+        assert len({AbsTime(5), AbsTime(5), AbsTime(6)}) == 2

@@ -1,0 +1,85 @@
+"""Tests for intervals and Allen relations."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal import (
+    AbsTime,
+    AllenRelation,
+    Interval,
+    allen_relation,
+    common_time,
+)
+
+
+def _iv(a: int, b: int) -> Interval:
+    return Interval(AbsTime(a), AbsTime(b))
+
+
+class TestInterval:
+    def test_degenerate_rejected(self):
+        with pytest.raises(TemporalError):
+            _iv(5, 3)
+
+    def test_instant(self):
+        inst = Interval.instant(AbsTime(7))
+        assert inst.duration_days == 0
+        assert inst.contains_time(AbsTime(7))
+
+    def test_from_strings(self):
+        iv = Interval.from_strings("1988-01-01", "1989-01-01")
+        assert iv.duration_days == 366
+
+    def test_overlap_and_intersection(self):
+        assert _iv(0, 10).overlaps(_iv(5, 15))
+        assert _iv(0, 10).intersection(_iv(5, 15)) == _iv(5, 10)
+        assert _iv(0, 4).intersection(_iv(5, 9)) is None
+
+    def test_union_hull(self):
+        assert _iv(0, 2).union_hull(_iv(8, 9)) == _iv(0, 9)
+
+
+class TestAllenRelations:
+    CASES = [
+        (_iv(0, 2), _iv(5, 8), AllenRelation.BEFORE),
+        (_iv(5, 8), _iv(0, 2), AllenRelation.AFTER),
+        (_iv(0, 5), _iv(5, 8), AllenRelation.MEETS),
+        (_iv(5, 8), _iv(0, 5), AllenRelation.MET_BY),
+        (_iv(0, 6), _iv(4, 9), AllenRelation.OVERLAPS),
+        (_iv(4, 9), _iv(0, 6), AllenRelation.OVERLAPPED_BY),
+        (_iv(0, 4), _iv(0, 9), AllenRelation.STARTS),
+        (_iv(0, 9), _iv(0, 4), AllenRelation.STARTED_BY),
+        (_iv(3, 6), _iv(0, 9), AllenRelation.DURING),
+        (_iv(0, 9), _iv(3, 6), AllenRelation.CONTAINS),
+        (_iv(5, 9), _iv(0, 9), AllenRelation.FINISHES),
+        (_iv(0, 9), _iv(5, 9), AllenRelation.FINISHED_BY),
+        (_iv(2, 7), _iv(2, 7), AllenRelation.EQUAL),
+    ]
+
+    @pytest.mark.parametrize("a,b,expected", CASES)
+    def test_all_thirteen(self, a, b, expected):
+        assert allen_relation(a, b) is expected
+
+    def test_relations_partition(self):
+        """Every pair of intervals gets exactly one relation (spot check)."""
+        intervals = [_iv(a, b) for a in range(0, 6, 2) for b in range(a, 8, 3)]
+        for a in intervals:
+            for b in intervals:
+                assert allen_relation(a, b) in AllenRelation
+
+
+class TestCommonTime:
+    def test_empty_and_single(self):
+        assert common_time([])
+        assert common_time([AbsTime(3)])
+
+    def test_identical_stamps(self):
+        assert common_time([AbsTime(3)] * 4)
+
+    def test_different_stamps_fail_at_zero_tolerance(self):
+        assert not common_time([AbsTime(3), AbsTime(4)])
+
+    def test_tolerance_window(self):
+        stamps = [AbsTime(10), AbsTime(12), AbsTime(13)]
+        assert common_time(stamps, tolerance_days=3)
+        assert not common_time(stamps, tolerance_days=2)

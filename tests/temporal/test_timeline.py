@@ -1,0 +1,70 @@
+"""Tests for per-class timelines (repro.temporal.timeline)."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal import AbsTime, Timeline
+
+
+@pytest.fixture()
+def timeline():
+    tl = Timeline()
+    for days, oid in [(10, 1), (10, 2), (20, 3), (40, 4)]:
+        tl.add(AbsTime(days), oid)
+    return tl
+
+
+class TestAddRemove:
+    def test_at(self, timeline):
+        assert timeline.at(AbsTime(10)) == {1, 2}
+        assert timeline.at(AbsTime(99)) == set()
+
+    def test_len_counts_stamps(self, timeline):
+        assert len(timeline) == 3
+
+    def test_remove_object(self, timeline):
+        timeline.remove(AbsTime(10), 1)
+        assert timeline.at(AbsTime(10)) == {2}
+
+    def test_remove_last_object_drops_stamp(self, timeline):
+        timeline.remove(AbsTime(20), 3)
+        assert AbsTime(20) not in timeline.timestamps()
+        assert len(timeline) == 2
+
+    def test_remove_unknown(self, timeline):
+        with pytest.raises(TemporalError):
+            timeline.remove(AbsTime(10), 99)
+
+    def test_timestamps_sorted(self, timeline):
+        assert timeline.timestamps() == [AbsTime(10), AbsTime(20), AbsTime(40)]
+
+
+class TestBracketing:
+    def test_interior_gap(self, timeline):
+        assert timeline.bracketing(AbsTime(30)) == (AbsTime(20), AbsTime(40))
+
+    def test_populated_stamp_brackets_itself(self, timeline):
+        assert timeline.bracketing(AbsTime(20)) == (AbsTime(20), AbsTime(20))
+
+    def test_before_first(self, timeline):
+        assert timeline.bracketing(AbsTime(5)) == (None, AbsTime(10))
+
+    def test_after_last(self, timeline):
+        assert timeline.bracketing(AbsTime(50)) == (AbsTime(40), None)
+
+    def test_nearest(self, timeline):
+        assert timeline.nearest(AbsTime(12)) == AbsTime(10)
+        assert timeline.nearest(AbsTime(31)) == AbsTime(40)
+        assert timeline.nearest(AbsTime(30)) == AbsTime(20)  # tie -> earlier
+        assert Timeline().nearest(AbsTime(0)) is None
+
+
+class TestRange:
+    def test_in_range(self, timeline):
+        assert timeline.in_range(AbsTime(10), AbsTime(20)) == \
+            [AbsTime(10), AbsTime(20)]
+        assert timeline.in_range(AbsTime(11), AbsTime(19)) == []
+
+    def test_bad_range(self, timeline):
+        with pytest.raises(TemporalError):
+            timeline.in_range(AbsTime(20), AbsTime(10))

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are documentation that executes; a broken example is a doc bug.
+Each main() is imported and run with stdout captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", _EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = _load(path)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} printed nothing"
+
+
+def test_examples_exist():
+    names = {p.stem for p in _EXAMPLES}
+    assert {"quickstart", "vegetation_change", "desert_classification",
+            "land_change_detection", "interactive_and_mosaic"} <= names
