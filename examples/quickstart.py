@@ -1,29 +1,37 @@
-"""Quickstart: define a class and a process, then let Gaea derive data.
+"""Quickstart: the v2 connect/cursor API driving the paper's core loop.
 
-Walks the paper's core loop in ~60 lines:
-
-1. open a session (kernel + GaeaQL interpreter);
+1. connect to a fresh kernel (``repro.connect``);
 2. define a base class (rectified Landsat TM bands) and a derived class
    (land cover) with its derivation process — Figure 3's P20;
 3. load synthetic scenes;
-4. query the *derived* class: Gaea notices nothing is stored, plans the
+4. prepare a parameterized retrieval once, then execute it with
+   different bind values: Gaea notices nothing is stored, plans the
    derivation over its Petri net, runs the process, records the task;
-5. query again: now it is a plain retrieval;
-6. inspect the lineage of the derived object.
+5. execute it again: now it is a plain retrieval, and the plan came
+   straight from the connection's plan cache (no re-parse/re-plan);
+6. stream the result through the cursor and inspect its lineage.
+
+Migration note: the legacy ``open_session().execute(source)`` API still
+works, but re-parses and re-plans every call.  ``repro.connect()`` gives
+the same GaeaQL plus ``?``/``:name`` bind parameters, a plan cache,
+streaming fetches (``fetchone``/``fetchmany``/iteration) and
+transactions; an existing session exposes ``session.connection()`` to
+migrate incrementally.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import open_session
+import repro
 from repro.figures import AFRICA
 from repro.gis import SceneGenerator
 from repro.temporal import AbsTime
 
 
 def main() -> None:
-    session = open_session(universe=AFRICA)
+    conn = repro.connect(universe=AFRICA)
+    cur = conn.cursor()
 
-    session.execute("""
+    cur.execute("""
     DEFINE CLASS landsat_tm (
       ATTRIBUTES: area = char16; band = char16; data = image;
       SPATIAL EXTENT: spatialextent = box;
@@ -56,31 +64,35 @@ def main() -> None:
     stamp = AbsTime.from_ymd(1986, 1, 15)
     for band, image in zip(("red", "nir", "green"),
                            generator.scene("africa", 1986, 1)):
-        session.kernel.store.store("landsat_tm", {
+        conn.kernel.store.store("landsat_tm", {
             "area": "africa", "band": band, "data": image,
             "spatialextent": AFRICA, "timestamp": stamp,
         })
     print("loaded 3 rectified TM bands for Africa, 1986-01-15")
 
-    explained = session.execute_one(
-        "EXPLAIN SELECT FROM land_cover WHERE timestamp = '1986-01-15'"
+    cover_at = conn.prepare(
+        "SELECT FROM land_cover WHERE timestamp = ?"
+    )
+
+    [explained] = conn.execute(
+        "EXPLAIN SELECT FROM land_cover WHERE timestamp = ?",
+        ["1986-01-15"],
     )
     print("optimizer says:", explained.message)
 
-    result = session.execute_one(
-        "SELECT FROM land_cover WHERE timestamp = '1986-01-15'"
-    )
-    cover = result.objects[0]
-    print(f"retrieved via path={result.path!r}; "
-          f"numclass={cover['numclass']}, "
-          f"labels in [{cover['data'].data.min()}, {cover['data'].data.max()}]")
+    cur.execute(cover_at, ["1986-01-15"])
+    cover = cur.fetchone()
+    print(f"derived on demand; numclass={cover['numclass']}, "
+          f"labels in [{cover['data'].data.min()}, "
+          f"{cover['data'].data.max()}]")
 
-    again = session.execute_one(
-        "SELECT FROM land_cover WHERE timestamp = '1986-01-15'"
-    )
-    print(f"second query path={again.path!r} (now materialized)")
+    cur.execute(cover_at, ["1986-01-15"])
+    cur.fetchall()
+    print(f"second execution reused the cached plan "
+          f"(hits={conn.cache_hits}, misses={conn.cache_misses}) "
+          "and retrieved the materialized object")
 
-    lineage = session.execute_one(f"LINEAGE {cover.oid}")
+    [lineage] = conn.execute(f"LINEAGE {cover.oid}")
     print(lineage.message)
 
 

@@ -20,21 +20,44 @@ The package rebuilds the Gaea kernel from scratch in Python:
 
 Quickstart::
 
-    from repro import open_session
+    import repro
 
-    session = open_session()
-    session.execute('''
+    conn = repro.connect()
+    cur = conn.cursor()
+    cur.execute('''
         DEFINE CLASS landsat_tm (
           ATTRIBUTES: band = char16; data = image;
           SPATIAL EXTENT: spatialextent = box;
           TEMPORAL EXTENT: timestamp = abstime;
         )
     ''')
+    scenes = conn.prepare("SELECT FROM landsat_tm WHERE timestamp = ?")
+    cur.execute(scenes, ["1986-01-15"])   # planned once, bound per call
+    for obj in cur:                        # objects stream lazily
+        print(obj.oid, obj["band"])
+
+Migrating from ``open_session``: the legacy session API still works
+unchanged (``open_session().execute(source)``), but it re-parses and
+re-plans every call.  ``repro.connect()`` returns a
+:class:`~repro.query.client.Connection` whose cursors accept the same
+GaeaQL, add ``?``/``:name`` bind parameters, reuse plans through an LRU
+cache (``conn.cache_hits``), stream results, and scope work in
+transactions (``conn.begin()``/``commit()``/``rollback()``).  An
+existing session exposes ``session.connection()`` for incremental
+migration.
 """
 
 from .core import open_kernel
-from .query import open_session
+from .query import Connection, Cursor, PreparedStatement, connect, open_session
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = ["open_kernel", "open_session", "__version__"]
+__all__ = [
+    "Connection",
+    "Cursor",
+    "PreparedStatement",
+    "connect",
+    "open_kernel",
+    "open_session",
+    "__version__",
+]

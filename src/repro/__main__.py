@@ -16,8 +16,8 @@ import sys
 
 from .core.persistence import load_kernel, save_kernel
 from .errors import GaeaError
+from .query.client import Connection, connect
 from .query.executor import QueryResult
-from .query.session import GaeaSession, open_session
 
 __all__ = ["main"]
 
@@ -35,10 +35,11 @@ def _render(result: QueryResult) -> str:
     return result.message
 
 
-def _execute(session: GaeaSession, source: str, out) -> bool:
-    """Run *source*; returns False when a statement failed."""
+def _execute(connection: Connection, source: str, out) -> bool:
+    """Run *source* on a cursor; returns False when a statement failed."""
+    cursor = connection.cursor()
     try:
-        for result in session.execute(source):
+        for result in cursor.run(source):
             print(_render(result), file=out)
     except GaeaError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=out)
@@ -46,7 +47,7 @@ def _execute(session: GaeaSession, source: str, out) -> bool:
     return True
 
 
-def _repl(session: GaeaSession) -> None:
+def _repl(connection: Connection) -> None:
     print("Gaea — GaeaQL interactive session "
           "(blank line executes, \\q quits)")
     buffer: list[str] = []
@@ -59,12 +60,12 @@ def _repl(session: GaeaSession) -> None:
         if line.strip() == "\\q":
             break
         if line.strip() == "" and buffer:
-            _execute(session, "\n".join(buffer), sys.stdout)
+            _execute(connection, "\n".join(buffer), sys.stdout)
             buffer = []
         elif line.strip():
             buffer.append(line)
     if buffer:
-        _execute(session, "\n".join(buffer), sys.stdout)
+        _execute(connection, "\n".join(buffer), sys.stdout)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -88,9 +89,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: cannot load {args.checkpoint}: {exc}",
                   file=sys.stderr)
             return 2
-        session = GaeaSession(kernel=kernel)
+        connection = connect(kernel=kernel)
     else:
-        session = open_session()
+        connection = connect()
 
     ok = True
     if args.script:
@@ -101,12 +102,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: cannot read {args.script}: {exc}",
                   file=sys.stderr)
             return 2
-        ok = _execute(session, source, sys.stdout)
+        ok = _execute(connection, source, sys.stdout)
     else:
-        _repl(session)
+        _repl(connection)
 
     if args.save:
-        save_kernel(session.kernel, args.save)
+        save_kernel(connection.kernel, args.save)
         print(f"checkpoint saved to {args.save}")
     return 0 if ok else 1
 

@@ -32,10 +32,13 @@ from ..adt.registry import TypeRegistry
 from ..errors import (
     ClassAlreadyDefinedError,
     DerivationError,
+    TransactionError,
+    TupleNotFoundError,
     UnknownClassError,
 )
 from ..spatial.box import Box
 from ..storage.engine import StorageEngine
+from ..storage.transactions import Transaction
 from ..temporal.abstime import AbsTime
 
 __all__ = ["NonPrimitiveClass", "SciObject", "ClassRegistry", "ClassStore"]
@@ -185,11 +188,63 @@ class ClassStore:
     universe: Box | None = None
     _oid_counter: Iterator[int] = field(default_factory=lambda: itertools.count(1))
     _oid_index: dict[int, tuple[str, Any]] = field(default_factory=dict)
+    #: Explicit transaction scoping all stores/reads (None = auto-commit).
+    current_tx: Transaction | None = field(default=None)
+    #: Oids stored under the open transaction (purged on rollback).
+    _tx_oids: list[int] = field(default_factory=list)
 
     @staticmethod
     def relation_for(class_name: str) -> str:
         """Storage relation name backing *class_name*."""
         return f"cls_{class_name}"
+
+    # -- transaction scoping (no-overwrite MVCC under the objects) -------------
+
+    def begin_transaction(self) -> Transaction:
+        """Start an explicit transaction scoping subsequent object work.
+
+        The kernel is a single-writer store: one explicit transaction at
+        a time, shared by every connection over this kernel.  While it is
+        open, stored objects are visible to this store's readers (the
+        transaction sees its own writes) but invisible to fresh snapshots
+        until commit.
+        """
+        if self.current_tx is not None:
+            raise TransactionError(
+                f"transaction {self.current_tx.xid} is already active on "
+                "this kernel (single-writer store)"
+            )
+        self.current_tx = self.engine.begin()
+        self._tx_oids = []
+        return self.current_tx
+
+    def commit_transaction(self) -> None:
+        """Commit the explicit transaction; its objects become durable."""
+        if self.current_tx is None:
+            raise TransactionError("no transaction is active")
+        self.engine.commit(self.current_tx)
+        self.current_tx = None
+        self._tx_oids = []
+
+    def rollback_transaction(self) -> None:
+        """Abort the explicit transaction; its object versions stay dead
+        forever (no-overwrite storage).  Oids allocated under the
+        transaction are dropped from the object index so later lookups
+        fail with the documented :class:`UnknownClassError` instead of
+        pointing at permanently invisible row versions."""
+        if self.current_tx is None:
+            raise TransactionError("no transaction is active")
+        self.engine.abort(self.current_tx)
+        self.current_tx = None
+        for oid in self._tx_oids:
+            self._oid_index.pop(oid, None)
+        self._tx_oids = []
+
+    def _snapshot(self):
+        """Snapshot for reads: the open transaction's view, if any."""
+        if self.current_tx is None:
+            return None  # engine default: everything committed
+        return self.engine.snapshot(self.current_tx)
 
     def materialize(self, cls: NonPrimitiveClass) -> None:
         """Create the backing relation (and extent indexes) for *cls*."""
@@ -218,9 +273,14 @@ class ClassStore:
             )
         oid = next(self._oid_counter)
         row = (oid,) + tuple(values[a] for a in cls.attribute_names)
-        tid = self.engine.insert_row(self.relation_for(class_name), row)
+        relation = self.relation_for(class_name)
+        if self.current_tx is not None:
+            tid = self.engine.insert(relation, row, self.current_tx)
+            self._tx_oids.append(oid)
+        else:
+            tid = self.engine.insert_row(relation, row)
         self._oid_index[oid] = (class_name, tid)
-        stored = self.engine.fetch(self.relation_for(class_name), tid)
+        stored = self.engine.fetch(relation, tid, self._snapshot())
         obj_values = {a: stored[a] for a in cls.attribute_names}
         return SciObject(class_name=class_name, oid=oid, values=obj_values)
 
@@ -235,7 +295,16 @@ class ClassStore:
             class_name, tid = self._oid_index[oid]
         except KeyError:
             raise UnknownClassError(f"no object with oid {oid}") from None
-        row = self.engine.fetch(self.relation_for(class_name), tid)
+        try:
+            row = self.engine.fetch(self.relation_for(class_name), tid,
+                                    self._snapshot())
+        except TupleNotFoundError:
+            # The backing version is invisible under this snapshot (e.g.
+            # its transaction rolled back): to callers the object simply
+            # does not exist.
+            raise UnknownClassError(
+                f"no object with oid {oid} (version not visible)"
+            ) from None
         return self._row_to_object(class_name, row)
 
     def objects(self, class_name: str) -> list[SciObject]:
@@ -244,7 +313,7 @@ class ClassStore:
         relation = self.relation_for(class_name)
         return [
             self._row_to_object(class_name, row)
-            for row in self.engine.scan(relation)
+            for row in self.engine.scan(relation, self._snapshot())
         ]
 
     def count(self, class_name: str) -> int:
@@ -263,19 +332,20 @@ class ClassStore:
         """
         cls = self.registry.get(class_name)
         relation = self.relation_for(class_name)
+        snapshot = self._snapshot()
         rows = None
         if spatial is not None and cls.spatial_attr is not None \
                 and self.universe is not None:
-            rows = self.engine.spatial_lookup(relation, spatial)
+            rows = self.engine.spatial_lookup(relation, spatial, snapshot)
         if temporal is not None and cls.temporal_attr is not None:
-            t_rows = self.engine.temporal_lookup(relation, temporal)
+            t_rows = self.engine.temporal_lookup(relation, temporal, snapshot)
             if rows is None:
                 rows = t_rows
             else:
                 tids = {row.tid for row in t_rows}
                 rows = [row for row in rows if row.tid in tids]
         if rows is None:
-            rows = list(self.engine.scan(relation))
+            rows = list(self.engine.scan(relation, snapshot))
         objects = [self._row_to_object(class_name, row) for row in rows]
         if spatial is not None and cls.spatial_attr is not None:
             objects = [

@@ -52,6 +52,10 @@ class ConceptHierarchy:
 
     _concepts: dict[str, Concept] = field(default_factory=dict)
     _parents: dict[str, set[str]] = field(default_factory=dict)  # child -> parents
+    #: Bumped on every structural change (new concept, ISA edge, member
+    #: attachment) — unlike classes/processes, concepts are mutable, so
+    #: plan caches need more than a count to detect staleness.
+    revision: int = 0
 
     # -- definition -----------------------------------------------------------
 
@@ -64,6 +68,7 @@ class ConceptHierarchy:
                           member_classes=set(member_classes or set()))
         self._concepts[name] = concept
         self._parents[name] = set()
+        self.revision += 1
         return concept
 
     def get(self, name: str) -> Concept:
@@ -89,6 +94,7 @@ class ConceptHierarchy:
         if child == parent or parent in self.descendants(child):
             raise ConceptCycleError(f"{child} ISA {parent} would create a cycle")
         self._parents[child].add(parent)
+        self.revision += 1
 
     def parents(self, name: str) -> set[str]:
         """Direct generalizations of *name*."""
@@ -144,6 +150,7 @@ class ConceptHierarchy:
     def attach_class(self, concept: str, class_name: str) -> None:
         """Map a derivation-layer class into *concept*."""
         self.get(concept).add_class(class_name)
+        self.revision += 1
 
     def classes_of(self, concept: str, transitive: bool = False) -> set[str]:
         """Member classes of *concept*; with ``transitive`` include every

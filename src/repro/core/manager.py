@@ -27,6 +27,7 @@ from ..errors import (
     GaeaError,
     InteractionRequiredError,
     TaskExecutionError,
+    UnknownClassError,
 )
 from .classes import ClassRegistry, ClassStore, NonPrimitiveClass, SciObject
 from .compound import CompoundProcess, CompoundRegistry
@@ -139,9 +140,16 @@ class DerivationManager:
         if reuse:
             memoized = self._find_reusable(process, bindings, resolved)
             if memoized is not None:
-                output = self.store.get(memoized.output_oids[0])
-                return DerivationResult(output=output, task=memoized,
-                                        reused=True)
+                try:
+                    output = self.store.get(memoized.output_oids[0])
+                except UnknownClassError:
+                    # The recorded output no longer exists — e.g. its
+                    # transaction rolled back in the no-overwrite store.
+                    # The task log is history, not truth: recompute.
+                    pass
+                else:
+                    return DerivationResult(output=output, task=memoized,
+                                            reused=True)
         try:
             attributes = process.evaluate(bindings, self.operators,
                                           parameter_overrides=overrides)

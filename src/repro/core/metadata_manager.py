@@ -54,6 +54,23 @@ class MetadataManager:
             tasks=self.derivations.tasks, store=self.store
         )
 
+    def schema_version(self) -> tuple[int, int, int, int]:
+        """A cheap version stamp of everything plans depend on.
+
+        Classes, processes and compounds are add-only (processes are
+        immutable per §2.1.4), so their counts suffice; the concept
+        hierarchy can gain ISA edges and members, so it contributes its
+        own revision counter.  Plan caches compare this stamp to decide
+        whether a cached plan is still meaningful.
+        """
+        return (
+            len(self.classes.names()),
+            len(self.derivations.processes.names())
+            + len(self.derivations.compounds.names()),
+            len(self.concepts.names()),
+            self.concepts.revision,
+        )
+
     # -- component tree (FIG-1 regeneration) -----------------------------------
 
     def component_tree(self) -> dict[str, object]:

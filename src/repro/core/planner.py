@@ -125,6 +125,19 @@ class RetrievalPlanner:
             + (f" ({'; '.join(errors)})" if errors else "")
         )
 
+    def derive(self, class_name: str,
+               spatial: Box | None = None,
+               temporal: AbsTime | None = None,
+               spatial_coverage: bool = False) -> RetrievalResult:
+        """Force the derivation path, skipping direct retrieval.
+
+        The public face of the §2.1.5 step-3 machinery, used by the
+        ``DERIVE`` statement: recompute the objects through the
+        derivation net even when matching data is already stored.
+        """
+        return self._derive(class_name, spatial, temporal,
+                            spatial_coverage=spatial_coverage)
+
     # -- step 2: interpolation ------------------------------------------------------
 
     def _interpolate(self, class_name: str, spatial: Box | None,

@@ -210,6 +210,22 @@ class ExecutionError(QueryError):
     """The executor failed while running a plan."""
 
 
+class BindError(QueryError):
+    """Bind parameters do not match a statement's placeholders
+    (missing, extra, or wrongly typed values)."""
+
+
+class InterfaceError(QueryError):
+    """The client API was used incorrectly (e.g. a closed connection
+    or cursor, or an illegal transaction state transition)."""
+
+
+class ResultCardinalityError(QueryError, ValueError):
+    """A single-result API received a source producing zero or several
+    results.  Subclasses :class:`ValueError` for backward compatibility
+    with callers of the pre-connection API."""
+
+
 # ---------------------------------------------------------------------------
 # Extent algebra
 # ---------------------------------------------------------------------------

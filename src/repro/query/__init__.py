@@ -1,7 +1,9 @@
-"""The GaeaQL interpreter: parser, optimizer, executor (Figure 1)."""
+"""The GaeaQL interpreter: parser, optimizer, executor (Figure 1), plus
+the v2 client layer (connections, cursors, prepared statements)."""
 
 from .ast import (
     ArgumentSpec,
+    BoxTemplate,
     DefineClass,
     DefineCompound,
     DefineConcept,
@@ -9,21 +11,45 @@ from .ast import (
     Derive,
     Explain,
     LineageQuery,
+    Param,
     RunProcess,
     Select,
     Show,
     Statement,
     StepSpec,
 )
+from .binding import ParamSignature, bind_nodes, collect_signature
+from .client import Connection, Cursor, PreparedStatement, connect
 from .executor import Executor, QueryResult
 from .lexer import tokenize
-from .optimizer import ExplainNode, Optimizer, PlanNode, RetrieveNode, StatementNode
+from .optimizer import (
+    CompiledPlan,
+    ExplainNode,
+    Optimizer,
+    PlanCache,
+    PlanNode,
+    RetrieveNode,
+    StatementNode,
+    fingerprint,
+)
 from .parser import parse, parse_statement
 from .session import GaeaSession, open_session
 from .tokens import Token, TokenType
 
 __all__ = [
     "ArgumentSpec",
+    "BoxTemplate",
+    "CompiledPlan",
+    "Connection",
+    "Cursor",
+    "Param",
+    "ParamSignature",
+    "PlanCache",
+    "PreparedStatement",
+    "bind_nodes",
+    "collect_signature",
+    "connect",
+    "fingerprint",
     "DefineClass",
     "DefineCompound",
     "DefineConcept",

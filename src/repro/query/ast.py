@@ -38,11 +38,40 @@ __all__ = [
     "RunProcess",
     "Show",
     "LineageQuery",
+    "Param",
+    "BoxTemplate",
 ]
 
 
 class Statement:
     """Base class for parsed statements."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """A bind-parameter placeholder: ``?`` (positional, 0-based slot) or
+    ``:name`` (named).  Exactly one of ``index``/``name`` is set.
+
+    Placeholders are legal wherever a retrieval statement takes a value:
+    WHERE equality literals, timestamps, box coordinates (or whole
+    boxes), and the DERIVE extents.  A statement never mixes the two
+    styles.
+    """
+
+    index: int | None = None
+    name: str | None = None
+
+    def describe(self) -> str:
+        """Source-level spelling of this placeholder."""
+        return f":{self.name}" if self.name is not None else "?"
+
+
+@dataclass(frozen=True)
+class BoxTemplate:
+    """A box literal with at least one parameter coordinate:
+    ``(?, -35, :east, 38)``.  Resolved to a :class:`Box` at bind time."""
+
+    coords: tuple[Any, ...]  # 4 entries, each float or Param
 
 
 @dataclass(frozen=True)
@@ -112,21 +141,26 @@ class DefineConcept(Statement):
 class Select(Statement):
     """``SELECT FROM class [WHERE spatialextent OVERLAPS box AND
     timestamp = 'date' AND attr = literal]`` — concept names allowed as
-    the source; non-extent equality predicates become post-filters."""
+    the source; non-extent equality predicates become post-filters.
+
+    Any value position may hold a :class:`Param` placeholder (a box may
+    also be a :class:`BoxTemplate`); such statements must be bound
+    before execution."""
 
     source: str
-    spatial: Box | None = None
-    temporal: AbsTime | None = None
+    spatial: Box | BoxTemplate | Param | None = None
+    temporal: AbsTime | Param | None = None
     filters: tuple[tuple[str, Any], ...] = ()
 
 
 @dataclass(frozen=True)
 class Derive(Statement):
-    """``DERIVE class [AT 'date'] [IN box]`` — skip direct retrieval."""
+    """``DERIVE class [AT 'date'] [IN box]`` — skip direct retrieval.
+    The extents accept :class:`Param` placeholders like SELECT."""
 
     class_name: str
-    spatial: Box | None = None
-    temporal: AbsTime | None = None
+    spatial: Box | BoxTemplate | Param | None = None
+    temporal: AbsTime | Param | None = None
 
 
 @dataclass(frozen=True)

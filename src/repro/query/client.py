@@ -1,0 +1,409 @@
+"""The Gaea client API: connections, cursors, prepared statements.
+
+A DB-API-2.0-shaped layer over the GaeaQL interpreter, built for the
+paper's interactive scientists who issue many near-identical retrievals
+over the same classes::
+
+    import repro
+
+    with repro.connect() as conn:
+        cur = conn.cursor()
+        cur.execute(DDL)
+        query = conn.prepare(
+            "SELECT FROM land_cover WHERE timestamp = ?"
+        )
+        for stamp in epochs:
+            cur.execute(query, [stamp])
+            for obj in cur:          # objects stream lazily
+                ...
+
+Compared with the legacy ``open_session().execute(str)`` path:
+
+* statements are lexed/parsed/planned once — re-executions hit the
+  connection's LRU plan cache (``conn.cache_hits``), which DDL
+  invalidates via the kernel's schema version;
+* ``?`` positional and ``:name`` named placeholders separate the plan
+  from its bind values;
+* cursors defer retrieval execution until rows are pulled
+  (``fetchone``/``fetchmany``/iteration): post-filters apply lazily and
+  each retrieval node runs only as the stream reaches it — though a
+  single node still materializes its matching objects at once, since
+  the §2.1.5 planner is all-or-nothing per class;
+* ``begin``/``commit``/``rollback`` scope object stores in storage-level
+  transactions (single writer per kernel), and several connections can
+  share one kernel (``connect(kernel=...)``).
+
+Rows are :class:`~repro.core.classes.SciObject` instances, not tuples —
+the scientific object is the natural row of this data model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..core.metadata_manager import MetadataManager, WORLD, open_kernel
+from ..errors import InterfaceError
+from ..gis import register_gis_operators
+from ..spatial.box import Box
+from ..storage.transactions import Transaction
+from .binding import ParamSignature, bind_nodes, collect_signature
+from .executor import Executor, QueryResult
+from .optimizer import Optimizer, PlanCache, PlanNode, RetrieveNode
+
+__all__ = ["connect", "Connection", "Cursor", "PreparedStatement",
+           "apilevel", "paramstyle", "threadsafety"]
+
+#: PEP-249 module globals (informational).
+apilevel = "2.0"
+threadsafety = 1  # module-level sharing only
+paramstyle = "qmark"  # ':name' named parameters are also accepted
+
+
+@dataclass(frozen=True)
+class PreparedStatement:
+    """A compiled statement: plan once, bind and execute many times.
+
+    Obtained from :meth:`Connection.prepare`; pass it (with bind values)
+    to :meth:`Cursor.execute`.  The plan template is immutable — binding
+    produces fresh concrete plan nodes per execution.
+    """
+
+    source: str
+    fingerprint: str
+    nodes: tuple[PlanNode, ...]
+    signature: ParamSignature
+
+    def bind(self, params: Any = None) -> list[PlanNode]:
+        """Concrete plan nodes for one execution."""
+        return bind_nodes(self.nodes, self.signature, params)
+
+
+class Connection:
+    """A client connection over one Gaea kernel.
+
+    Holds the interpreter pair (optimizer with plan cache, executor) and
+    the transaction scope.  Several connections may share a kernel; each
+    keeps its own plan cache and history, while transactions serialize at
+    the storage layer (single writer per kernel).
+    """
+
+    def __init__(self, kernel: MetadataManager,
+                 plan_cache_size: int = 128):
+        self.kernel = kernel
+        self.optimizer = Optimizer(
+            kernel=kernel, cache=PlanCache(maxsize=plan_cache_size)
+        )
+        self.executor = Executor(kernel=kernel)
+        self._tx: Transaction | None = None
+        self._closed = False
+
+    # -- plan-cache statistics -------------------------------------------------
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The connection's LRU plan cache (hit/miss/invalidation stats)."""
+        return self.optimizer.cache
+
+    @property
+    def cache_hits(self) -> int:
+        return self.optimizer.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.optimizer.cache.misses
+
+    # -- statement preparation -------------------------------------------------
+
+    def prepare(self, source: str) -> PreparedStatement:
+        """Compile *source* once (through the plan cache).
+
+        Re-preparing the same text, or executing it as a plain string,
+        skips re-lexing/re-parsing/re-planning entirely.
+        """
+        self._check_open()
+        plan = self.optimizer.compile(source)
+        return PreparedStatement(
+            source=source,
+            fingerprint=plan.fingerprint,
+            nodes=plan.nodes,
+            signature=collect_signature(plan.nodes),
+        )
+
+    def cursor(self) -> Cursor:
+        """A new cursor over this connection."""
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, source: str | PreparedStatement,
+                params: Any = None) -> list[QueryResult]:
+        """Eager convenience: run every statement, return all results.
+
+        Drives a throwaway cursor; use :meth:`cursor` directly to stream
+        large retrievals instead of materializing them.
+        """
+        return self.cursor().run(source, params)
+
+    # -- transactions -----------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._tx is not None
+
+    def begin(self) -> Transaction:
+        """Open an explicit transaction on the kernel's object store.
+
+        Objects stored until :meth:`commit` are visible to this kernel's
+        readers mid-flight (they share the writer's snapshot) but are
+        permanently discarded by :meth:`rollback` — the storage layer is
+        no-overwrite MVCC, so rolled-back versions simply never commit.
+        """
+        self._check_open()
+        if self._tx is not None:
+            raise InterfaceError(
+                f"transaction {self._tx.xid} is already open on this "
+                "connection"
+            )
+        self._tx = self.kernel.store.begin_transaction()
+        return self._tx
+
+    def commit(self) -> None:
+        """Commit the open transaction (no-op outside one: auto-commit)."""
+        self._check_open()
+        if self._tx is None:
+            return
+        self.kernel.store.commit_transaction()
+        self._tx = None
+
+    def rollback(self) -> None:
+        """Abort the open transaction (no-op outside one)."""
+        self._check_open()
+        if self._tx is None:
+            return
+        self.kernel.store.rollback_transaction()
+        self._tx = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the connection, rolling back any open transaction."""
+        if self._closed:
+            return
+        if self._tx is not None:
+            self.rollback()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    def __enter__(self) -> Connection:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            if self._tx is not None:
+                self.rollback()
+        self.close()
+
+
+class Cursor:
+    """A streaming result handle (PEP-249 shaped).
+
+    ``execute`` runs DDL/RUN/SHOW statements up to the first retrieval
+    immediately; retrieval results then stream through ``fetchone`` /
+    ``fetchmany`` / iteration, applying post-filters per object.
+    Laziness is per plan node: a node's retrieval (and any derivation it
+    triggers) runs in full when the stream first reaches it, but later
+    nodes — other concept members, later statements — wait until the
+    stream gets there, and statements *after* a retrieval execute only
+    as the row stream is drained (``fetchall`` drains everything).
+    """
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        #: Non-object results (DDL messages, SHOW output, EXPLAIN) in
+        #: execution order.
+        self.results: list[QueryResult] = []
+        self.description: list[tuple] | None = None
+        self._rows: Iterator[Any] | None = None
+        self._fetched = 0
+        self._exhausted = True
+        self._closed = False
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, operation: str | PreparedStatement,
+                params: Any = None) -> Cursor:
+        """Execute *operation* (source text or a prepared statement)."""
+        nodes = self._bound_nodes(operation, params)
+        self.results = []
+        self._fetched = 0
+        self._describe(nodes)
+        boundary = 0
+        while boundary < len(nodes) \
+                and not isinstance(nodes[boundary], RetrieveNode):
+            self.results.append(self.connection.executor.execute(
+                nodes[boundary]
+            ))
+            boundary += 1
+        self._exhausted = boundary >= len(nodes)
+        self._rows = self._stream(nodes[boundary:])
+        return self
+
+    def executemany(self, operation: str | PreparedStatement,
+                    seq_of_params: Any) -> Cursor:
+        """Execute once per parameter set, draining each run."""
+        for params in seq_of_params:
+            self.execute(operation, params)
+            self.fetchall()
+        return self
+
+    def run(self, operation: str | PreparedStatement,
+            params: Any = None) -> list[QueryResult]:
+        """Eagerly execute every statement, returning full results.
+
+        The materializing counterpart of :meth:`execute`: statement
+        order is strictly preserved and retrievals come back as
+        ``kind="objects"`` results — the contract the legacy session API
+        and the CLI render.
+        """
+        nodes = self._bound_nodes(operation, params)
+        self.results = []
+        self._rows = None
+        self._exhausted = True
+        self._describe(nodes)
+        out = [self.connection.executor.execute(node) for node in nodes]
+        self.results = [r for r in out if r.kind != "objects"]
+        self._fetched = sum(
+            len(r.objects) for r in out if r.kind == "objects"
+        )
+        return out
+
+    # -- fetching ---------------------------------------------------------------
+
+    def fetchone(self) -> Any | None:
+        """The next object, or None when the stream is exhausted."""
+        self._check_open()
+        if self._rows is None:
+            raise InterfaceError("no execute() has been issued")
+        for obj in self._rows:
+            self._fetched += 1
+            return obj
+        self._exhausted = True
+        return None
+
+    def fetchmany(self, size: int | None = None) -> list[Any]:
+        """Up to *size* objects (default ``arraysize``)."""
+        count = self.arraysize if size is None else size
+        out = []
+        while len(out) < count:
+            obj = self.fetchone()
+            if obj is None:
+                break
+            out.append(obj)
+        return out
+
+    def fetchall(self) -> list[Any]:
+        """Every remaining object (drains the stream)."""
+        out = []
+        while True:
+            obj = self.fetchone()
+            if obj is None:
+                return out
+            out.append(obj)
+
+    def __iter__(self) -> Iterator[Any]:
+        while True:
+            obj = self.fetchone()
+            if obj is None:
+                return
+            yield obj
+
+    @property
+    def rowcount(self) -> int:
+        """Objects produced so far; -1 while the stream is still open."""
+        if not self._exhausted:
+            return -1
+        return self._fetched
+
+    def close(self) -> None:
+        self._rows = None
+        self._exhausted = True
+        self._closed = True
+
+    # -- internals ---------------------------------------------------------------
+
+    def _bound_nodes(self, operation: str | PreparedStatement,
+                     params: Any) -> list[PlanNode]:
+        self._check_open()
+        self.connection._check_open()
+        if isinstance(operation, PreparedStatement):
+            # Go through the plan cache rather than the statement's own
+            # template: repeated executions count as cache hits, and a
+            # statement prepared before DDL transparently re-plans
+            # (the cache invalidates on schema-version mismatch).
+            plan = self.connection.optimizer.compile(operation.source)
+            return bind_nodes(plan.nodes, operation.signature, params)
+        prepared = self.connection.prepare(operation)
+        return prepared.bind(params)
+
+    def _describe(self, nodes: list[PlanNode]) -> None:
+        """PEP-249 ``description`` from the first retrieval's class."""
+        self.description = None
+        for node in nodes:
+            if isinstance(node, RetrieveNode):
+                cls = self.connection.kernel.classes.get(node.class_name)
+                self.description = [
+                    (attr, type_name, None, None, None, None, None)
+                    for attr, type_name in cls.attributes
+                ]
+                return
+
+    def _stream(self, nodes: list[PlanNode]) -> Iterator[Any]:
+        executor = self.connection.executor
+        for node in nodes:
+            if isinstance(node, RetrieveNode):
+                yield from executor.iter_objects(node)
+            else:
+                self.results.append(executor.execute(node))
+        self._exhausted = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+
+    def __enter__(self) -> Cursor:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def connect(universe: Box = WORLD,
+            with_gis_operators: bool = True,
+            kernel: MetadataManager | None = None,
+            plan_cache_size: int = 128) -> Connection:
+    """Open a connection to a Gaea kernel.
+
+    With no *kernel*, a fresh one is created over *universe* (GIS
+    operators registered by default, as the paper's processes need
+    them).  Pass an existing kernel to open additional concurrent
+    connections over the same data::
+
+        conn_a = repro.connect()
+        conn_b = repro.connect(kernel=conn_a.kernel)
+    """
+    if kernel is None:
+        kernel = open_kernel(universe=universe)
+        if with_gis_operators:
+            register_gis_operators(kernel.operators)
+    return Connection(kernel=kernel, plan_cache_size=plan_cache_size)

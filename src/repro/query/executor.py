@@ -1,26 +1,41 @@
-"""The GaeaQL executor: plan nodes → results against the kernel."""
+"""The GaeaQL executor: plan nodes → results against the kernel.
+
+Retrievals come in two shapes: :meth:`Executor.execute` materializes a
+full :class:`QueryResult`, while :meth:`Executor.iter_objects` yields
+matching objects one at a time, applying post-filters lazily — the
+streaming path behind :meth:`repro.query.client.Cursor.fetchone`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 from ..core.classes import NonPrimitiveClass, SciObject
 from ..core.compound import CompoundProcess, Step
 from ..core.derivation import Argument, Process
-from ..errors import ExecutionError, UnderivableError
+from ..core.planner import RetrievalResult
+from ..errors import BindError, ExecutionError, UnderivableError
 from ..core.metadata_manager import MetadataManager
 from .ast import (
+    BoxTemplate,
     DefineClass,
     DefineCompound,
     DefineConcept,
     DefineProcess,
     LineageQuery,
+    Param,
     RunProcess,
     Show,
     Statement,
 )
-from .optimizer import ExplainNode, PlanNode, RetrieveNode, StatementNode
+from .optimizer import (
+    DEFERRED_PATH,
+    ExplainNode,
+    PlanNode,
+    RetrieveNode,
+    StatementNode,
+)
 
 __all__ = ["QueryResult", "Executor"]
 
@@ -51,38 +66,85 @@ class Executor:
         if isinstance(node, RetrieveNode):
             return self._retrieve(node)
         if isinstance(node, ExplainNode):
-            lines = [
-                f"{inner.class_name}: path={inner.path_hint}"
+            paths = {
+                inner.class_name: self._explain_path(inner)
                 for inner in node.inner
+            }
+            lines = [
+                f"{name}: path={path}" for name, path in paths.items()
             ]
             return QueryResult(
                 kind="explanation",
                 message="\n".join(lines),
-                details={"paths": {n.class_name: n.path_hint
-                                   for n in node.inner}},
+                details={"paths": paths},
             )
         if isinstance(node, StatementNode):
             return self._statement(node.statement)
         raise ExecutionError(f"unknown plan node {type(node).__name__}")
 
+    def _explain_path(self, node: RetrieveNode) -> str:
+        """The node's path hint, recomputed when planning deferred it.
+
+        Plans compiled from parameterized statements carry
+        ``DEFERRED_PATH`` hints; once bind values are in place the path
+        can be explained against the current store.
+        """
+        if node.path_hint != DEFERRED_PATH:
+            return node.path_hint
+        self._require_bound(node)
+        explanation = self.kernel.planner.explain(
+            node.class_name, spatial=node.spatial, temporal=node.temporal
+        )
+        return str(explanation["path"])
+
     # -- retrieval ------------------------------------------------------------
 
-    def _retrieve(self, node: RetrieveNode) -> QueryResult:
+    @staticmethod
+    def _require_bound(node: RetrieveNode) -> None:
+        """Reject nodes still holding bind placeholders."""
+        unbound = (
+            isinstance(node.spatial, (Param, BoxTemplate))
+            or isinstance(node.temporal, Param)
+            or any(isinstance(v, Param) for _, v in node.filters)
+        )
+        if unbound:
+            raise BindError(
+                f"retrieval of {node.class_name!r} has unbound parameters — "
+                "supply bind values (cursor.execute(source, params))"
+            )
+
+    def _fetch(self, node: RetrieveNode) -> RetrievalResult:
+        """Run the §2.1.5 retrieval sequence for one plan node."""
+        self._require_bound(node)
         planner = self.kernel.planner
         if node.force_derivation:
-            result = planner._derive(  # noqa: SLF001 — deliberate: DERIVE stmt
-                node.class_name, node.spatial, node.temporal
-            )
-        else:
-            result = planner.retrieve(
-                node.class_name, spatial=node.spatial, temporal=node.temporal
-            )
-        objects = result.objects
-        if node.filters:
-            objects = tuple(
-                obj for obj in objects
-                if all(obj.get(attr) == value for attr, value in node.filters)
-            )
+            return planner.derive(node.class_name, node.spatial, node.temporal)
+        return planner.retrieve(
+            node.class_name, spatial=node.spatial, temporal=node.temporal
+        )
+
+    @staticmethod
+    def _passes(node: RetrieveNode, obj: SciObject) -> bool:
+        return all(obj.get(attr) == value for attr, value in node.filters)
+
+    def iter_objects(self, node: RetrieveNode) -> Iterator[SciObject]:
+        """Stream the objects of a retrieval node, filtering lazily.
+
+        The retrieval itself (including any derivation) runs in full on
+        the first pull — the planner is all-or-nothing per class — so
+        the laziness here is in deferring that work until a row is
+        actually wanted and in applying post-filters per object.
+        """
+        result = self._fetch(node)
+        for obj in result.objects:
+            if self._passes(node, obj):
+                yield obj
+
+    def _retrieve(self, node: RetrieveNode) -> QueryResult:
+        result = self._fetch(node)
+        objects = tuple(
+            obj for obj in result.objects if self._passes(node, obj)
+        )
         return QueryResult(
             kind="objects",
             objects=objects,

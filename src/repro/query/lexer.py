@@ -18,6 +18,7 @@ _SINGLE = {
     ".": TokenType.DOT,
     "=": TokenType.EQUALS,
     "$": TokenType.DOLLAR,
+    "?": TokenType.QMARK,
 }
 
 

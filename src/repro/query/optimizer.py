@@ -9,10 +9,19 @@ The optimizer's decisions mirror §2.1.5:
   fallback order — using :meth:`RetrievalPlanner.explain` without side
   effects;
 * DDL and browsing statements pass through as singleton plans.
+
+:meth:`Optimizer.compile` adds the prepared-statement fast path: whole
+programs are lexed/parsed/planned once and kept in an LRU
+:class:`PlanCache` keyed on the source fingerprint.  Entries carry the
+kernel's schema version at plan time; DDL (new classes, processes,
+concept edits) changes what a plan means, so stale entries are dropped
+on lookup instead of being served.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -21,6 +30,7 @@ from ..errors import PlanningError
 from ..spatial.box import Box
 from ..temporal.abstime import AbsTime
 from .ast import (
+    BoxTemplate,
     DefineClass,
     DefineCompound,
     DefineConcept,
@@ -28,14 +38,26 @@ from .ast import (
     Derive,
     Explain,
     LineageQuery,
+    Param,
     RunProcess,
     Select,
     Show,
     Statement,
 )
+from .parser import parse
 
 __all__ = ["PlanNode", "RetrieveNode", "StatementNode", "ExplainNode",
-           "Optimizer"]
+           "Optimizer", "PlanCache", "CompiledPlan", "fingerprint",
+           "DEFERRED_PATH"]
+
+#: Path hint of a retrieval whose extents are bind parameters: the
+#: actual path can only be explained once values are bound.
+DEFERRED_PATH = "deferred"
+
+
+def fingerprint(source: str) -> str:
+    """Stable fingerprint of a statement's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
 
 
 class PlanNode:
@@ -44,11 +66,16 @@ class PlanNode:
 
 @dataclass(frozen=True)
 class RetrieveNode(PlanNode):
-    """Planned retrieval of one class with a chosen path hint."""
+    """Planned retrieval of one class with a chosen path hint.
+
+    The extents and filter values may hold unresolved bind placeholders
+    (:class:`Param` / :class:`BoxTemplate`) when the node comes from a
+    prepared statement; they must be bound before execution.
+    """
 
     class_name: str
-    spatial: Box | None
-    temporal: AbsTime | None
+    spatial: Box | BoxTemplate | Param | None
+    temporal: AbsTime | Param | None
     path_hint: str
     concept: str | None = None  # set when the SELECT named a concept
     force_derivation: bool = False
@@ -69,12 +96,101 @@ class ExplainNode(PlanNode):
     inner: tuple[RetrieveNode, ...]
 
 
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A compiled program: the executable plan nodes of all statements.
+
+    Nodes may still hold :class:`~repro.query.ast.Param` placeholders;
+    :func:`repro.query.binding.bind_nodes` resolves them per execution.
+    """
+
+    fingerprint: str
+    nodes: tuple[PlanNode, ...]
+    cached: bool = False  # True when served from the plan cache
+
+
+@dataclass
+class PlanCache:
+    """LRU cache of compiled retrieval plans, validated by schema version.
+
+    A cached entry is only served while the kernel's schema version still
+    matches the version it was planned under; DDL bumps the version, so
+    stale plans are invalidated lazily on their next lookup.
+    """
+
+    maxsize: int = 128
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    _entries: OrderedDict[str, tuple[tuple[Any, ...], tuple[PlanNode, ...]]] \
+        = field(default_factory=OrderedDict)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str,
+               schema_version: tuple[Any, ...]) -> tuple[PlanNode, ...] | None:
+        """The cached nodes for *key*, or None on miss/stale entry.
+
+        Only hits and invalidations are counted here; misses are
+        recorded by the caller when it stores a freshly planned program,
+        so uncacheable statements (DDL, SHOW, EXPLAIN) do not distort
+        the miss rate.
+        """
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] != schema_version:
+            del self._entries[key]
+            self.invalidations += 1
+            entry = None
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[1]
+
+    def store(self, key: str, schema_version: tuple[Any, ...],
+              nodes: tuple[PlanNode, ...]) -> None:
+        """Insert *nodes* (counted as a miss), evicting the least
+        recently used entry."""
+        self.misses += 1
+        self._entries[key] = (schema_version, nodes)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
 @dataclass
 class Optimizer:
     """Plans statements against the current kernel state."""
 
     kernel: MetadataManager
     statistics: dict[str, Any] = field(default_factory=dict)
+    cache: PlanCache = field(default_factory=PlanCache)
+
+    def compile(self, source: str) -> CompiledPlan:
+        """Lex, parse and plan *source*, reusing the plan cache.
+
+        Pure retrieval programs (SELECT/DERIVE statements only) are
+        cached; DDL, RUN, SHOW and EXPLAIN always re-plan — their
+        planning is trivial, and EXPLAIN output must reflect the current
+        store contents.
+        """
+        key = fingerprint(source)
+        version = self.kernel.schema_version()
+        cached = self.cache.lookup(key, version)
+        if cached is not None:
+            return CompiledPlan(fingerprint=key, nodes=cached, cached=True)
+        nodes = tuple(
+            node
+            for statement in parse(source)
+            for node in self.plan(statement)
+        )
+        if nodes and all(isinstance(n, RetrieveNode) for n in nodes):
+            self.cache.store(key, version, nodes)
+        return CompiledPlan(fingerprint=key, nodes=nodes)
 
     def plan(self, statement: Statement) -> list[PlanNode]:
         """Produce the plan nodes for *statement* (usually one)."""
@@ -100,16 +216,28 @@ class Optimizer:
 
     def _plan_select(self, select: Select) -> list[RetrieveNode]:
         targets = self._resolve_source(select.source)
+        parameterized = (
+            isinstance(select.spatial, (Param, BoxTemplate))
+            or isinstance(select.temporal, Param)
+        )
         nodes = []
         for class_name in targets:
-            explanation = self.kernel.planner.explain(
-                class_name, spatial=select.spatial, temporal=select.temporal
-            )
+            if parameterized:
+                # The extents are bind parameters: the path can only be
+                # explained once values are bound (the executor resolves
+                # DEFERRED_PATH hints lazily for EXPLAIN).
+                path_hint = DEFERRED_PATH
+            else:
+                explanation = self.kernel.planner.explain(
+                    class_name, spatial=select.spatial,
+                    temporal=select.temporal,
+                )
+                path_hint = str(explanation["path"])
             nodes.append(RetrieveNode(
                 class_name=class_name,
                 spatial=select.spatial,
                 temporal=select.temporal,
-                path_hint=str(explanation["path"]),
+                path_hint=path_hint,
                 concept=select.source if select.source != class_name else None,
                 filters=select.filters,
             ))

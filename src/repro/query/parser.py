@@ -43,6 +43,7 @@ from ..spatial.box import Box
 from ..temporal.abstime import AbsTime
 from .ast import (
     ArgumentSpec,
+    BoxTemplate,
     DefineClass,
     DefineCompound,
     DefineConcept,
@@ -50,6 +51,7 @@ from .ast import (
     Derive,
     Explain,
     LineageQuery,
+    Param,
     RunProcess,
     Select,
     Show,
@@ -79,6 +81,8 @@ class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+        self._positional_params = 0
+        self._named_params: set[str] = set()
 
     # -- token helpers ---------------------------------------------------------
 
@@ -133,6 +137,38 @@ class _Parser:
             statements.append(self._statement())
             self._match(TokenType.SEMICOLON)
         return statements
+
+    # -- bind-parameter placeholders -------------------------------------------
+
+    def _placeholder(self) -> Param | None:
+        """A ``?`` or ``:name`` placeholder at the cursor, if present.
+
+        Positional indices run across the whole source (binding is per
+        program, so a two-statement source with two ``?`` takes two bind
+        values); the two styles must not be mixed — the bind call could
+        not tell which slots its values fill.
+        """
+        token = self._peek()
+        if self._match(TokenType.QMARK):
+            if self._named_params:
+                raise ParseError(
+                    "cannot mix '?' and ':name' parameters in one source",
+                    token.line, token.column,
+                )
+            param = Param(index=self._positional_params)
+            self._positional_params += 1
+            return param
+        if token.type is TokenType.COLON:
+            self._advance()
+            name = self._expect_ident()
+            if self._positional_params:
+                raise ParseError(
+                    "cannot mix '?' and ':name' parameters in one source",
+                    token.line, token.column,
+                )
+            self._named_params.add(name)
+            return Param(name=name)
+        return None
 
     def _statement(self) -> Statement:
         token = self._peek()
@@ -467,17 +503,23 @@ class _Parser:
         self._expect_keyword("SELECT")
         self._expect_keyword("FROM")
         source = self._expect_ident()
-        spatial: Box | None = None
-        temporal: AbsTime | None = None
+        spatial: Box | BoxTemplate | Param | None = None
+        temporal: AbsTime | Param | None = None
         filters: list[tuple[str, Any]] = []
         if self._match(TokenType.KEYWORD, "WHERE"):
             while True:
                 attr = self._expect_ident()
                 if self._match(TokenType.KEYWORD, "OVERLAPS"):
-                    spatial = self._box_literal()
+                    spatial = self._placeholder() or self._box_literal()
                 elif self._match(TokenType.EQUALS):
+                    param = self._placeholder()
                     token = self._peek()
-                    if token.type is TokenType.STRING:
+                    if param is not None:
+                        if attr == "timestamp":
+                            temporal = param
+                        else:
+                            filters.append((attr, param))
+                    elif token.type is TokenType.STRING:
                         self._advance()
                         if attr == "timestamp":
                             temporal = AbsTime.parse(token.text)
@@ -507,25 +549,39 @@ class _Parser:
     def _derive(self) -> Derive:
         self._expect_keyword("DERIVE")
         class_name = self._expect_ident()
-        spatial: Box | None = None
-        temporal: AbsTime | None = None
+        spatial: Box | BoxTemplate | Param | None = None
+        temporal: AbsTime | Param | None = None
         while True:
             if self._match(TokenType.KEYWORD, "AT"):
-                temporal = AbsTime.parse(self._expect(TokenType.STRING).text)
+                param = self._placeholder()
+                if param is not None:
+                    temporal = param
+                else:
+                    temporal = AbsTime.parse(
+                        self._expect(TokenType.STRING).text
+                    )
             elif self._match(TokenType.KEYWORD, "IN"):
-                spatial = self._box_literal()
+                spatial = self._placeholder() or self._box_literal()
             else:
                 break
         return Derive(class_name=class_name, spatial=spatial,
                       temporal=temporal)
 
-    def _box_literal(self) -> Box:
+    def _box_literal(self) -> Box | BoxTemplate:
+        """A box literal whose coordinates may be placeholders."""
         self._expect(TokenType.LPAREN)
-        coords = [float(self._expect(TokenType.NUMBER).text)]
-        for _ in range(3):
-            self._expect(TokenType.COMMA)
-            coords.append(float(self._expect(TokenType.NUMBER).text))
+        coords: list[Any] = []
+        for position in range(4):
+            if position:
+                self._expect(TokenType.COMMA)
+            param = self._placeholder()
+            if param is not None:
+                coords.append(param)
+            else:
+                coords.append(float(self._expect(TokenType.NUMBER).text))
         self._expect(TokenType.RPAREN)
+        if any(isinstance(c, Param) for c in coords):
+            return BoxTemplate(coords=tuple(coords))
         return Box(*coords)
 
     # -- RUN / SHOW --------------------------------------------------------------------------------

@@ -1,13 +1,25 @@
-"""GaeaSession: the complete interpreter stack of Figure 1.
+"""GaeaSession: the legacy interpreter entry point (deprecated shim).
 
-Parser → optimizer → executor over a metadata-manager kernel.  This is
-the user-facing entry point::
+.. deprecated::
+    New code should use the connection/cursor API instead::
 
-    from repro import open_session
+        import repro
 
-    session = open_session()
-    session.execute("DEFINE CLASS ...")
-    [result] = session.execute("SELECT FROM land_cover WHERE ...")
+        conn = repro.connect()
+        cur = conn.cursor()
+        cur.execute("DEFINE CLASS ...")
+        cur.execute("SELECT FROM land_cover WHERE timestamp = ?",
+                    ["1986-01-15"])
+        for obj in cur:
+            ...
+
+    ``connect()`` adds prepared statements with bind parameters, an LRU
+    plan cache, streaming fetches and transactions — see
+    :mod:`repro.query.client`.
+
+``GaeaSession`` remains as a thin backward-compatible wrapper: it parses,
+plans and executes every call from scratch (no plan cache), exactly as
+the original interpreter stack of Figure 1 did.
 """
 
 from __future__ import annotations
@@ -15,8 +27,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.metadata_manager import MetadataManager, WORLD, open_kernel
+from ..errors import ResultCardinalityError
 from ..gis import register_gis_operators
 from ..spatial.box import Box
+from .client import Connection
 from .executor import Executor, QueryResult
 from .optimizer import Optimizer
 from .parser import parse
@@ -26,7 +40,7 @@ __all__ = ["GaeaSession", "open_session"]
 
 @dataclass
 class GaeaSession:
-    """A connected interpreter over one kernel."""
+    """A connected interpreter over one kernel (legacy API)."""
 
     kernel: MetadataManager
     optimizer: Optimizer = field(init=False)
@@ -50,18 +64,25 @@ class GaeaSession:
         """Execute a single-statement source and return its one result."""
         results = self.execute(source)
         if len(results) != 1:
-            raise ValueError(
+            raise ResultCardinalityError(
                 f"expected one result, got {len(results)} — use execute()"
             )
         return results[0]
 
+    def connection(self) -> Connection:
+        """A v2 :class:`Connection` over this session's kernel.
+
+        Migration aid: lets legacy call sites adopt prepared statements
+        and cursors incrementally while sharing the same data.
+        """
+        return Connection(kernel=self.kernel)
+
 
 def open_session(universe: Box = WORLD,
                  with_gis_operators: bool = True) -> GaeaSession:
-    """Create a fresh kernel and a session over it.
+    """Create a fresh kernel and a legacy session over it.
 
-    GIS operators are registered by default so the paper's processes can
-    be defined immediately.
+    .. deprecated:: use :func:`repro.connect` for new code.
     """
     kernel = open_kernel(universe=universe)
     if with_gis_operators:

@@ -34,6 +34,7 @@ class TokenType(Enum):
     GT = ">"
     LT = "<"
     DOLLAR = "$"
+    QMARK = "?"
     EOF = "eof"
 
 

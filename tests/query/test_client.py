@@ -1,0 +1,372 @@
+"""Tests for the v2 client API: connect/Connection/Cursor, prepared
+statements with parameter binding, the plan cache, streaming fetches,
+and transactions."""
+
+import pytest
+
+from repro import connect, open_session
+from repro.errors import (
+    BindError,
+    GaeaError,
+    InterfaceError,
+    ParseError,
+    ResultCardinalityError,
+    TransactionError,
+)
+from repro.figures import AFRICA
+from repro.gis import SceneGenerator
+from repro.spatial import Box
+from repro.temporal import AbsTime
+
+
+DDL = """
+DEFINE CLASS landsat_tm (
+  ATTRIBUTES: area = char16; band = char16; data = image;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+)
+DEFINE CLASS land_cover (
+  ATTRIBUTES: area = char16; numclass = int4; data = image;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: P20
+)
+DEFINE PROCESS P20
+OUTPUT land_cover
+ARGUMENT ( SETOF landsat_tm bands >= 3 )
+TEMPLATE {
+  ASSERTIONS:
+    card(bands) = 3;
+    common(bands.spatialextent);
+    common(bands.timestamp);
+  MAPPINGS:
+    land_cover.data = unsuperclassify(composite(bands), 12);
+    land_cover.numclass = 12;
+    land_cover.area = ANYOF bands.area;
+    land_cover.spatialextent = ANYOF bands.spatialextent;
+    land_cover.timestamp = ANYOF bands.timestamp;
+}
+"""
+
+
+@pytest.fixture()
+def conn():
+    connection = connect(universe=AFRICA)
+    connection.cursor().run(DDL)
+    generator = SceneGenerator(seed=4, nrow=16, ncol=16)
+    stamp = AbsTime.from_ymd(1986, 1, 15)
+    for band, image in zip(("red", "nir", "green"),
+                           generator.scene("africa", 1986, 1)):
+        connection.kernel.store.store("landsat_tm", {
+            "area": "africa", "band": band, "data": image,
+            "spatialextent": AFRICA, "timestamp": stamp,
+        })
+    return connection
+
+
+class TestCursorBasics:
+    def test_execute_ddl_collects_messages(self, conn):
+        cur = conn.cursor()
+        cur.execute("DEFINE CONCEPT cover MEMBERS land_cover")
+        assert any("cover" in r.message for r in cur.results)
+
+    def test_fetchone_streams_objects(self, conn):
+        cur = conn.cursor().execute("SELECT FROM landsat_tm")
+        first = cur.fetchone()
+        assert first.class_name == "landsat_tm"
+        assert cur.rowcount == -1  # stream still open
+        rest = cur.fetchall()
+        assert len(rest) == 2
+        assert cur.rowcount == 3
+        assert cur.fetchone() is None
+
+    def test_fetchmany_and_iteration(self, conn):
+        cur = conn.cursor().execute("SELECT FROM landsat_tm")
+        assert len(cur.fetchmany(2)) == 2
+        assert len(list(cur)) == 1
+
+    def test_description_from_class_schema(self, conn):
+        cur = conn.cursor().execute("SELECT FROM landsat_tm")
+        names = [column[0] for column in cur.description]
+        assert "band" in names and "spatialextent" in names
+
+    def test_statements_after_retrieval_run_on_drain(self, conn):
+        cur = conn.cursor().execute("SELECT FROM landsat_tm; SHOW CLASSES")
+        assert cur.results == []  # SHOW not reached yet
+        cur.fetchall()
+        assert any("CLASS landsat_tm" in r.message for r in cur.results)
+
+    def test_closed_cursor_and_connection_reject_use(self, conn):
+        cur = conn.cursor()
+        cur.close()
+        with pytest.raises(InterfaceError):
+            cur.execute("SHOW CLASSES")
+        conn.close()
+        with pytest.raises(InterfaceError):
+            conn.cursor()
+
+    def test_run_preserves_statement_order(self, conn):
+        results = conn.cursor().run("SHOW CLASSES; SELECT FROM landsat_tm")
+        assert [r.kind for r in results] == ["message", "objects"]
+
+
+class TestParameterBinding:
+    def test_positional_rebinding_cached_plan(self, conn):
+        query = conn.prepare("SELECT FROM landsat_tm WHERE band = ?")
+        cur = conn.cursor()
+        for band in ("red", "nir", "green"):
+            cur.execute(query, [band])
+            [obj] = cur.fetchall()
+            assert obj["band"] == band
+        assert conn.cache_hits >= 3
+
+    def test_named_parameters(self, conn):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT FROM landsat_tm WHERE band = :band AND area = :area",
+            {"band": "nir", "area": "africa"},
+        )
+        assert len(cur.fetchall()) == 1
+
+    def test_timestamp_parameter_accepts_string_and_abstime(self, conn):
+        query = conn.prepare("SELECT FROM landsat_tm WHERE timestamp = ?")
+        cur = conn.cursor()
+        cur.execute(query, ["1986-01-15"])
+        assert len(cur.fetchall()) == 3
+        cur.execute(query, [AbsTime.from_ymd(1986, 1, 15)])
+        assert len(cur.fetchall()) == 3
+
+    def test_box_coordinate_and_whole_box_parameters(self, conn):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT FROM landsat_tm WHERE spatialextent OVERLAPS "
+            "(?, ?, 52, 38)", [-20.0, -35.0],
+        )
+        assert len(cur.fetchall()) == 3
+        cur.execute(
+            "SELECT FROM landsat_tm WHERE spatialextent OVERLAPS ?",
+            [Box(-20.0, -35.0, 52.0, 38.0)],
+        )
+        assert len(cur.fetchall()) == 3
+
+    def test_derive_with_parameters(self, conn):
+        result = conn.execute("DERIVE land_cover AT ?", ["1986-01-15"])
+        assert result[0].path == "derive"
+
+    def test_missing_bind_values(self, conn):
+        query = conn.prepare("SELECT FROM landsat_tm WHERE band = ?")
+        with pytest.raises(BindError):
+            conn.cursor().execute(query)
+        with pytest.raises(BindError):
+            conn.cursor().execute(query, [])
+
+    def test_extra_bind_values(self, conn):
+        query = conn.prepare("SELECT FROM landsat_tm WHERE band = ?")
+        with pytest.raises(BindError):
+            conn.cursor().execute(query, ["red", "nir"])
+
+    def test_named_missing_and_extra_keys(self, conn):
+        query = conn.prepare("SELECT FROM landsat_tm WHERE band = :band")
+        with pytest.raises(BindError):
+            conn.cursor().execute(query, {})
+        with pytest.raises(BindError):
+            conn.cursor().execute(query, {"band": "red", "ghost": 1})
+
+    def test_positional_values_for_named_statement(self, conn):
+        query = conn.prepare("SELECT FROM landsat_tm WHERE band = :band")
+        with pytest.raises(BindError):
+            conn.cursor().execute(query, ["red"])
+
+    def test_mixing_styles_is_a_parse_error(self, conn):
+        with pytest.raises(ParseError):
+            conn.prepare(
+                "SELECT FROM landsat_tm WHERE band = ? AND area = :area"
+            )
+        # Mixing across statements of one source is just as unbindable.
+        with pytest.raises(ParseError):
+            conn.prepare(
+                "SELECT FROM landsat_tm WHERE band = ?; "
+                "SELECT FROM landsat_tm WHERE area = :area"
+            )
+
+    def test_positional_params_span_statements(self, conn):
+        results = conn.execute(
+            "SELECT FROM landsat_tm WHERE band = ?; "
+            "SELECT FROM landsat_tm WHERE band = ?",
+            ["red", "nir"],
+        )
+        assert [obj["band"] for r in results for obj in r.objects] == \
+            ["red", "nir"]
+
+    def test_wrongly_typed_box_parameter(self, conn):
+        query = conn.prepare(
+            "SELECT FROM landsat_tm WHERE spatialextent OVERLAPS ?"
+        )
+        with pytest.raises(BindError):
+            conn.cursor().execute(query, ["not a box"])
+
+    def test_unbound_execution_rejected(self, conn):
+        from repro.query import GaeaSession
+
+        session = GaeaSession(kernel=conn.kernel)
+        with pytest.raises(BindError):
+            session.execute("SELECT FROM landsat_tm WHERE band = ?")
+
+    def test_explain_resolves_deferred_path(self, conn):
+        [before] = conn.execute(
+            "EXPLAIN SELECT FROM land_cover WHERE timestamp = ?",
+            ["1986-01-15"],
+        )
+        assert before.details["paths"]["land_cover"] == "derive"
+        conn.execute("SELECT FROM land_cover WHERE timestamp = ?",
+                     ["1986-01-15"])
+        [after] = conn.execute(
+            "EXPLAIN SELECT FROM land_cover WHERE timestamp = ?",
+            ["1986-01-15"],
+        )
+        assert after.details["paths"]["land_cover"] == "retrieve"
+
+
+class TestPlanCache:
+    def test_repeated_source_text_hits_cache(self, conn):
+        cur = conn.cursor()
+        misses_before = conn.cache_misses
+        for _ in range(5):
+            cur.execute("SELECT FROM landsat_tm")
+            cur.fetchall()
+        assert conn.cache_misses == misses_before + 1
+        assert conn.cache_hits >= 4
+
+    def test_ddl_invalidates_cached_plans(self, conn):
+        query = conn.prepare("SELECT FROM landsat_tm WHERE band = ?")
+        cur = conn.cursor()
+        cur.execute(query, ["red"])
+        cur.fetchall()
+        conn.execute("DEFINE CONCEPT probe MEMBERS landsat_tm")
+        invalidations_before = conn.plan_cache.invalidations
+        cur.execute(query, ["red"])
+        assert len(cur.fetchall()) == 1
+        assert conn.plan_cache.invalidations == invalidations_before + 1
+
+    def test_concept_membership_change_replans(self, conn):
+        conn.execute("DEFINE CONCEPT scenes MEMBERS landsat_tm")
+        query = conn.prepare("SELECT FROM scenes WHERE timestamp = ?")
+        results = conn.execute(query, ["1986-01-15"])
+        assert [r.details["class"] for r in results] == ["landsat_tm"]
+        # Attaching a member directly on the kernel bumps the concept
+        # revision, so the cached plan must not be served stale.
+        conn.kernel.concepts.attach_class("scenes", "land_cover")
+        results = conn.execute(query, ["1986-01-15"])
+        assert [r.details["class"] for r in results] == \
+            ["land_cover", "landsat_tm"]
+
+    def test_lru_eviction_is_bounded(self, conn):
+        small = connect(kernel=conn.kernel, plan_cache_size=2)
+        cur = small.cursor()
+        for band in ("red", "nir", "green"):
+            cur.execute(f"SELECT FROM landsat_tm WHERE band = '{band}'")
+            cur.fetchall()
+        assert len(small.plan_cache) == 2
+
+
+class TestTransactions:
+    def _store_scene(self, conn, band="extra"):
+        generator = SceneGenerator(seed=9, nrow=16, ncol=16)
+        image = generator.scene("africa", 1987, 1)[0]
+        return conn.kernel.store.store("landsat_tm", {
+            "area": "africa", "band": band, "data": image,
+            "spatialextent": AFRICA,
+            "timestamp": AbsTime.from_ymd(1987, 1, 15),
+        })
+
+    def test_commit_makes_objects_durable(self, conn):
+        conn.begin()
+        self._store_scene(conn)
+        conn.commit()
+        cur = conn.cursor()
+        cur.execute("SELECT FROM landsat_tm WHERE band = ?", ["extra"])
+        assert len(cur.fetchall()) == 1
+
+    def test_rollback_discards_objects(self, conn):
+        conn.begin()
+        self._store_scene(conn)
+        cur = conn.cursor()
+        cur.execute("SELECT FROM landsat_tm WHERE band = ?", ["extra"])
+        assert len(cur.fetchall()) == 1  # the writer sees its own work
+        conn.rollback()
+        cur.execute("SELECT FROM landsat_tm WHERE band = ?", ["extra"])
+        assert cur.fetchall() == []
+
+    def test_double_begin_rejected(self, conn):
+        conn.begin()
+        with pytest.raises(InterfaceError):
+            conn.begin()
+        conn.rollback()
+
+    def test_single_writer_across_connections(self, conn):
+        other = connect(kernel=conn.kernel)
+        conn.begin()
+        with pytest.raises(TransactionError):
+            other.begin()
+        conn.rollback()
+        other.begin()
+        other.rollback()
+
+    def test_rollback_of_a_derivation_does_not_poison_reuse(self, conn):
+        """A derivation executed (and task-logged) inside a rolled-back
+        transaction must not leave the class unretrievable: the memoized
+        task's output is gone, so the next query recomputes."""
+        conn.begin()
+        first = conn.execute("SELECT FROM land_cover WHERE timestamp = ?",
+                             ["1986-01-15"])
+        assert first[0].path == "derive"
+        rolled_back_oid = first[0].objects[0].oid
+        conn.rollback()
+        again = conn.execute("SELECT FROM land_cover WHERE timestamp = ?",
+                             ["1986-01-15"])
+        assert again[0].path == "derive"
+        assert again[0].objects[0].oid != rolled_back_oid
+        from repro.errors import UnknownClassError
+        with pytest.raises(UnknownClassError):
+            conn.kernel.store.get(rolled_back_oid)
+
+    def test_context_manager_commits_on_success(self):
+        with connect(universe=AFRICA) as conn:
+            conn.cursor().run(DDL)
+            conn.begin()
+            generator = SceneGenerator(seed=9, nrow=16, ncol=16)
+            conn.kernel.store.store("landsat_tm", {
+                "area": "africa", "band": "red",
+                "data": generator.scene("africa", 1987, 1)[0],
+                "spatialextent": AFRICA,
+                "timestamp": AbsTime.from_ymd(1987, 1, 15),
+            })
+            kernel = conn.kernel
+        assert conn.closed
+        fresh = connect(kernel=kernel)
+        cur = fresh.cursor().execute("SELECT FROM landsat_tm")
+        assert len(cur.fetchall()) == 1
+
+
+class TestSharedKernel:
+    def test_two_connections_share_data_not_caches(self, conn):
+        other = connect(kernel=conn.kernel)
+        cur = other.cursor().execute("SELECT FROM landsat_tm")
+        assert len(cur.fetchall()) == 3
+        assert other.cache_misses == 1
+        assert other.cache_hits == 0
+        assert conn.kernel is other.kernel
+
+    def test_session_migration_helper(self, conn):
+        session = open_session(universe=AFRICA)
+        bridged = session.connection()
+        assert bridged.kernel is session.kernel
+
+
+class TestSessionShim:
+    def test_execute_one_raises_typed_error(self, conn):
+        session = open_session(universe=AFRICA)
+        with pytest.raises(ResultCardinalityError) as excinfo:
+            session.execute_one("SHOW TYPES; SHOW OPERATORS")
+        assert isinstance(excinfo.value, GaeaError)
+        assert isinstance(excinfo.value, ValueError)
