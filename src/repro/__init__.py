@@ -36,6 +36,13 @@ Quickstart::
     for obj in cur:                        # objects stream lazily
         print(obj.oid, obj["band"])
 
+    cur.execute("CREATE INDEX ON landsat_tm (band)")  # B-tree + replan
+    print(cur.explain("SELECT FROM landsat_tm WHERE band = 'nir'"))
+    # retrieve landsat_tm: path=retrieve access=index-eq(band='nir') ...
+
+See ``README.md`` and ``docs/`` (architecture, full GaeaQL reference)
+for the complete tour.
+
 Migrating from ``open_session``: the legacy session API still works
 unchanged (``open_session().execute(source)``), but it re-parses and
 re-plans every call.  ``repro.connect()`` returns a

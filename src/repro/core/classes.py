@@ -25,6 +25,7 @@ retrieval functions (``area(landcover)``-style accessors).
 from __future__ import annotations
 
 import itertools
+import operator
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -32,18 +33,56 @@ from ..adt.registry import TypeRegistry
 from ..errors import (
     ClassAlreadyDefinedError,
     DerivationError,
+    StorageError,
     TransactionError,
     TupleNotFoundError,
     UnknownClassError,
 )
 from ..spatial.box import Box
-from ..storage.engine import StorageEngine
+from ..storage.access import AccessPath, choose_access_path
+from ..storage.catalog import IndexDef
+from ..storage.engine import Row, StorageEngine
 from ..storage.transactions import Transaction
 from ..temporal.abstime import AbsTime
 
-__all__ = ["NonPrimitiveClass", "SciObject", "ClassRegistry", "ClassStore"]
+__all__ = ["NonPrimitiveClass", "SciObject", "ClassRegistry", "ClassStore",
+           "COMPARISONS", "matches_predicates"]
 
 OID_COLUMN = "_oid"
+
+#: Comparison operators usable in range predicates (GaeaQL WHERE).
+COMPARISONS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def matches_predicates(obj: "SciObject",
+                       filters: tuple[tuple[str, Any], ...],
+                       ranges: tuple[tuple[str, str, Any], ...]) -> bool:
+    """Whether *obj* satisfies every equality filter and range predicate.
+
+    The single definition of attribute-predicate semantics, shared by
+    the streaming scan (:meth:`ClassStore.iter_find`), the executor's
+    DERIVE post-filter, and the planner's fallback filter — so the
+    paths cannot diverge.  An incomparable literal (e.g. ``name > 5``
+    on a string attribute) raises a typed :class:`DerivationError`
+    rather than leaking a bare ``TypeError`` out of a row stream.
+    """
+    if any(obj.get(attr) != value for attr, value in filters):
+        return False
+    for attr, op, value in ranges:
+        try:
+            if not COMPARISONS[op](obj.get(attr), value):
+                return False
+        except TypeError as exc:
+            raise DerivationError(
+                f"range predicate {attr} {op} {value!r} is not "
+                f"comparable with stored value {obj.get(attr)!r}"
+            ) from exc
+    return True
 
 
 @dataclass(frozen=True)
@@ -320,45 +359,195 @@ class ClassStore:
         """Number of stored objects of *class_name*."""
         return len(self.objects(class_name))
 
-    def find(self, class_name: str,
-             spatial: Box | None = None,
-             temporal: AbsTime | None = None,
-             predicate: Callable[[SciObject], bool] | None = None
-             ) -> list[SciObject]:
-        """Spatio-temporal retrieval (paper §2.1.5 step 1).
+    # -- secondary attribute indexes -------------------------------------------
 
-        Uses the extent indexes when the corresponding predicate is given;
-        a residual Python predicate may refine further.
+    def create_attribute_index(self, class_name: str, attr: str,
+                               name: str | None = None) -> IndexDef:
+        """Build a B-tree over a scalar attribute of *class_name*.
+
+        Extent attributes are rejected: the grid index and timeline
+        already cover them (attached at :meth:`materialize` time).
+        """
+        cls = self.registry.get(class_name)
+        cls.type_of(attr)  # raises when the attribute does not exist
+        if attr in (cls.spatial_attr, cls.temporal_attr):
+            raise StorageError(
+                f"{class_name}.{attr} is an extent attribute — it is "
+                "indexed automatically (grid index / timeline)"
+            )
+        return self.engine.create_index(self.relation_for(class_name), attr,
+                                        name=name)
+
+    def drop_attribute_index(self, class_name: str, attr: str) -> None:
+        """Drop the B-tree on ``class_name.attr``."""
+        self.registry.get(class_name)
+        if attr == OID_COLUMN:
+            raise StorageError(
+                "the OID index is automatic and cannot be dropped"
+            )
+        self.engine.drop_index(self.relation_for(class_name), attr)
+
+    def drop_index_named(self, name: str) -> IndexDef:
+        """Drop a secondary attribute index by its catalog name.
+
+        The automatic structures — the OID B-tree (object fetch) and
+        the extent grid/timeline (spatial retrieval, interpolation) —
+        are load-bearing and cannot be dropped.
+        """
+        index = self.engine.catalog.index_named(name)
+        if index.kind != "btree" or index.column == OID_COLUMN:
+            raise StorageError(
+                f"index {name!r} is automatic ({index.kind} on "
+                f"{index.relation}.{index.column}) and cannot be dropped"
+            )
+        return self.engine.drop_index_named(name)
+
+    def indexes_of(self, class_name: str) -> list[IndexDef]:
+        """Catalog entries of every index on *class_name*'s relation."""
+        self.registry.get(class_name)
+        return self.engine.catalog.indexes_of(self.relation_for(class_name))
+
+    # -- retrieval (paper §2.1.5 step 1) ---------------------------------------
+
+    def _coerce(self, cls: NonPrimitiveClass, attr: str, value: Any) -> Any:
+        """Parse date strings for abstime-typed attributes so range and
+        equality predicates compare like with like."""
+        if isinstance(value, str):
+            try:
+                if cls.type_of(attr) == "abstime":
+                    return AbsTime.parse(value)
+            except DerivationError:
+                pass
+        return value
+
+    def normalize_predicates(
+        self, cls: NonPrimitiveClass,
+        filters: tuple[tuple[str, Any], ...],
+        ranges: tuple[tuple[str, str, Any], ...],
+    ) -> tuple[tuple[tuple[str, Any], ...], tuple[tuple[str, str, Any], ...]]:
+        filters = tuple(
+            (attr, self._coerce(cls, attr, value)) for attr, value in filters
+        )
+        ranges = tuple(
+            (attr, op, self._coerce(cls, attr, value))
+            for attr, op, value in ranges
+        )
+        for attr, op, _ in ranges:
+            cls.type_of(attr)  # raises for unknown attributes
+            if op not in COMPARISONS:
+                raise DerivationError(f"unknown comparison operator {op!r}")
+        return filters, ranges
+
+    def choose_path(self, class_name: str,
+                    spatial: Box | None = None,
+                    temporal: AbsTime | None = None,
+                    filters: tuple[tuple[str, Any], ...] = (),
+                    ranges: tuple[tuple[str, str, Any], ...] = ()
+                    ) -> AccessPath:
+        """Cost-based access path for one retrieval (shared with the
+        GaeaQL optimizer, so EXPLAIN shows exactly what will run)."""
+        cls = self.registry.get(class_name)
+        filters, ranges = self.normalize_predicates(cls, filters, ranges)
+        spatial_q = spatial if (
+            spatial is not None and cls.spatial_attr is not None
+            and self.universe is not None
+        ) else None
+        temporal_q = temporal if (
+            temporal is not None and cls.temporal_attr is not None
+        ) else None
+        return choose_access_path(
+            self.engine, self.relation_for(class_name),
+            spatial=spatial_q, temporal=temporal_q,
+            equals=filters, ranges=ranges,
+        )
+
+    def _rows_for_path(self, relation: str, path: AccessPath,
+                       snapshot: Any) -> Iterator[Row]:
+        if path.kind == "index-eq":
+            return self.engine.iter_lookup(relation, path.column,
+                                           path.argument, snapshot)
+        if path.kind == "index-range":
+            lo, hi = path.argument
+            return self.engine.iter_range(relation, path.column, lo, hi,
+                                          snapshot)
+        if path.kind == "spatial-probe":
+            return self.engine.iter_spatial(relation, path.argument, snapshot)
+        if path.kind == "temporal-probe":
+            return self.engine.iter_temporal(relation, path.argument,
+                                             snapshot)
+        return self.engine.scan(relation, snapshot)
+
+    def iter_find(self, class_name: str,
+                  spatial: Box | None = None,
+                  temporal: AbsTime | None = None,
+                  predicate: Callable[[SciObject], bool] | None = None,
+                  filters: tuple[tuple[str, Any], ...] = (),
+                  ranges: tuple[tuple[str, str, Any], ...] = (),
+                  access_path: AccessPath | None = None
+                  ) -> Iterator[SciObject]:
+        """Stream matching objects through the cheapest access path.
+
+        The driving scan comes from *access_path* (a plan-time choice —
+        re-chosen automatically when stale, i.e. when indexes were
+        created or dropped since) or from :meth:`choose_path`.  Every
+        predicate is re-checked per row, so pushdown only prunes the
+        candidate stream, never changes the result.
         """
         cls = self.registry.get(class_name)
         relation = self.relation_for(class_name)
         snapshot = self._snapshot()
-        rows = None
-        if spatial is not None and cls.spatial_attr is not None \
-                and self.universe is not None:
-            rows = self.engine.spatial_lookup(relation, spatial, snapshot)
-        if temporal is not None and cls.temporal_attr is not None:
-            t_rows = self.engine.temporal_lookup(relation, temporal, snapshot)
-            if rows is None:
-                rows = t_rows
-            else:
-                tids = {row.tid for row in t_rows}
-                rows = [row for row in rows if row.tid in tids]
-        if rows is None:
-            rows = list(self.engine.scan(relation, snapshot))
-        objects = [self._row_to_object(class_name, row) for row in rows]
-        if spatial is not None and cls.spatial_attr is not None:
-            objects = [
-                obj for obj in objects
-                if obj[cls.spatial_attr].overlaps(spatial)
-            ]
-        if temporal is not None and cls.temporal_attr is not None:
-            objects = [
-                obj for obj in objects if obj[cls.temporal_attr] == temporal
-            ]
-        if predicate is not None:
-            objects = [obj for obj in objects if predicate(obj)]
-        return objects
+        filters, ranges = self.normalize_predicates(cls, filters, ranges)
+        path = access_path
+        if path is None \
+                or path.index_version != self.engine.catalog.index_version:
+            path = self.choose_path(class_name, spatial=spatial,
+                                    temporal=temporal, filters=filters,
+                                    ranges=ranges)
+        for row in self._rows_for_path(relation, path, snapshot):
+            obj = self._row_to_object(class_name, row)
+            if spatial is not None and cls.spatial_attr is not None \
+                    and not obj[cls.spatial_attr].overlaps(spatial):
+                continue
+            if temporal is not None and cls.temporal_attr is not None \
+                    and obj[cls.temporal_attr] != temporal:
+                continue
+            if not matches_predicates(obj, filters, ranges):
+                continue
+            if predicate is not None and not predicate(obj):
+                continue
+            yield obj
+
+    def find(self, class_name: str,
+             spatial: Box | None = None,
+             temporal: AbsTime | None = None,
+             predicate: Callable[[SciObject], bool] | None = None,
+             filters: tuple[tuple[str, Any], ...] = (),
+             ranges: tuple[tuple[str, str, Any], ...] = (),
+             access_path: AccessPath | None = None) -> list[SciObject]:
+        """Spatio-temporal retrieval (paper §2.1.5 step 1), materialized.
+
+        Chooses the cheapest access path (extent index, attribute B-tree
+        or full scan) and applies everything else as residual predicates;
+        :meth:`iter_find` is the streaming variant.
+        """
+        return list(self.iter_find(
+            class_name, spatial=spatial, temporal=temporal,
+            predicate=predicate, filters=filters, ranges=ranges,
+            access_path=access_path,
+        ))
+
+    def exists(self, class_name: str,
+               spatial: Box | None = None,
+               temporal: AbsTime | None = None) -> bool:
+        """Whether any stored object matches the extent predicates.
+
+        Short-circuits on the first streamed match — the cheap existence
+        probe the planner uses to distinguish "predicates filtered
+        everything out" from "nothing stored at these extents"."""
+        return next(
+            self.iter_find(class_name, spatial=spatial, temporal=temporal),
+            None,
+        ) is not None
 
     # -- automatically defined retrieval functions (paper §2.1.2) -------------
 

@@ -54,14 +54,16 @@ class MetadataManager:
             tasks=self.derivations.tasks, store=self.store
         )
 
-    def schema_version(self) -> tuple[int, int, int, int]:
+    def schema_version(self) -> tuple[int, int, int, int, int]:
         """A cheap version stamp of everything plans depend on.
 
         Classes, processes and compounds are add-only (processes are
         immutable per §2.1.4), so their counts suffice; the concept
         hierarchy can gain ISA edges and members, so it contributes its
-        own revision counter.  Plan caches compare this stamp to decide
-        whether a cached plan is still meaningful.
+        own revision counter; the storage catalog's index version covers
+        CREATE/DROP INDEX, whose access-path choices are baked into
+        cached plans.  Plan caches compare this stamp to decide whether a
+        cached plan is still meaningful.
         """
         return (
             len(self.classes.names()),
@@ -69,6 +71,7 @@ class MetadataManager:
             + len(self.derivations.compounds.names()),
             len(self.concepts.names()),
             self.concepts.revision,
+            self.engine.catalog.index_version,
         )
 
     # -- component tree (FIG-1 regeneration) -----------------------------------

@@ -274,7 +274,17 @@ class DerivationNet:
         emitted: set[str] = set()
         initial: set[str] = set()
 
-        def emit(place: str) -> None:
+        def emit(place: str, trail: frozenset[str]) -> None:
+            if place in trail:
+                # A cycle in the chosen tree can only close through an
+                # arc the search satisfied from the marking (the trail
+                # guard in `satisfiable` forbids cyclic *production*),
+                # so these tokens are initial — or the producing
+                # transition is already on the stack and will be
+                # appended by the frame above.
+                if marking.get(place, 0) > 0:
+                    initial.add(place)
+                return
             if marking.get(place, 0) > 0 and place not in chosen:
                 initial.add(place)
                 return
@@ -282,12 +292,12 @@ class DerivationNet:
             if transition.name in emitted:
                 return
             for arc in transition.inputs:
-                emit(arc.place)
+                emit(arc.place, trail | {place})
             if transition.name not in emitted:
                 emitted.add(transition.name)
                 steps.append(transition.name)
 
-        emit(target)
+        emit(target, frozenset())
         return DerivationPlan(
             target=target, steps=tuple(steps), initial_places=frozenset(initial)
         )

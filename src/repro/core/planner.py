@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 from ..errors import AssertionViolatedError, DerivationError, UnderivableError
 from ..spatial.box import Box
 from ..temporal.abstime import AbsTime
-from .classes import SciObject
+from .classes import SciObject, matches_predicates
 from .derivation import Bindings, CardinalityAssertion, Process
 from .interpolation import InterpolationError, TemporalInterpolator
 from .manager import DerivationManager
@@ -76,7 +76,10 @@ class RetrievalPlanner:
     def retrieve(self, class_name: str,
                  spatial: Box | None = None,
                  temporal: AbsTime | None = None,
-                 spatial_coverage: bool = False) -> RetrievalResult:
+                 spatial_coverage: bool = False,
+                 filters: tuple[tuple[str, Any], ...] = (),
+                 ranges: tuple[tuple[str, str, Any], ...] = ()
+                 ) -> RetrievalResult:
         """Fetch objects of *class_name* matching the extent predicates,
         generating them when they are not stored.
 
@@ -84,12 +87,24 @@ class RetrievalPlanner:
         whose extent *contains* the query box (not merely overlaps it);
         partial neighbours are then combined by spatial interpolation
         (mosaicking) — the "temporal or spatial" interpolation of §2.1.5.
+
+        *filters* (attribute equalities) and *ranges* (attribute
+        comparisons) are pushed down into the store's access-path
+        machinery, so a selective predicate rides an attribute B-tree
+        instead of filtering a full scan.  They do not trigger the
+        interpolate/derive fallbacks: when extent-matching objects exist
+        but the predicates reject them all, the answer is an empty direct
+        retrieval — exactly what post-filtering produced before pushdown.
         """
         cls = self.manager.classes.get(class_name)
+        filters, ranges = self.manager.store.normalize_predicates(
+            cls, filters, ranges
+        )
 
-        # Step 1: direct retrieval.
+        # Step 1: direct retrieval, predicates pushed into the scan.
         found = self.manager.store.find(class_name, spatial=spatial,
-                                        temporal=temporal)
+                                        temporal=temporal, filters=filters,
+                                        ranges=ranges)
         if spatial_coverage and spatial is not None \
                 and cls.spatial_attr is not None:
             found = [
@@ -98,6 +113,24 @@ class RetrievalPlanner:
             ]
         if found:
             return RetrievalResult(objects=tuple(found), path="retrieve")
+        if (filters or ranges) and self._extents_covered(
+                cls, class_name, spatial, temporal, spatial_coverage):
+            # Stored data covers the extents; the attribute predicates
+            # filtered everything out.  Fallbacks are for missing *data*,
+            # not for unsatisfied predicates.
+            return RetrievalResult(objects=(), path="retrieve")
+
+        def filtered(result: RetrievalResult) -> RetrievalResult:
+            """Apply pushed predicates to fallback-produced objects."""
+            if not (filters or ranges):
+                return result
+            kept = tuple(
+                obj for obj in result.objects
+                if matches_predicates(obj, filters, ranges)
+            )
+            return RetrievalResult(objects=kept, path=result.path,
+                                   tasks=result.tasks,
+                                   plan_steps=result.plan_steps)
 
         errors: list[str] = []
         for step in self.fallback_order:
@@ -105,18 +138,19 @@ class RetrievalPlanner:
                 if step == "interpolate":
                     if temporal is not None and cls.temporal_attr is not None:
                         try:
-                            return self._interpolate(class_name, spatial,
-                                                     temporal)
+                            return filtered(self._interpolate(
+                                class_name, spatial, temporal))
                         except InterpolationError as exc:
                             if not (spatial_coverage and spatial is not None):
                                 raise
                             errors.append(f"interpolate(temporal): {exc}")
                     if spatial_coverage and spatial is not None:
-                        return self._interpolate_spatial(class_name, spatial,
-                                                         temporal)
+                        return filtered(self._interpolate_spatial(
+                            class_name, spatial, temporal))
                     continue
-                return self._derive(class_name, spatial, temporal,
-                                    spatial_coverage=spatial_coverage)
+                return filtered(self._derive(
+                    class_name, spatial, temporal,
+                    spatial_coverage=spatial_coverage))
             except (InterpolationError, UnderivableError,
                     AssertionViolatedError) as exc:
                 errors.append(f"{step}: {exc}")
@@ -124,6 +158,27 @@ class RetrievalPlanner:
             f"cannot satisfy query on {class_name!r}"
             + (f" ({'; '.join(errors)})" if errors else "")
         )
+
+    def _extents_covered(self, cls, class_name: str,
+                         spatial: Box | None, temporal: AbsTime | None,
+                         spatial_coverage: bool) -> bool:
+        """Whether stored data (ignoring attribute predicates) satisfies
+        the extent requirements of this retrieval.
+
+        Under *spatial_coverage* the direct path keeps only objects
+        whose extent *contains* the query box, so mere overlap must not
+        count as coverage — otherwise overlapping partial neighbours
+        would suppress the mosaic-interpolation fallback.
+        """
+        if spatial_coverage and spatial is not None \
+                and cls.spatial_attr is not None:
+            return any(
+                obj[cls.spatial_attr].contains(spatial)
+                for obj in self.manager.store.iter_find(
+                    class_name, spatial=spatial, temporal=temporal)
+            )
+        return self.manager.store.exists(class_name, spatial=spatial,
+                                         temporal=temporal)
 
     def derive(self, class_name: str,
                spatial: Box | None = None,
@@ -444,14 +499,33 @@ class RetrievalPlanner:
 
     def explain(self, class_name: str,
                 spatial: Box | None = None,
-                temporal: AbsTime | None = None) -> dict[str, object]:
+                temporal: AbsTime | None = None,
+                filters: tuple[tuple[str, Any], ...] = (),
+                ranges: tuple[tuple[str, str, Any], ...] = ()
+                ) -> dict[str, object]:
         """Describe, without side effects, which path a retrieval would
-        take — used by the optimizer and by EXP-A."""
+        take — used by the optimizer and by EXP-A.
+
+        Besides the §2.1.5 path the report carries ``access``: the
+        cost-based physical access path a direct retrieval would stream
+        from (index probe vs. full scan), with its estimates.
+        """
         cls = self.manager.classes.get(class_name)
-        found = self.manager.store.find(class_name, spatial=spatial,
-                                        temporal=temporal)
-        if found:
-            return {"path": "retrieve", "matches": len(found)}
+        access = self.manager.store.choose_path(
+            class_name, spatial=spatial, temporal=temporal,
+            filters=filters, ranges=ranges,
+        )
+        matches = sum(1 for _ in self.manager.store.iter_find(
+            class_name, spatial=spatial, temporal=temporal,
+            filters=filters, ranges=ranges, access_path=access,
+        ))
+        if matches:
+            return {"path": "retrieve", "matches": matches,
+                    "access": access.describe()}
+        if (filters or ranges) and self.manager.store.exists(
+                class_name, spatial=spatial, temporal=temporal):
+            return {"path": "retrieve", "matches": 0,
+                    "access": access.describe()}
         for step in self.fallback_order:
             if step == "interpolate" and temporal is not None \
                     and cls.temporal_attr is not None:
@@ -462,6 +536,7 @@ class RetrievalPlanner:
                     return {
                         "path": "interpolate",
                         "bracket": (str(before_t), str(after_t)),
+                        "access": access.describe(),
                     }
             if step == "derive":
                 net = self.manager.derivation_net()
@@ -471,5 +546,6 @@ class RetrievalPlanner:
                     plan = net.backward_plan(class_name, marking)
                 except UnderivableError:
                     continue
-                return {"path": "derive", "plan": list(plan.steps)}
-        return {"path": "unsatisfiable"}
+                return {"path": "derive", "plan": list(plan.steps),
+                        "access": access.describe()}
+        return {"path": "unsatisfiable", "access": access.describe()}

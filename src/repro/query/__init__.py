@@ -4,11 +4,13 @@ the v2 client layer (connections, cursors, prepared statements)."""
 from .ast import (
     ArgumentSpec,
     BoxTemplate,
+    CreateIndex,
     DefineClass,
     DefineCompound,
     DefineConcept,
     DefineProcess,
     Derive,
+    DropIndex,
     Explain,
     LineageQuery,
     Param,
@@ -50,11 +52,13 @@ __all__ = [
     "collect_signature",
     "connect",
     "fingerprint",
+    "CreateIndex",
     "DefineClass",
     "DefineCompound",
     "DefineConcept",
     "DefineProcess",
     "Derive",
+    "DropIndex",
     "Explain",
     "ExplainNode",
     "Executor",

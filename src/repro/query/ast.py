@@ -40,6 +40,8 @@ __all__ = [
     "LineageQuery",
     "Param",
     "BoxTemplate",
+    "CreateIndex",
+    "DropIndex",
 ]
 
 
@@ -138,10 +140,32 @@ class DefineConcept(Statement):
 
 
 @dataclass(frozen=True)
+class CreateIndex(Statement):
+    """``CREATE INDEX [name] ON class (attr)`` — a secondary B-tree over
+    a scalar attribute, registered in the storage catalog."""
+
+    class_name: str
+    attr: str
+    name: str | None = None
+
+
+@dataclass(frozen=True)
+class DropIndex(Statement):
+    """``DROP INDEX name`` or ``DROP INDEX ON class (attr)``."""
+
+    name: str | None = None
+    class_name: str | None = None
+    attr: str | None = None
+
+
+@dataclass(frozen=True)
 class Select(Statement):
     """``SELECT FROM class [WHERE spatialextent OVERLAPS box AND
-    timestamp = 'date' AND attr = literal]`` — concept names allowed as
-    the source; non-extent equality predicates become post-filters.
+    timestamp = 'date' AND attr = literal AND attr >= literal]`` —
+    concept names allowed as the source.  Equality predicates live in
+    ``filters`` as ``(attr, value)``; comparison predicates live in
+    ``ranges`` as ``(attr, op, value)`` with op in ``< <= > >=``.  The
+    optimizer pushes both into index-backed access paths when it can.
 
     Any value position may hold a :class:`Param` placeholder (a box may
     also be a :class:`BoxTemplate`); such statements must be bound
@@ -151,6 +175,7 @@ class Select(Statement):
     spatial: Box | BoxTemplate | Param | None = None
     temporal: AbsTime | Param | None = None
     filters: tuple[tuple[str, Any], ...] = ()
+    ranges: tuple[tuple[str, str, Any], ...] = ()
 
 
 @dataclass(frozen=True)

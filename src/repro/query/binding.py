@@ -59,6 +59,9 @@ def _params_of(node: PlanNode) -> Iterable[Param]:
     for _, value in node.filters:
         if isinstance(value, Param):
             yield value
+    for _, _, value in node.ranges:
+        if isinstance(value, Param):
+            yield value
 
 
 def collect_signature(nodes: Iterable[PlanNode]) -> ParamSignature:
@@ -170,6 +173,11 @@ def _bind_node(node: PlanNode, binder: _Binder) -> PlanNode:
         filters=tuple(
             (attr, binder.value(value) if isinstance(value, Param) else value)
             for attr, value in node.filters
+        ),
+        ranges=tuple(
+            (attr, op,
+             binder.value(value) if isinstance(value, Param) else value)
+            for attr, op, value in node.ranges
         ),
     )
 

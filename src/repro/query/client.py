@@ -49,7 +49,13 @@ from ..spatial.box import Box
 from ..storage.transactions import Transaction
 from .binding import ParamSignature, bind_nodes, collect_signature
 from .executor import Executor, QueryResult
-from .optimizer import Optimizer, PlanCache, PlanNode, RetrieveNode
+from .optimizer import (
+    ExplainNode,
+    Optimizer,
+    PlanCache,
+    PlanNode,
+    RetrieveNode,
+)
 
 __all__ = ["connect", "Connection", "Cursor", "PreparedStatement",
            "apilevel", "paramstyle", "threadsafety"]
@@ -244,7 +250,9 @@ class Cursor:
     def execute(self, operation: str | PreparedStatement,
                 params: Any = None) -> Cursor:
         """Execute *operation* (source text or a prepared statement)."""
-        nodes = self._bound_nodes(operation, params)
+        return self._execute_nodes(self._bound_nodes(operation, params))
+
+    def _execute_nodes(self, nodes: list[PlanNode]) -> Cursor:
         self.results = []
         self._fetched = 0
         self._describe(nodes)
@@ -261,11 +269,57 @@ class Cursor:
 
     def executemany(self, operation: str | PreparedStatement,
                     seq_of_params: Any) -> Cursor:
-        """Execute once per parameter set, draining each run."""
+        """Execute once per parameter set, draining each run.
+
+        The statement is compiled (or cache-validated) exactly once, up
+        front; each parameter set then binds against that one plan
+        template instead of touching the plan cache again per set.
+        """
+        prepared = self.connection.prepare(
+            operation.source if isinstance(operation, PreparedStatement)
+            else operation
+        )
         for params in seq_of_params:
-            self.execute(operation, params)
+            self._execute_nodes(prepared.bind(params))
             self.fetchall()
         return self
+
+    def explain(self, operation: str | PreparedStatement,
+                params: Any = None) -> str:
+        """A plan dump for *operation* without returning any rows.
+
+        Pricing probes the store's statistics (and may scan to resolve
+        a deferred logical path) but has no side effects — no
+        derivations run and nothing is materialized for the caller.
+
+        One line per plan node.  Retrieval nodes show the §2.1.5 logical
+        path and the cost-based physical access path (e.g.
+        ``index-eq(band=4) rows~100 cost~144.0``), so a user can verify
+        an index is actually being used before paying for the query::
+
+            >>> cur.explain("SELECT FROM landsat_tm WHERE band = 4")
+            'retrieve landsat_tm: path=retrieve access=index-eq(...) ...'
+        """
+        nodes = self._bound_nodes(operation, params)
+        executor = self.connection.executor
+        lines = []
+        for node in nodes:
+            inner = node.inner if isinstance(node, ExplainNode) else (node,)
+            for n in inner:
+                if isinstance(n, RetrieveNode):
+                    path, access = executor.explain_node(n)
+                    line = f"retrieve {n.class_name}: path={path}"
+                    if n.concept:
+                        line += f" via concept {n.concept}"
+                    if access is not None:
+                        line += f" access={access}"
+                    lines.append(line)
+                else:
+                    statement = n.statement
+                    lines.append(
+                        f"statement {type(statement).__name__}"
+                    )
+        return "\n".join(lines)
 
     def run(self, operation: str | PreparedStatement,
             params: Any = None) -> list[QueryResult]:

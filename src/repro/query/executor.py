@@ -11,7 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from ..core.classes import NonPrimitiveClass, SciObject
+from ..core.classes import (
+    NonPrimitiveClass,
+    SciObject,
+    matches_predicates,
+)
 from ..core.compound import CompoundProcess, Step
 from ..core.derivation import Argument, Process
 from ..core.planner import RetrievalResult
@@ -19,10 +23,12 @@ from ..errors import BindError, ExecutionError, UnderivableError
 from ..core.metadata_manager import MetadataManager
 from .ast import (
     BoxTemplate,
+    CreateIndex,
     DefineClass,
     DefineCompound,
     DefineConcept,
     DefineProcess,
+    DropIndex,
     LineageQuery,
     Param,
     RunProcess,
@@ -66,36 +72,52 @@ class Executor:
         if isinstance(node, RetrieveNode):
             return self._retrieve(node)
         if isinstance(node, ExplainNode):
-            paths = {
-                inner.class_name: self._explain_path(inner)
-                for inner in node.inner
-            }
-            lines = [
-                f"{name}: path={path}" for name, path in paths.items()
-            ]
+            paths: dict[str, str] = {}
+            access: dict[str, str] = {}
+            lines = []
+            for inner in node.inner:
+                path, access_dump = self.explain_node(inner)
+                paths[inner.class_name] = path
+                line = f"{inner.class_name}: path={path}"
+                if access_dump is not None:
+                    access[inner.class_name] = access_dump
+                    line += f" access={access_dump}"
+                lines.append(line)
             return QueryResult(
                 kind="explanation",
                 message="\n".join(lines),
-                details={"paths": paths},
+                details={"paths": paths, "access": access},
             )
         if isinstance(node, StatementNode):
             return self._statement(node.statement)
         raise ExecutionError(f"unknown plan node {type(node).__name__}")
 
-    def _explain_path(self, node: RetrieveNode) -> str:
-        """The node's path hint, recomputed when planning deferred it.
+    def explain_node(self, node: RetrieveNode) -> tuple[str, str | None]:
+        """``(path, access-path dump)``, recomputed when planning
+        deferred it.
 
         Plans compiled from parameterized statements carry
-        ``DEFERRED_PATH`` hints; once bind values are in place the path
-        can be explained against the current store.
+        ``DEFERRED_PATH`` hints and no recorded access path; once bind
+        values are in place both can be explained against the current
+        store.  A recorded access path that is stale (indexes created or
+        dropped since planning) is re-priced rather than reported.
         """
-        if node.path_hint != DEFERRED_PATH:
-            return node.path_hint
-        self._require_bound(node)
-        explanation = self.kernel.planner.explain(
-            node.class_name, spatial=node.spatial, temporal=node.temporal
-        )
-        return str(explanation["path"])
+        path = node.path_hint
+        access = node.access_path
+        store = self.kernel.store
+        stale = (access is None or access.index_version
+                 != store.engine.catalog.index_version)
+        if path == DEFERRED_PATH or stale:
+            self._require_bound(node)
+            explanation = self.kernel.planner.explain(
+                node.class_name, spatial=node.spatial,
+                temporal=node.temporal, filters=node.filters,
+                ranges=node.ranges,
+            )
+            if path == DEFERRED_PATH:
+                path = str(explanation["path"])
+            return path, str(explanation.get("access"))
+        return path, access.describe()
 
     # -- retrieval ------------------------------------------------------------
 
@@ -106,6 +128,7 @@ class Executor:
             isinstance(node.spatial, (Param, BoxTemplate))
             or isinstance(node.temporal, Param)
             or any(isinstance(v, Param) for _, v in node.filters)
+            or any(isinstance(v, Param) for _, _, v in node.ranges)
         )
         if unbound:
             raise BindError(
@@ -120,41 +143,85 @@ class Executor:
         if node.force_derivation:
             return planner.derive(node.class_name, node.spatial, node.temporal)
         return planner.retrieve(
-            node.class_name, spatial=node.spatial, temporal=node.temporal
+            node.class_name, spatial=node.spatial, temporal=node.temporal,
+            filters=node.filters, ranges=node.ranges,
         )
 
-    @staticmethod
-    def _passes(node: RetrieveNode, obj: SciObject) -> bool:
-        return all(obj.get(attr) == value for attr, value in node.filters)
+    def _filter_derived(self, node: RetrieveNode,
+                        objects: tuple[SciObject, ...]
+                        ) -> Iterator[SciObject]:
+        """Predicate re-check for DERIVE-forced results.
+
+        ``planner.derive`` bypasses retrieval-time pushdown, so apply
+        the node's predicates here — normalized first, so string dates
+        compare as :class:`AbsTime` exactly like on the retrieval paths
+        (``planner.retrieve`` already returns filtered objects).
+        """
+        cls = self.kernel.classes.get(node.class_name)
+        filters, ranges = self.kernel.store.normalize_predicates(
+            cls, node.filters, node.ranges
+        )
+        return (obj for obj in objects
+                if matches_predicates(obj, filters, ranges))
 
     def iter_objects(self, node: RetrieveNode) -> Iterator[SciObject]:
-        """Stream the objects of a retrieval node, filtering lazily.
+        """Stream the objects of a retrieval node lazily.
 
-        The retrieval itself (including any derivation) runs in full on
-        the first pull — the planner is all-or-nothing per class — so
-        the laziness here is in deferring that work until a row is
-        actually wanted and in applying post-filters per object.
+        Direct retrievals ride the plan's recorded access path (index
+        probe or full scan — re-priced by the store when indexes changed
+        since planning) and stream row by row, so ``fetchone`` on a
+        selective indexed retrieval touches only the rows the index
+        yields.  Only when nothing is stored for the extents does this
+        fall back to the §2.1.5 interpolate/derive sequence, which is
+        all-or-nothing per class and materializes on the first pull.
         """
+        self._require_bound(node)
+        planner = self.kernel.planner
+        store = self.kernel.store
+        if node.force_derivation:
+            result = planner.derive(node.class_name, node.spatial,
+                                    node.temporal)
+            yield from self._filter_derived(node, result.objects)
+            return
+        produced = False
+        for obj in store.iter_find(
+            node.class_name, spatial=node.spatial, temporal=node.temporal,
+            filters=node.filters, ranges=node.ranges,
+            access_path=node.access_path,
+        ):
+            produced = True
+            yield obj
+        if produced:
+            return
+        if (node.filters or node.ranges) and store.exists(
+                node.class_name, spatial=node.spatial,
+                temporal=node.temporal):
+            # Stored data covers the extents; the predicates rejected it
+            # all.  Fallbacks are for missing data, not empty results.
+            return
+        # planner.retrieve has already applied the (normalized)
+        # predicates to whatever the fallbacks produced.
         result = self._fetch(node)
-        for obj in result.objects:
-            if self._passes(node, obj):
-                yield obj
+        yield from result.objects
 
     def _retrieve(self, node: RetrieveNode) -> QueryResult:
         result = self._fetch(node)
-        objects = tuple(
-            obj for obj in result.objects if self._passes(node, obj)
-        )
+        objects = (tuple(self._filter_derived(node, result.objects))
+                   if node.force_derivation else result.objects)
+        details = {
+            "class": node.class_name,
+            "concept": node.concept,
+            "plan_steps": list(result.plan_steps),
+            "filters": list(node.filters),
+            "ranges": list(node.ranges),
+        }
+        if node.access_path is not None:
+            details["access"] = node.access_path.describe()
         return QueryResult(
             kind="objects",
             objects=objects,
             path=result.path,
-            details={
-                "class": node.class_name,
-                "concept": node.concept,
-                "plan_steps": list(result.plan_steps),
-                "filters": list(node.filters),
-            },
+            details=details,
         )
 
     # -- DDL / browsing ------------------------------------------------------------
@@ -219,6 +286,29 @@ class Executor:
                 self.kernel.concepts.attach_class(statement.name, member)
             return QueryResult(kind="message",
                                message=f"concept {statement.name} defined")
+        if isinstance(statement, CreateIndex):
+            index = self.kernel.store.create_attribute_index(
+                statement.class_name, statement.attr, name=statement.name
+            )
+            return QueryResult(
+                kind="message",
+                message=f"index {index.name} created on "
+                        f"{statement.class_name}({statement.attr})",
+                details={"index": index.name},
+            )
+        if isinstance(statement, DropIndex):
+            if statement.name is not None:
+                index = self.kernel.store.drop_index_named(statement.name)
+            else:
+                self.kernel.store.drop_attribute_index(
+                    statement.class_name, statement.attr
+                )
+                index = None
+            name = index.name if index is not None else (
+                f"on {statement.class_name}({statement.attr})"
+            )
+            return QueryResult(kind="message",
+                               message=f"index {name} dropped")
         if isinstance(statement, RunProcess):
             return self._run_process(statement)
         if isinstance(statement, Show):
@@ -301,6 +391,14 @@ class Executor:
                 for op in kernel.operators.overloads(name):
                     doc = f"  // {op.doc}" if op.doc else ""
                     lines.append(f"{op}{doc}")
+        elif statement.what == "indexes":
+            # Physical browsing: which secondary structures back which
+            # class attributes (extent indexes included).
+            lines = [
+                f"INDEX {ix.name} ON {ix.relation}({ix.column}) "
+                f"[{ix.kind}]"
+                for ix in kernel.store.engine.catalog.all_indexes()
+            ]
         elif statement.what == "types":
             lines = []
             for type_name in kernel.types.names():

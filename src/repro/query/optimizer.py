@@ -28,14 +28,17 @@ from typing import Any
 from ..core.metadata_manager import MetadataManager
 from ..errors import PlanningError
 from ..spatial.box import Box
+from ..storage.access import AccessPath
 from ..temporal.abstime import AbsTime
 from .ast import (
     BoxTemplate,
+    CreateIndex,
     DefineClass,
     DefineCompound,
     DefineConcept,
     DefineProcess,
     Derive,
+    DropIndex,
     Explain,
     LineageQuery,
     Param,
@@ -80,6 +83,12 @@ class RetrieveNode(PlanNode):
     concept: str | None = None  # set when the SELECT named a concept
     force_derivation: bool = False
     filters: tuple[tuple[str, Any], ...] = ()
+    ranges: tuple[tuple[str, str, Any], ...] = ()
+    #: Plan-time physical access path (None when any predicate value is
+    #: still a bind placeholder — the store chooses at execution time).
+    #: Carries the catalog index version it was priced under; a stale
+    #: recorded path is re-chosen by the store rather than trusted.
+    access_path: AccessPath | None = None
 
 
 @dataclass(frozen=True)
@@ -208,7 +217,7 @@ class Optimizer:
             )]
         if isinstance(statement, (DefineClass, DefineProcess, DefineCompound,
                                   DefineConcept, RunProcess, Show,
-                                  LineageQuery)):
+                                  LineageQuery, CreateIndex, DropIndex)):
             return [StatementNode(statement=statement)]
         raise PlanningError(
             f"no planning rule for {type(statement).__name__}"
@@ -220,8 +229,13 @@ class Optimizer:
             isinstance(select.spatial, (Param, BoxTemplate))
             or isinstance(select.temporal, Param)
         )
+        predicates_bound = not (
+            any(isinstance(v, Param) for _, v in select.filters)
+            or any(isinstance(v, Param) for _, _, v in select.ranges)
+        )
         nodes = []
         for class_name in targets:
+            access_path = None
             if parameterized:
                 # The extents are bind parameters: the path can only be
                 # explained once values are bound (the executor resolves
@@ -231,8 +245,20 @@ class Optimizer:
                 explanation = self.kernel.planner.explain(
                     class_name, spatial=select.spatial,
                     temporal=select.temporal,
+                    filters=select.filters if predicates_bound else (),
+                    ranges=select.ranges if predicates_bound else (),
                 )
                 path_hint = str(explanation["path"])
+                if predicates_bound:
+                    # Cost-based physical access path, recorded in the
+                    # (cacheable) plan.  The schema version that guards
+                    # cache entries includes the catalog index version,
+                    # so CREATE/DROP INDEX invalidates this choice.
+                    access_path = self.kernel.store.choose_path(
+                        class_name, spatial=select.spatial,
+                        temporal=select.temporal,
+                        filters=select.filters, ranges=select.ranges,
+                    )
             nodes.append(RetrieveNode(
                 class_name=class_name,
                 spatial=select.spatial,
@@ -240,6 +266,8 @@ class Optimizer:
                 path_hint=path_hint,
                 concept=select.source if select.source != class_name else None,
                 filters=select.filters,
+                ranges=select.ranges,
+                access_path=access_path,
             ))
         return nodes
 

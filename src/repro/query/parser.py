@@ -44,11 +44,13 @@ from ..temporal.abstime import AbsTime
 from .ast import (
     ArgumentSpec,
     BoxTemplate,
+    CreateIndex,
     DefineClass,
     DefineCompound,
     DefineConcept,
     DefineProcess,
     Derive,
+    DropIndex,
     Explain,
     LineageQuery,
     Param,
@@ -190,6 +192,10 @@ class _Parser:
             return self._run()
         if token.is_keyword("SHOW"):
             return self._show()
+        if token.is_keyword("CREATE"):
+            return self._create_index()
+        if token.is_keyword("DROP"):
+            return self._drop_index()
         if token.is_keyword("LINEAGE"):
             self._advance()
             oid = int(self._expect(TokenType.NUMBER).text)
@@ -497,6 +503,34 @@ class _Parser:
                 members.append(self._expect_ident())
         return DefineConcept(name=name, isa=tuple(isa), members=tuple(members))
 
+    # -- index DDL --------------------------------------------------------------------------------
+
+    def _create_index(self) -> CreateIndex:
+        """``CREATE INDEX [name] ON class (attr)``."""
+        self._expect_keyword("CREATE")
+        self._expect_keyword("INDEX")
+        name: str | None = None
+        if self._check(TokenType.IDENT):
+            name = self._expect_ident()
+        self._expect_keyword("ON")
+        class_name = self._expect_ident()
+        self._expect(TokenType.LPAREN)
+        attr = self._expect_ident()
+        self._expect(TokenType.RPAREN)
+        return CreateIndex(class_name=class_name, attr=attr, name=name)
+
+    def _drop_index(self) -> DropIndex:
+        """``DROP INDEX name`` or ``DROP INDEX ON class (attr)``."""
+        self._expect_keyword("DROP")
+        self._expect_keyword("INDEX")
+        if self._match(TokenType.KEYWORD, "ON"):
+            class_name = self._expect_ident()
+            self._expect(TokenType.LPAREN)
+            attr = self._expect_ident()
+            self._expect(TokenType.RPAREN)
+            return DropIndex(class_name=class_name, attr=attr)
+        return DropIndex(name=self._expect_ident())
+
     # -- retrieval --------------------------------------------------------------------------------
 
     def _select(self) -> Select:
@@ -506,36 +540,23 @@ class _Parser:
         spatial: Box | BoxTemplate | Param | None = None
         temporal: AbsTime | Param | None = None
         filters: list[tuple[str, Any]] = []
+        ranges: list[tuple[str, str, Any]] = []
         if self._match(TokenType.KEYWORD, "WHERE"):
             while True:
                 attr = self._expect_ident()
                 if self._match(TokenType.KEYWORD, "OVERLAPS"):
                     spatial = self._placeholder() or self._box_literal()
+                elif (comparison := self._comparison_op()) is not None:
+                    ranges.append(
+                        (attr, comparison, self._predicate_value(attr))
+                    )
                 elif self._match(TokenType.EQUALS):
-                    param = self._placeholder()
-                    token = self._peek()
-                    if param is not None:
-                        if attr == "timestamp":
-                            temporal = param
-                        else:
-                            filters.append((attr, param))
-                    elif token.type is TokenType.STRING:
-                        self._advance()
-                        if attr == "timestamp":
-                            temporal = AbsTime.parse(token.text)
-                        else:
-                            filters.append((attr, token.text))
-                    elif token.type is TokenType.NUMBER:
-                        self._advance()
-                        value: Any = (float(token.text)
-                                      if "." in token.text
-                                      else int(token.text))
-                        filters.append((attr, value))
+                    value = self._predicate_value(attr)
+                    if attr == "timestamp" and not isinstance(value, (int, float)):
+                        temporal = (value if isinstance(value, (Param, AbsTime))
+                                    else AbsTime.parse(value))
                     else:
-                        raise ParseError(
-                            f"bad literal in predicate on {attr!r}",
-                            token.line, token.column,
-                        )
+                        filters.append((attr, value))
                 else:
                     token = self._peek()
                     raise ParseError(
@@ -544,7 +565,33 @@ class _Parser:
                 if not self._match(TokenType.KEYWORD, "AND"):
                     break
         return Select(source=source, spatial=spatial, temporal=temporal,
-                      filters=tuple(filters))
+                      filters=tuple(filters), ranges=tuple(ranges))
+
+    def _comparison_op(self) -> str | None:
+        """A ``< <= > >=`` operator at the cursor, if present."""
+        for ttype, op in ((TokenType.LE, "<="), (TokenType.GE, ">="),
+                          (TokenType.LT, "<"), (TokenType.GT, ">")):
+            if self._match(ttype):
+                return op
+        return None
+
+    def _predicate_value(self, attr: str) -> Any:
+        """A predicate's right-hand side: placeholder, string or number."""
+        param = self._placeholder()
+        if param is not None:
+            return param
+        token = self._peek()
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.text
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return (float(token.text) if "." in token.text
+                    else int(token.text))
+        raise ParseError(
+            f"bad literal in predicate on {attr!r}",
+            token.line, token.column,
+        )
 
     def _derive(self) -> Derive:
         self._expect_keyword("DERIVE")
@@ -608,11 +655,11 @@ class _Parser:
         self._expect_keyword("SHOW")
         token = self._peek()
         for what in ("CLASSES", "PROCESSES", "CONCEPTS", "TASKS",
-                     "EXPERIMENTS", "OPERATORS", "TYPES"):
+                     "EXPERIMENTS", "OPERATORS", "TYPES", "INDEXES"):
             if self._match(TokenType.KEYWORD, what):
                 return Show(what=what.lower())
         raise ParseError(
             "SHOW expects CLASSES/PROCESSES/CONCEPTS/TASKS/EXPERIMENTS/"
-            f"OPERATORS/TYPES, found {token.text!r}",
+            f"OPERATORS/TYPES/INDEXES, found {token.text!r}",
             token.line, token.column,
         )

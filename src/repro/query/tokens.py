@@ -47,7 +47,7 @@ KEYWORDS = frozenset({
     "SELECT", "FROM", "WHERE", "AND", "AT", "IN", "OVERLAPS",
     "DERIVE", "EXPLAIN", "SHOW", "CLASSES", "PROCESSES", "CONCEPTS",
     "TASKS", "LINEAGE", "RUN", "WITH", "EXPERIMENTS", "OPERATORS",
-    "TYPES",
+    "TYPES", "CREATE", "DROP", "INDEX", "ON", "INDEXES",
 })
 
 

@@ -116,6 +116,20 @@ class GridIndex:
             if self._entries[entry_id].overlaps(box)
         }
 
+    def estimate_matches(self, box: Box) -> int:
+        """Cheap upper-bound estimate of :meth:`query`'s result size.
+
+        Sums the candidate buckets of the touched cells without running
+        the per-entry overlap test, so the cost model can price a spatial
+        probe without executing it.  Boxes spanning several cells are
+        counted once per cell, which keeps this an over- rather than
+        under-estimate.
+        """
+        total = len(self._outside)
+        for cell in self._cell_span(box):
+            total += len(self._cells.get(cell, ()))
+        return min(total, len(self._entries))
+
     def query_contained(self, box: Box) -> set[Hashable]:
         """Ids of extents entirely inside *box*."""
         return {

@@ -6,8 +6,9 @@ indexes, transactions with snapshot visibility, and a write-ahead log with
 replay-based recovery.
 """
 
+from .access import AccessPath, choose_access_path
 from .btree import BTree
-from .catalog import Catalog, Column, Schema
+from .catalog import Catalog, Column, IndexDef, Schema
 from .engine import Row, StorageEngine
 from .heap import DEFAULT_PAGE_BYTES, HeapFile, SlottedPage
 from .transactions import (
@@ -21,9 +22,12 @@ from .tuples import TID, TupleVersion
 from .wal import LogKind, LogRecord, WriteAheadLog, read_log_file
 
 __all__ = [
+    "AccessPath",
     "BTree",
     "Catalog",
     "Column",
+    "IndexDef",
+    "choose_access_path",
     "DEFAULT_PAGE_BYTES",
     "HeapFile",
     "LogKind",

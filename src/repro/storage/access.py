@@ -1,0 +1,255 @@
+"""Cost-based access-path selection for retrievals.
+
+The classic System-R question, scaled to Gaea's substrate: given a
+retrieval over one relation with extent predicates (spatial overlap,
+temporal equality), attribute equality filters and attribute range
+predicates, which physical access path is cheapest?
+
+The candidates are
+
+* ``full-scan`` — walk every heap version, test everything in Python;
+* ``index-eq`` — probe the B-tree on an equality-filtered column;
+* ``index-range`` — range-scan the B-tree on a comparison-bounded column;
+* ``spatial-probe`` — the grid index on the spatial extent;
+* ``temporal-probe`` — the timeline on the temporal extent.
+
+Each candidate gets an estimated result cardinality (selectivity × row
+count) and a cost in abstract row-work units; the cheapest wins.  Every
+predicate the chosen path does not consume is *pushed down* as a residual:
+the scan layer re-checks it per streamed row, so any path is correct and
+the choice is purely about how many rows are materialized.
+
+This module lives in ``storage`` (not ``query``) deliberately: the
+derivation planner (:mod:`repro.core.planner`) and the GaeaQL optimizer
+(:mod:`repro.query.optimizer`) must choose identical paths, and ``core``
+cannot import ``query``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import StorageEngine
+
+__all__ = ["AccessPath", "choose_access_path", "estimate_range_rows",
+           "SEQ_ROW_COST", "INDEX_PROBE_COST", "INDEX_ROW_COST"]
+
+#: Cost of materializing + testing one row on a full heap scan.
+SEQ_ROW_COST = 1.0
+#: Fixed cost of descending an index (tree walk / cell math).
+INDEX_PROBE_COST = 4.0
+#: Cost of fetching one row through an index entry (TID fetch +
+#: visibility check) — slightly above sequential to model random access.
+INDEX_ROW_COST = 1.4
+#: Default selectivity of a range predicate with no usable key bounds.
+DEFAULT_RANGE_SELECTIVITY = 0.33
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """One chosen (or considered) physical access path.
+
+    ``kind`` names the strategy; ``column`` the driving column (None for
+    full scans); ``argument`` the probe value — the equality key, the
+    ``(lo, hi)`` bound pair, the query :class:`~repro.spatial.box.Box`
+    or the :class:`~repro.temporal.abstime.AbsTime`.  ``residual``
+    describes the predicates re-checked per row, for plan dumps.
+    """
+
+    kind: str  # "full-scan" | "index-eq" | "index-range" | "spatial-probe" | "temporal-probe"
+    column: str | None = None
+    argument: Any = None
+    estimated_rows: float = 0.0
+    cost: float = 0.0
+    residual: tuple[str, ...] = ()
+    index_version: int = -1
+
+    def describe(self) -> str:
+        """One-line plan-dump rendering, e.g.
+        ``index-eq(code=7) rows~4 cost~9.6 residual=[station='s1']``."""
+        if self.kind == "index-eq":
+            head = f"index-eq({self.column}={self.argument!r})"
+        elif self.kind == "index-range":
+            lo, hi = self.argument
+            head = f"index-range({self.column} in [{lo!r}, {hi!r}])"
+        elif self.kind == "spatial-probe":
+            head = f"spatial-probe({self.column} overlaps {self.argument})"
+        elif self.kind == "temporal-probe":
+            head = f"temporal-probe({self.column}={self.argument})"
+        else:
+            head = "full-scan"
+        out = f"{head} rows~{self.estimated_rows:.0f} cost~{self.cost:.1f}"
+        if self.residual:
+            out += f" residual=[{', '.join(self.residual)}]"
+        return out
+
+
+def estimate_range_rows(entries: int, bounds: tuple[Any, Any] | None,
+                        lo: Any, hi: Any) -> float:
+    """Expected entries of a B-tree range scan over ``[lo, hi]``.
+
+    With numeric key bounds the fraction is linearly interpolated; other
+    key types fall back to :data:`DEFAULT_RANGE_SELECTIVITY` per bounded
+    side.
+    """
+    if entries == 0:
+        return 0.0
+    if bounds is not None:
+        kmin, kmax = bounds
+        try:
+            span = float(kmax) - float(kmin)
+            if span <= 0:
+                # Single-key index: either the range covers it or not.
+                covered = (lo is None or lo <= kmin) \
+                    and (hi is None or hi >= kmax)
+                return float(entries) if covered else 1.0
+            eff_lo = float(kmin) if lo is None else max(float(lo), float(kmin))
+            eff_hi = float(kmax) if hi is None else min(float(hi), float(kmax))
+            fraction = max(0.0, eff_hi - eff_lo) / span
+            return max(1.0, fraction * entries)
+        except (TypeError, ValueError):
+            pass
+    selectivity = 1.0
+    if lo is not None:
+        selectivity *= DEFAULT_RANGE_SELECTIVITY
+    if hi is not None:
+        selectivity *= DEFAULT_RANGE_SELECTIVITY
+    return max(1.0, selectivity * entries)
+
+
+@dataclass
+class _Candidate:
+    path: AccessPath
+    consumed: tuple[str, ...] = ()
+
+
+def choose_access_path(engine: "StorageEngine", relation: str,
+                       spatial: Any = None, temporal: Any = None,
+                       equals: tuple[tuple[str, Any], ...] = (),
+                       ranges: tuple[tuple[str, str, Any], ...] = ()
+                       ) -> AccessPath:
+    """Pick the cheapest access path for one retrieval over *relation*.
+
+    ``equals`` holds ``(column, value)`` equality filters; ``ranges``
+    holds ``(column, op, value)`` comparisons (op in ``< <= > >=``).
+    The returned path's ``residual`` lists every predicate its scan does
+    not already guarantee.
+    """
+    info = engine.access_info(relation, spatial=spatial, temporal=temporal)
+    rows = max(1, info["rows"])
+    version = info["index_version"]
+
+    def predicate_labels() -> dict[str, str]:
+        labels: dict[str, str] = {}
+        if spatial is not None and info["spatial_column"] is not None:
+            labels["__spatial__"] = \
+                f"{info['spatial_column']} overlaps {spatial}"
+        if temporal is not None and info["temporal_column"] is not None:
+            labels["__temporal__"] = f"{info['temporal_column']}={temporal}"
+        for column, value in equals:
+            labels[f"eq:{column}"] = f"{column}={value!r}"
+        for column, op, value in ranges:
+            labels[f"rng:{column}:{op}:{value!r}"] = f"{column}{op}{value!r}"
+        return labels
+
+    labels = predicate_labels()
+
+    def residual_for(consumed: tuple[str, ...]) -> tuple[str, ...]:
+        return tuple(text for key, text in labels.items()
+                     if key not in consumed)
+
+    candidates: list[_Candidate] = [_Candidate(AccessPath(
+        kind="full-scan", estimated_rows=float(rows),
+        cost=rows * SEQ_ROW_COST, index_version=version,
+    ))]
+
+    for column, value in equals:
+        stats = info["btrees"].get(column)
+        if stats is None:
+            continue
+        distinct = max(1, stats["distinct"])
+        est = max(1.0, stats["entries"] / distinct)
+        candidates.append(_Candidate(
+            AccessPath(
+                kind="index-eq", column=column, argument=value,
+                estimated_rows=est,
+                cost=INDEX_PROBE_COST + est * INDEX_ROW_COST,
+                index_version=version,
+            ),
+            consumed=(f"eq:{column}",),
+        ))
+
+    # Collapse per-column comparison predicates into one [lo, hi] window.
+    windows: dict[str, dict[str, Any]] = {}
+    for column, op, value in ranges:
+        window = windows.setdefault(
+            column, {"lo": None, "hi": None, "keys": []}
+        )
+        if op in (">", ">="):
+            if window["lo"] is None or value > window["lo"]:
+                window["lo"] = value
+        else:
+            if window["hi"] is None or value < window["hi"]:
+                window["hi"] = value
+        # The B-tree window is inclusive on both bounds, so a strict
+        # comparison (>, <) still needs the per-row residual re-check.
+        window["keys"].append(
+            (f"rng:{column}:{op}:{value!r}", op in ("<=", ">="))
+        )
+    for column, window in windows.items():
+        stats = info["btrees"].get(column)
+        if stats is None:
+            continue
+        est = estimate_range_rows(
+            stats["entries"], stats["bounds"], window["lo"], window["hi"]
+        )
+        candidates.append(_Candidate(
+            AccessPath(
+                kind="index-range", column=column,
+                argument=(window["lo"], window["hi"]),
+                estimated_rows=est,
+                cost=INDEX_PROBE_COST + est * INDEX_ROW_COST,
+                index_version=version,
+            ),
+            consumed=tuple(key for key, inclusive in window["keys"]
+                           if inclusive),
+        ))
+
+    if spatial is not None and info["spatial_column"] is not None \
+            and info["spatial_entries"] is not None:
+        est = max(1.0, float(info["spatial_estimate"]))
+        candidates.append(_Candidate(
+            AccessPath(
+                kind="spatial-probe", column=info["spatial_column"],
+                argument=spatial, estimated_rows=est,
+                cost=INDEX_PROBE_COST + est * INDEX_ROW_COST,
+                index_version=version,
+            ),
+            consumed=("__spatial__",),
+        ))
+
+    if temporal is not None and info["temporal_column"] is not None \
+            and info["temporal_estimate"] is not None:
+        est = max(1.0, float(info["temporal_estimate"]))
+        candidates.append(_Candidate(
+            AccessPath(
+                kind="temporal-probe", column=info["temporal_column"],
+                argument=temporal, estimated_rows=est,
+                cost=INDEX_PROBE_COST + est * INDEX_ROW_COST,
+                index_version=version,
+            ),
+            consumed=("__temporal__",),
+        ))
+
+    best = min(candidates, key=lambda c: c.path.cost)
+    return AccessPath(
+        kind=best.path.kind,
+        column=best.path.column,
+        argument=best.path.argument,
+        estimated_rows=best.path.estimated_rows,
+        cost=best.path.cost,
+        residual=residual_for(best.consumed),
+        index_version=version,
+    )

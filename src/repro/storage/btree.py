@@ -48,6 +48,11 @@ class BTree:
         self._order = order
         self._root: _Node = _Node(leaf=True)
         self._count = 0  # number of (key, entry) pairs
+        self._distinct = 0  # keys with a non-empty bucket
+        # Widened on insert, left stale by deletes: good enough for the
+        # cost model's range-selectivity interpolation.
+        self._min_key: Any = None
+        self._max_key: Any = None
 
     def __len__(self) -> int:
         return self._count
@@ -124,6 +129,14 @@ class BTree:
             self._split_child(new_root, 0)
             self._root = new_root
 
+    def _note_key(self, key: Any) -> None:
+        """Track the key range and distinct-key count on insert."""
+        self._distinct += 1
+        if self._min_key is None or key < self._min_key:
+            self._min_key = key
+        if self._max_key is None or key > self._max_key:
+            self._max_key = key
+
     def _insert_into(self, node: _Node, key: Any, entry: Hashable) -> bool:
         if node.leaf:
             idx = bisect.bisect_left(node.keys, key)
@@ -131,10 +144,13 @@ class BTree:
                 bucket: set[Hashable] = node.values[idx]
                 if entry in bucket:
                     return False
+                if not bucket:
+                    self._note_key(key)  # revived an emptied key
                 bucket.add(entry)
                 return True
             node.keys.insert(idx, key)
             node.values.insert(idx, {entry})
+            self._note_key(key)
             return True
         idx = bisect.bisect_right(node.keys, key)
         child = node.children[idx]
@@ -189,8 +205,29 @@ class BTree:
             raise IndexError_(f"entry {entry!r} not under key {key!r}")
         bucket.discard(entry)
         self._count -= 1
+        if not bucket:
+            self._distinct -= 1
 
     # -- introspection ---------------------------------------------------------------
+
+    def distinct_keys(self) -> int:
+        """Number of keys with at least one live entry (O(1)).
+
+        The selectivity denominator of the cost model: an equality probe
+        on this index is expected to return ``len(self) / distinct_keys``
+        entries.
+        """
+        return self._distinct
+
+    def key_bounds(self) -> tuple[Any, Any] | None:
+        """``(min_key, max_key)`` ever inserted, or None when empty.
+
+        Maintained incrementally (O(1)); deletes may leave the bounds
+        slightly wide, which only pads the cost model's range estimates.
+        """
+        if self._min_key is None:
+            return None
+        return (self._min_key, self._max_key)
 
     def depth(self) -> int:
         """Tree height (1 for a lone leaf)."""

@@ -3,6 +3,12 @@
 The catalog is the storage-side mirror of the derivation layer's class
 definitions: every non-primitive class materializes as a relation whose
 attribute types are primitive-class names validated by the ADT registry.
+
+The catalog also registers *secondary indexes* (:class:`IndexDef`): the
+engine maintains the physical structures, but their existence is catalog
+metadata, and :attr:`Catalog.index_version` is the monotonically
+increasing stamp that plan caches compare so cached access paths are
+invalidated whenever an index is created or dropped.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from typing import Any
 from ..adt.registry import TypeRegistry
 from ..errors import RelationExistsError, StorageError, UnknownRelationError
 
-__all__ = ["Column", "Schema", "Catalog"]
+__all__ = ["Column", "Schema", "Catalog", "IndexDef"]
 
 
 @dataclass(frozen=True)
@@ -64,13 +70,32 @@ class Schema:
         return dict(zip(self.column_names, values))
 
 
+@dataclass(frozen=True)
+class IndexDef:
+    """Catalog entry for one secondary index.
+
+    ``kind`` is ``"btree"`` (scalar attribute values), ``"spatial"``
+    (grid index over a box column) or ``"temporal"`` (timeline over an
+    abstime column).
+    """
+
+    name: str
+    relation: str
+    column: str
+    kind: str
+
+
 @dataclass
 class Catalog:
     """Registry of relation schemas, validating types against the ADT
     layer."""
 
     types: TypeRegistry
+    #: Bumped on every index create/drop; plan caches include it in the
+    #: schema version they validate cached access paths against.
+    index_version: int = 0
     _schemas: dict[str, Schema] = field(default_factory=dict)
+    _indexes: dict[str, IndexDef] = field(default_factory=dict)
 
     def create(self, relation: str, columns: list[tuple[str, str]]) -> Schema:
         """Define a relation with ``(name, type_name)`` columns."""
@@ -85,10 +110,80 @@ class Catalog:
         return schema
 
     def drop(self, relation: str) -> None:
-        """Remove a relation's schema."""
+        """Remove a relation's schema (and its index entries)."""
         if relation not in self._schemas:
             raise UnknownRelationError(relation)
         del self._schemas[relation]
+        for name in [n for n, ix in self._indexes.items()
+                     if ix.relation == relation]:
+            del self._indexes[name]
+            self.index_version += 1
+
+    # -- secondary-index metadata ---------------------------------------------
+
+    @staticmethod
+    def default_index_name(relation: str, column: str, kind: str) -> str:
+        """Conventional name for an index: ``ix_<relation>_<column>``."""
+        prefix = {"btree": "ix", "spatial": "sx", "temporal": "tx"}[kind]
+        return f"{prefix}_{relation}_{column}"
+
+    def add_index(self, relation: str, column: str, kind: str,
+                  name: str | None = None) -> IndexDef:
+        """Register a secondary index; bumps :attr:`index_version`."""
+        schema = self.get(relation)
+        schema.index_of(column)  # raises when the column does not exist
+        if kind not in ("btree", "spatial", "temporal"):
+            raise StorageError(f"unknown index kind {kind!r}")
+        if name is None:
+            name = self.default_index_name(relation, column, kind)
+        if name in self._indexes:
+            raise StorageError(f"index {name!r} already exists")
+        for existing in self._indexes.values():
+            if (existing.relation, existing.column, existing.kind) \
+                    == (relation, column, kind):
+                raise StorageError(
+                    f"{kind} index on {relation}.{column} already exists "
+                    f"(as {existing.name!r})"
+                )
+        index = IndexDef(name=name, relation=relation, column=column,
+                         kind=kind)
+        self._indexes[name] = index
+        self.index_version += 1
+        return index
+
+    def drop_index(self, name: str) -> IndexDef:
+        """Unregister the index called *name*; bumps the version."""
+        try:
+            index = self._indexes.pop(name)
+        except KeyError:
+            raise StorageError(f"no index named {name!r}") from None
+        self.index_version += 1
+        return index
+
+    def index_named(self, name: str) -> IndexDef:
+        """The index definition called *name*."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise StorageError(f"no index named {name!r}") from None
+
+    def indexes_of(self, relation: str) -> list[IndexDef]:
+        """Index definitions on *relation*, in creation order."""
+        return [ix for ix in self._indexes.values()
+                if ix.relation == relation]
+
+    def find_index(self, relation: str, column: str,
+                   kind: str) -> IndexDef | None:
+        """The index of *kind* on ``relation.column``, if registered."""
+        for index in self._indexes.values():
+            if (index.relation, index.column, index.kind) \
+                    == (relation, column, kind):
+                return index
+        return None
+
+    def all_indexes(self) -> list[IndexDef]:
+        """Every registered index, in creation order."""
+        return list(self._indexes.values())
 
     def get(self, relation: str) -> Schema:
         """The schema of *relation*."""

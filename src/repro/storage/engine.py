@@ -26,7 +26,7 @@ from ..spatial.grid_index import GridIndex
 from ..temporal.abstime import AbsTime
 from ..temporal.timeline import Timeline
 from .btree import BTree
-from .catalog import Catalog, Schema
+from .catalog import Catalog, IndexDef, Schema
 from .heap import HeapFile
 from .transactions import Snapshot, Transaction, TransactionManager, visible
 from .tuples import TID, TupleVersion
@@ -66,9 +66,15 @@ class StorageEngine:
     transactions: TransactionManager = field(default_factory=TransactionManager)
     wal: WriteAheadLog = field(default_factory=WriteAheadLog)
     _relations: dict[str, _RelationState] = field(default_factory=dict)
+    # Per-transaction undo log of index insertions: entries are purged
+    # from the physical indexes when the transaction aborts, so no index
+    # ever keeps pointers to rolled-back row versions.
+    _tx_index_log: dict[int, list[tuple[str, str, str, Any, TID]]] \
+        = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.catalog = Catalog(types=self.types)
+        self.transactions.on_abort(self._purge_aborted_index_entries)
 
     # -- DDL -----------------------------------------------------------------
 
@@ -84,42 +90,116 @@ class StorageEngine:
         )
         return schema
 
-    def create_index(self, relation: str, column: str, order: int = 32) -> None:
-        """Build a B-tree on *column*, loading existing visible keys."""
+    def _buildable_versions(self, state: _RelationState
+                            ) -> Iterator[tuple[TID, TupleVersion]]:
+        """Heap versions an index build should load.
+
+        Versions created by aborted transactions are dead forever;
+        versions deleted by a committed transaction likewise.  Versions
+        from still-active transactions are loaded *and* logged so a later
+        rollback purges them (same guarantee as insert-time maintenance).
+        """
+        for tid, version in state.heap.scan():
+            if self.transactions.is_aborted(version.xmin):
+                continue
+            if version.xmax is not None \
+                    and self.transactions.is_committed(version.xmax):
+                continue
+            yield tid, version
+
+    def _log_if_uncommitted(self, xid: int, relation: str, kind: str,
+                            column: str, key: Any, tid: TID) -> None:
+        """Record an index insertion for purge-on-abort bookkeeping."""
+        if self.transactions.is_active(xid):
+            self._tx_index_log.setdefault(xid, []).append(
+                (relation, kind, column, key, tid)
+            )
+
+    def create_index(self, relation: str, column: str, order: int = 32,
+                     name: str | None = None) -> IndexDef:
+        """Build a B-tree on *column*, loading existing live keys.
+
+        The index is registered in the catalog (bumping the index
+        version, which invalidates cached plans) and maintained by every
+        subsequent insert/delete/rollback.
+        """
         state = self._state(relation)
         schema = self.catalog.get(relation)
         position = schema.index_of(column)
         if column in state.btrees:
             raise StorageError(f"index on {relation}.{column} already exists")
+        index = self.catalog.add_index(relation, column, "btree", name=name)
         tree = BTree(order=order)
-        for tid, version in state.heap.scan():
+        for tid, version in self._buildable_versions(state):
             tree.insert(version.values[position], tid)
+            self._log_if_uncommitted(version.xmin, relation, "btree", column,
+                                     version.values[position], tid)
         state.btrees[column] = tree
+        return index
 
     def create_spatial_index(self, relation: str, column: str,
-                             universe: Box, nx: int = 16, ny: int = 16) -> None:
+                             universe: Box, nx: int = 16, ny: int = 16,
+                             name: str | None = None) -> IndexDef:
         """Attach a grid index over a box-typed column."""
         state = self._state(relation)
         schema = self.catalog.get(relation)
         if schema.type_of(column) != "box":
             raise StorageError(f"{relation}.{column} is not box-typed")
+        index = self.catalog.add_index(relation, column, "spatial", name=name)
         state.spatial = GridIndex(universe=universe, nx=nx, ny=ny)
         state.spatial_column = column
         position = schema.index_of(column)
-        for tid, version in state.heap.scan():
+        for tid, version in self._buildable_versions(state):
             state.spatial.insert(tid, version.values[position])
+            self._log_if_uncommitted(version.xmin, relation, "spatial", column,
+                                     version.values[position], tid)
+        return index
 
-    def create_temporal_index(self, relation: str, column: str) -> None:
+    def create_temporal_index(self, relation: str, column: str,
+                              name: str | None = None) -> IndexDef:
         """Attach a timeline over an abstime-typed column."""
         state = self._state(relation)
         schema = self.catalog.get(relation)
         if schema.type_of(column) != "abstime":
             raise StorageError(f"{relation}.{column} is not abstime-typed")
+        index = self.catalog.add_index(relation, column, "temporal", name=name)
         state.temporal = Timeline()
         state.temporal_column = column
         position = schema.index_of(column)
-        for tid, version in state.heap.scan():
+        for tid, version in self._buildable_versions(state):
             state.temporal.add(version.values[position], tid)
+            self._log_if_uncommitted(version.xmin, relation, "temporal",
+                                     column, version.values[position], tid)
+        return index
+
+    def drop_index(self, relation: str, column: str) -> None:
+        """Drop the B-tree on ``relation.column`` (catalog + structure)."""
+        state = self._state(relation)
+        if column not in state.btrees:
+            raise StorageError(f"no index on {relation}.{column}")
+        index = self.catalog.find_index(relation, column, "btree")
+        if index is not None:
+            self.catalog.drop_index(index.name)
+        del state.btrees[column]
+
+    def drop_index_named(self, name: str) -> IndexDef:
+        """Drop any secondary index by its catalog name."""
+        index = self.catalog.index_named(name)
+        state = self._state(index.relation)
+        self.catalog.drop_index(name)
+        if index.kind == "btree":
+            state.btrees.pop(index.column, None)
+        elif index.kind == "spatial":
+            state.spatial = None
+            state.spatial_column = None
+        else:
+            state.temporal = None
+            state.temporal_column = None
+        return index
+
+    def has_index(self, relation: str, column: str) -> bool:
+        """Whether a B-tree exists on ``relation.column``."""
+        return column in self._state(relation).btrees
 
     def _state(self, relation: str) -> _RelationState:
         try:
@@ -143,11 +223,37 @@ class StorageEngine:
         """Commit (logged — the commit record is the durability point)."""
         self.wal.append(LogKind.COMMIT, xid=tx.xid)
         self.transactions.commit(tx)
+        # Committed index entries are permanent: drop the undo log.
+        self._tx_index_log.pop(tx.xid, None)
 
     def abort(self, tx: Transaction) -> None:
-        """Abort (logged); the transaction's versions stay dead forever."""
+        """Abort (logged); the transaction's versions stay dead forever.
+
+        Secondary-index entries the transaction added are purged (via the
+        transaction manager's abort hook), so indexes never point at
+        rolled-back versions.
+        """
         self.wal.append(LogKind.ABORT, xid=tx.xid)
         self.transactions.abort(tx)
+
+    def _purge_aborted_index_entries(self, xid: int) -> None:
+        """Abort hook: undo every index insertion logged under *xid*."""
+        for relation, kind, column, key, tid in \
+                self._tx_index_log.pop(xid, []):
+            state = self._relations.get(relation)
+            if state is None:
+                continue
+            if kind == "btree":
+                tree = state.btrees.get(column)
+                if tree is not None and tid in tree.search(key):
+                    tree.delete(key, tid)
+            elif kind == "spatial":
+                if state.spatial is not None and tid in state.spatial:
+                    state.spatial.remove(tid)
+            elif kind == "temporal":
+                if state.temporal is not None \
+                        and tid in state.temporal.at(key):
+                    state.temporal.remove(key, tid)
 
     def snapshot(self, tx: Transaction | None = None) -> Snapshot:
         """Current snapshot, optionally for an in-flight transaction."""
@@ -168,11 +274,20 @@ class StorageEngine:
         )
         schema = self.catalog.get(relation)
         for column, tree in state.btrees.items():
-            tree.insert(normalized[schema.index_of(column)], tid)
+            key = normalized[schema.index_of(column)]
+            tree.insert(key, tid)
+            self._log_if_uncommitted(tx.xid, relation, "btree", column,
+                                     key, tid)
         if state.spatial is not None and state.spatial_column is not None:
-            state.spatial.insert(tid, normalized[schema.index_of(state.spatial_column)])
+            box = normalized[schema.index_of(state.spatial_column)]
+            state.spatial.insert(tid, box)
+            self._log_if_uncommitted(tx.xid, relation, "spatial",
+                                     state.spatial_column, box, tid)
         if state.temporal is not None and state.temporal_column is not None:
-            state.temporal.add(normalized[schema.index_of(state.temporal_column)], tid)
+            at = normalized[schema.index_of(state.temporal_column)]
+            state.temporal.add(at, tid)
+            self._log_if_uncommitted(tx.xid, relation, "temporal",
+                                     state.temporal_column, at, tid)
         return tid
 
     def delete(self, relation: str, tid: TID, tx: Transaction) -> None:
@@ -227,6 +342,68 @@ class StorageEngine:
             except TupleNotFoundError:
                 continue
         return rows
+
+    def _iter_visible_tids(self, relation: str, tids: Iterator[TID] | set[TID],
+                           snap: Snapshot) -> Iterator[Row]:
+        """Stream visible rows for *tids*, skipping invisible versions."""
+        for tid in tids:
+            try:
+                yield self.fetch(relation, tid, snap)
+            except TupleNotFoundError:
+                continue
+
+    def iter_lookup(self, relation: str, column: str, key: Any,
+                    snapshot: Snapshot | None = None) -> Iterator[Row]:
+        """Stream the visible rows with ``column == key`` via the B-tree.
+
+        The lazy counterpart of :meth:`lookup`: rows are fetched one TID
+        at a time, so a consumer that stops early does no further work.
+        """
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        tree = state.btrees.get(column)
+        if tree is None:
+            raise StorageError(f"no index on {relation}.{column}")
+        yield from self._iter_visible_tids(relation,
+                                           iter(sorted(tree.search(key))),
+                                           snap)
+
+    def iter_range(self, relation: str, column: str, lo: Any, hi: Any,
+                   snapshot: Snapshot | None = None) -> Iterator[Row]:
+        """Stream visible rows with ``lo <= column <= hi`` in key order.
+
+        ``None`` bounds are open-ended.
+        """
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        tree = state.btrees.get(column)
+        if tree is None:
+            raise StorageError(f"no index on {relation}.{column}")
+        for _, bucket in tree.range_scan(lo, hi):
+            yield from self._iter_visible_tids(relation,
+                                               iter(sorted(bucket)), snap)
+
+    def iter_spatial(self, relation: str, query: Box,
+                     snapshot: Snapshot | None = None) -> Iterator[Row]:
+        """Stream visible rows whose extent overlaps *query*."""
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        if state.spatial is None:
+            raise StorageError(f"no spatial index on {relation}")
+        yield from self._iter_visible_tids(
+            relation, iter(sorted(state.spatial.query(query))), snap
+        )
+
+    def iter_temporal(self, relation: str, at: AbsTime,
+                      snapshot: Snapshot | None = None) -> Iterator[Row]:
+        """Stream visible rows stamped exactly *at*."""
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        if state.temporal is None:
+            raise StorageError(f"no temporal index on {relation}")
+        yield from self._iter_visible_tids(
+            relation, iter(sorted(state.temporal.at(at))), snap
+        )
 
     def lookup(self, relation: str, column: str, key: Any,
                snapshot: Snapshot | None = None) -> list[Row]:
@@ -300,6 +477,42 @@ class StorageEngine:
         self.commit(tx)
 
     # -- statistics -------------------------------------------------------------------------
+
+    def access_info(self, relation: str, spatial: Box | None = None,
+                    temporal: AbsTime | None = None) -> dict[str, Any]:
+        """Everything the cost model needs to price access paths: O(1).
+
+        ``rows`` is the stored-version count (an upper bound on visible
+        rows — dead versions only pad the full-scan cost, which is the
+        honest direction to err).  When *spatial*/*temporal* probes are
+        supplied, per-probe cardinality estimates are included.
+        """
+        state = self._state(relation)
+        btrees = {
+            column: {
+                "entries": len(tree),
+                "distinct": tree.distinct_keys(),
+                "bounds": tree.key_bounds(),
+            }
+            for column, tree in state.btrees.items()
+        }
+        spatial_estimate = None
+        if state.spatial is not None and spatial is not None:
+            spatial_estimate = state.spatial.estimate_matches(spatial)
+        temporal_estimate = None
+        if state.temporal is not None and temporal is not None:
+            temporal_estimate = len(state.temporal.at(temporal))
+        return {
+            "rows": state.heap.version_count(),
+            "index_version": self.catalog.index_version,
+            "btrees": btrees,
+            "spatial_column": state.spatial_column,
+            "spatial_entries": (len(state.spatial)
+                                if state.spatial is not None else None),
+            "spatial_estimate": spatial_estimate,
+            "temporal_column": state.temporal_column,
+            "temporal_estimate": temporal_estimate,
+        }
 
     def stats(self, relation: str) -> dict[str, int]:
         """Physical statistics: pages, stored versions, visible rows."""

@@ -71,6 +71,9 @@ class HeapFile:
     name: str
     page_bytes: int = DEFAULT_PAGE_BYTES
     _pages: list[SlottedPage] = field(default_factory=list)
+    # Maintained on insert so `version_count` is O(1): the cost model
+    # consults it on every access-path decision.
+    _version_total: int = 0
 
     @property
     def page_count(self) -> int:
@@ -99,6 +102,7 @@ class HeapFile:
         """Append *version*, returning its stable TID."""
         page = self._page_with_room(version)
         slot = page.insert(version)
+        self._version_total += 1
         return TID(page=page.page_no, slot=slot)
 
     def get(self, tid: TID) -> TupleVersion:
@@ -114,5 +118,5 @@ class HeapFile:
                 yield TID(page=page.page_no, slot=slot), version
 
     def version_count(self) -> int:
-        """Total stored versions, live and dead."""
-        return sum(page.slot_count for page in self._pages)
+        """Total stored versions, live and dead (O(1))."""
+        return self._version_total

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Callable
 
 from ..errors import TransactionError
 from .tuples import TupleVersion
@@ -71,6 +72,10 @@ class TransactionManager:
     _next_xid: int = 1
     _transactions: dict[int, Transaction] = field(default_factory=dict)
     _committed: set[int] = field(default_factory=set)
+    # Abort observers: called with the xid after an abort is recorded.
+    # The engine registers its index-maintenance purge here so secondary
+    # indexes never keep entries for rolled-back versions.
+    _abort_hooks: list[Callable[[int], None]] = field(default_factory=list)
 
     def begin(self) -> Transaction:
         """Start a new transaction."""
@@ -96,11 +101,17 @@ class TransactionManager:
         tx.status = TxStatus.COMMITTED
         self._committed.add(tx.xid)
 
+    def on_abort(self, hook: Callable[[int], None]) -> None:
+        """Register *hook* to run (with the xid) after every abort."""
+        self._abort_hooks.append(hook)
+
     def abort(self, tx: Transaction) -> None:
         """Abort *tx*; its writes never become visible."""
         stored = self._get_active(tx)
         stored.status = TxStatus.ABORTED
         tx.status = TxStatus.ABORTED
+        for hook in self._abort_hooks:
+            hook(tx.xid)
 
     def status_of(self, xid: int) -> TxStatus:
         """Status of the transaction with id *xid*."""
@@ -108,6 +119,20 @@ class TransactionManager:
         if tx is None:
             raise TransactionError(f"unknown transaction {xid}")
         return tx.status
+
+    def is_committed(self, xid: int) -> bool:
+        """Whether *xid* committed (False for unknown xids)."""
+        return xid in self._committed
+
+    def is_aborted(self, xid: int) -> bool:
+        """Whether *xid* aborted (False for unknown xids)."""
+        tx = self._transactions.get(xid)
+        return tx is not None and tx.status is TxStatus.ABORTED
+
+    def is_active(self, xid: int) -> bool:
+        """Whether *xid* is still in flight (False for unknown xids)."""
+        tx = self._transactions.get(xid)
+        return tx is not None and tx.status is TxStatus.ACTIVE
 
     def snapshot(self, for_tx: Transaction | None = None) -> Snapshot:
         """Take a snapshot of everything committed so far, optionally on

@@ -221,3 +221,32 @@ class TestInteractiveProcesses:
             parameter_overrides={"signatures": self.SIGNATURES},
         )
         assert not result.reused
+
+
+class TestCoverageWithPredicates:
+    """Attribute predicates must not suppress the coverage fallbacks:
+    'covered' means an object *contains* the query box, not merely
+    overlaps it."""
+
+    @pytest.fixture()
+    def world(self, kernel):
+        kernel.derivations.define_class(FIELD)
+        return kernel
+
+    def test_filters_do_not_suppress_mosaic_fallback(self, world):
+        _tile(world, Box(0, 0, 10, 10), 1.0)
+        _tile(world, Box(10, 0, 20, 10), 3.0)
+        result = world.planner.retrieve(
+            "field", spatial=Box(5, 2, 15, 8), spatial_coverage=True,
+            filters=(("area", "africa"),),
+        )
+        assert result.path == "interpolate"
+        assert result.object["area"] == "africa"
+
+    def test_partial_overlap_with_filters_still_underivable(self, world):
+        _tile(world, Box(0, 0, 10, 10), 1.0)
+        with pytest.raises(UnderivableError):
+            world.planner.retrieve(
+                "field", spatial=Box(5, 5, 15, 15), spatial_coverage=True,
+                filters=(("area", "africa"),),
+            )

@@ -165,16 +165,18 @@ class TestBindingSearch:
 
 class TestExplain:
     def test_explain_paths(self, world):
-        assert world.planner.explain("mask") == {"path": "unsatisfiable"}
+        assert world.planner.explain("mask")["path"] == "unsatisfiable"
         _field(world, day=0)
         assert world.planner.explain("mask")["path"] == "derive"
         _field(world, day=10)
         exp = world.planner.explain("field", temporal=AbsTime(5))
         assert exp["path"] == "interpolate"
         obj = world.store.find("field", temporal=AbsTime(0))[0]
-        assert world.planner.explain(
-            "field", temporal=AbsTime(0)
-        ) == {"path": "retrieve", "matches": 1}
+        exp = world.planner.explain("field", temporal=AbsTime(0))
+        assert exp["path"] == "retrieve"
+        assert exp["matches"] == 1
+        # Every explanation reports the physical access path it priced.
+        assert "access" in exp
         assert obj is not None
 
     def test_explain_has_no_side_effects(self, world):

@@ -370,3 +370,136 @@ class TestSessionShim:
             session.execute_one("SHOW TYPES; SHOW OPERATORS")
         assert isinstance(excinfo.value, GaeaError)
         assert isinstance(excinfo.value, ValueError)
+
+
+SITE_DDL = """
+DEFINE CLASS site (
+  ATTRIBUTES: code = int4; reading = float8; name = char16;
+  SPATIAL EXTENT: cell = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+)
+"""
+
+
+@pytest.fixture()
+def site_conn():
+    connection = connect(universe=Box(0, 0, 100, 100))
+    connection.cursor().run(SITE_DDL)
+    stamp = AbsTime.from_ymd(1990, 6, 1)
+    for i in range(60):
+        connection.kernel.store.store("site", {
+            "code": i % 6, "reading": float(i), "name": f"s{i}",
+            "cell": Box(i % 10, i % 10, i % 10 + 1, i % 10 + 1),
+            "timestamp": stamp,
+        })
+    return connection
+
+
+class TestIndexedRetrieval:
+    def test_create_index_switches_plan_to_index_probe(self, site_conn):
+        cur = site_conn.cursor()
+        query = "SELECT FROM site WHERE code = 3"
+        assert "full-scan" in cur.explain(query)
+        before = cur.execute(query).fetchall()
+
+        cur.execute("CREATE INDEX ON site (code)")
+        assert "index-eq(code=3)" in cur.explain(query)
+        after = cur.execute(query).fetchall()
+        assert sorted(o["name"] for o in after) \
+            == sorted(o["name"] for o in before)
+        assert len(after) == 10
+
+    def test_index_ddl_invalidates_cached_plan(self, site_conn):
+        cur = site_conn.cursor()
+        query = "SELECT FROM site WHERE code = 3"
+        cur.execute(query).fetchall()
+        cur.execute(query).fetchall()  # served from the plan cache
+        invalidations = site_conn.plan_cache.invalidations
+        cur.execute("CREATE INDEX ON site (code)")
+        cur.execute(query).fetchall()  # must re-plan, not reuse full-scan
+        assert site_conn.plan_cache.invalidations == invalidations + 1
+        assert "index-eq" in cur.explain(query)
+
+    def test_range_predicate_with_binds_uses_index(self, site_conn):
+        cur = site_conn.cursor()
+        cur.execute("CREATE INDEX ON site (reading)")
+        query = "SELECT FROM site WHERE reading >= ? AND reading <= ?"
+        rows = cur.execute(query, [40.0, 44.0]).fetchall()
+        assert sorted(o["reading"] for o in rows) \
+            == [40.0, 41.0, 42.0, 43.0, 44.0]
+        assert "index-range(reading" in cur.explain(query, [40.0, 44.0])
+
+    def test_drop_index_reverts_to_full_scan(self, site_conn):
+        cur = site_conn.cursor()
+        cur.execute("CREATE INDEX ON site (code)")
+        cur.execute("DROP INDEX ON site (code)")
+        assert "full-scan" in cur.explain("SELECT FROM site WHERE code = 3")
+        assert len(cur.execute("SELECT FROM site WHERE code = 3")
+                   .fetchall()) == 10
+
+    def test_show_indexes_lists_catalog_entries(self, site_conn):
+        cur = site_conn.cursor()
+        cur.execute("CREATE INDEX ON site (code)")
+        [result] = cur.execute("SHOW INDEXES").results
+        assert "(code) [btree]" in result.message
+        assert "[spatial]" in result.message  # extent index from DDL
+
+    def test_streaming_fetchone_from_index_scan(self, site_conn):
+        cur = site_conn.cursor()
+        cur.execute("CREATE INDEX ON site (code)")
+        cur.execute("SELECT FROM site WHERE code = 2")
+        first = cur.fetchone()
+        assert first["code"] == 2
+        assert cur.rowcount == -1  # stream still open
+        assert len(cur.fetchall()) == 9
+
+
+class TestExecutemanyPlanReuse:
+    def test_one_cache_access_for_many_parameter_sets(self, site_conn):
+        cur = site_conn.cursor()
+        query = "SELECT FROM site WHERE code = ?"
+        hits0, misses0 = site_conn.cache_hits, site_conn.cache_misses
+        cur.executemany(query, [[i] for i in range(6)])
+        # One compile (a miss) for the whole batch — parameter sets bind
+        # against the same plan template without re-keying the cache.
+        assert site_conn.cache_misses == misses0 + 1
+        assert site_conn.cache_hits == hits0
+
+    def test_prepared_statement_batch_is_one_hit(self, site_conn):
+        cur = site_conn.cursor()
+        prepared = site_conn.prepare("SELECT FROM site WHERE code = ?")
+        hits0, misses0 = site_conn.cache_hits, site_conn.cache_misses
+        cur.executemany(prepared, [[i] for i in range(6)])
+        assert site_conn.cache_hits == hits0 + 1
+        assert site_conn.cache_misses == misses0
+
+    def test_executemany_results_match_execute(self, site_conn):
+        cur = site_conn.cursor()
+        per_set = [
+            len(cur.execute("SELECT FROM site WHERE code = ?", [i])
+                .fetchall())
+            for i in range(6)
+        ]
+        assert per_set == [10] * 6
+        cur.executemany("SELECT FROM site WHERE code = ?",
+                        [[i] for i in range(6)])
+        assert cur.rowcount == 10  # last batch's drained count
+
+
+class TestPredicateCoercionAndErrors:
+    def test_run_and_execute_agree_on_timestamp_range(self, site_conn):
+        # String date literals coerce to AbsTime on every path: the
+        # streaming cursor and the materializing run() must agree.
+        q = "SELECT FROM site WHERE timestamp >= '1990-01-01'"
+        streamed = site_conn.cursor().execute(q).fetchall()
+        [result] = site_conn.cursor().run(q)
+        assert len(result.objects) == len(streamed) == 60
+        q_empty = "SELECT FROM site WHERE timestamp > '1999-01-01'"
+        assert site_conn.cursor().execute(q_empty).fetchall() == []
+        [empty] = site_conn.cursor().run(q_empty)
+        assert empty.objects == ()
+
+    def test_incomparable_range_literal_raises_typed_error(self, site_conn):
+        cur = site_conn.cursor()
+        with pytest.raises(GaeaError):
+            cur.execute("SELECT FROM site WHERE name > 5").fetchall()

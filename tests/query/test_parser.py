@@ -14,13 +14,16 @@ from repro.core import (
 )
 from repro.errors import ParseError
 from repro.query import (
+    CreateIndex,
     DefineClass,
     DefineCompound,
     DefineConcept,
     DefineProcess,
     Derive,
+    DropIndex,
     Explain,
     LineageQuery,
+    Param,
     RunProcess,
     Select,
     Show,
@@ -266,3 +269,67 @@ class TestRetrievalStatements:
     def test_parse_statement_rejects_plural(self):
         with pytest.raises(ParseError):
             parse_statement("SHOW TASKS SHOW TASKS")
+
+
+class TestIndexStatements:
+    def test_create_index(self):
+        stmt = parse_statement("CREATE INDEX ON land_cover (numclass)")
+        assert isinstance(stmt, CreateIndex)
+        assert (stmt.class_name, stmt.attr, stmt.name) \
+            == ("land_cover", "numclass", None)
+
+    def test_create_index_named(self):
+        stmt = parse_statement("CREATE INDEX my_idx ON land_cover (area)")
+        assert stmt.name == "my_idx"
+
+    def test_drop_index_by_name(self):
+        stmt = parse_statement("DROP INDEX my_idx")
+        assert isinstance(stmt, DropIndex)
+        assert stmt.name == "my_idx" and stmt.class_name is None
+
+    def test_drop_index_by_column(self):
+        stmt = parse_statement("DROP INDEX ON land_cover (area)")
+        assert stmt.name is None
+        assert (stmt.class_name, stmt.attr) == ("land_cover", "area")
+
+    def test_show_indexes(self):
+        stmt = parse_statement("SHOW INDEXES")
+        assert isinstance(stmt, Show) and stmt.what == "indexes"
+
+    def test_create_without_index_keyword_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE t (a)")
+
+
+class TestRangePredicates:
+    def test_single_comparison(self):
+        stmt = parse_statement(
+            "SELECT FROM site WHERE reading >= 4.5"
+        )
+        assert stmt.ranges == (("reading", ">=", 4.5),)
+        assert stmt.filters == ()
+
+    def test_window_and_equality_mix(self):
+        stmt = parse_statement(
+            "SELECT FROM site WHERE code = 7 AND reading > 1 "
+            "AND reading < 10"
+        )
+        assert stmt.filters == (("code", 7),)
+        assert stmt.ranges == (("reading", ">", 1), ("reading", "<", 10))
+
+    def test_range_bind_parameter(self):
+        stmt = parse_statement("SELECT FROM site WHERE reading <= ?")
+        [(attr, op, value)] = stmt.ranges
+        assert (attr, op) == ("reading", "<=")
+        assert isinstance(value, Param)
+
+    def test_bad_range_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT FROM site WHERE reading >= OVERLAPS")
+
+    def test_comparison_before_overlaps_rejected(self):
+        # A stray comparison operator must not be silently swallowed.
+        with pytest.raises(ParseError):
+            parse_statement(
+                "SELECT FROM site WHERE cell >= OVERLAPS (0, 0, 1, 1)"
+            )

@@ -1,0 +1,121 @@
+"""Unit tests for the cost-based access-path chooser."""
+
+import pytest
+
+from repro.spatial import Box
+from repro.storage import StorageEngine
+from repro.storage.access import (
+    INDEX_PROBE_COST,
+    SEQ_ROW_COST,
+    choose_access_path,
+    estimate_range_rows,
+)
+from repro.temporal import AbsTime
+
+
+@pytest.fixture()
+def engine(types):
+    eng = StorageEngine(types=types)
+    eng.create_relation("readings", [
+        ("code", "int4"),
+        ("value", "float8"),
+        ("cell", "box"),
+        ("at", "abstime"),
+    ])
+    for i in range(200):
+        eng.insert_row("readings", (
+            i % 20, float(i),
+            Box(i % 10, i % 10, i % 10 + 1, i % 10 + 1), AbsTime(i % 5),
+        ))
+    return eng
+
+
+class TestChoice:
+    def test_no_predicates_full_scan(self, engine):
+        path = choose_access_path(engine, "readings")
+        assert path.kind == "full-scan"
+        assert path.estimated_rows == 200
+        assert path.cost == 200 * SEQ_ROW_COST
+
+    def test_equality_without_index_stays_residual(self, engine):
+        path = choose_access_path(engine, "readings",
+                                  equals=(("code", 7),))
+        assert path.kind == "full-scan"
+        assert path.residual == ("code=7",)
+
+    def test_selective_equality_rides_the_btree(self, engine):
+        engine.create_index("readings", "code")
+        path = choose_access_path(engine, "readings",
+                                  equals=(("code", 7),))
+        assert path.kind == "index-eq"
+        assert path.column == "code" and path.argument == 7
+        assert path.estimated_rows == pytest.approx(10.0)  # 200/20 keys
+        assert path.residual == ()  # the probe consumes the predicate
+
+    def test_range_window_collapses_and_prices(self, engine):
+        engine.create_index("readings", "value")
+        path = choose_access_path(
+            engine, "readings",
+            ranges=(("value", ">=", 190.0), ("value", "<", 195.0)),
+        )
+        assert path.kind == "index-range"
+        assert path.argument == (190.0, 195.0)
+        assert path.estimated_rows < 20  # interpolated, not 1/3 default
+
+    def test_unselective_range_prefers_full_scan(self, engine):
+        engine.create_index("readings", "value")
+        path = choose_access_path(engine, "readings",
+                                  ranges=(("value", ">=", 0.0),))
+        # The window covers every key: the scan is cheaper than probing
+        # the index and fetching every row at random-access cost.
+        assert path.kind == "full-scan"
+        assert path.residual == ("value>=0.0",)
+
+    def test_unconsumed_predicates_are_residual(self, engine):
+        engine.create_index("readings", "code")
+        path = choose_access_path(
+            engine, "readings",
+            equals=(("code", 7),),
+            ranges=(("value", ">", 50.0),),
+        )
+        assert path.kind == "index-eq"
+        assert path.residual == ("value>50.0",)
+
+    def test_stamp_matches_catalog_version(self, engine):
+        engine.create_index("readings", "code")
+        path = choose_access_path(engine, "readings")
+        assert path.index_version == engine.catalog.index_version
+
+
+class TestRangeEstimate:
+    def test_interpolates_numeric_bounds(self):
+        est = estimate_range_rows(100, (0.0, 100.0), 25.0, 75.0)
+        assert est == pytest.approx(50.0)
+
+    def test_open_sides_clamp_to_key_bounds(self):
+        est = estimate_range_rows(100, (0.0, 100.0), None, 10.0)
+        assert est == pytest.approx(10.0)
+
+    def test_non_numeric_keys_fall_back(self):
+        est = estimate_range_rows(90, ("a", "z"), "f", None)
+        assert 1.0 <= est < 90
+
+    def test_empty_index(self):
+        assert estimate_range_rows(0, None, 1, 2) == 0.0
+
+    def test_probe_cost_floor(self):
+        # A probe is never free: even a 1-row estimate pays the descent.
+        assert INDEX_PROBE_COST > 0
+
+
+class TestStrictRangeResiduals:
+    def test_strict_ops_remain_residual(self, engine, types):
+        # The B-tree window is inclusive, so > and < must be re-checked
+        # per row and reported as residual in the plan dump.
+        engine.create_index("readings", "value")
+        path = choose_access_path(
+            engine, "readings",
+            ranges=(("value", ">", 190.0), ("value", "<=", 195.0)),
+        )
+        assert path.kind == "index-range"
+        assert path.residual == ("value>190.0",)
