@@ -46,7 +46,7 @@ from ..storage.transactions import Transaction
 from ..temporal.abstime import AbsTime
 
 __all__ = ["NonPrimitiveClass", "SciObject", "ClassRegistry", "ClassStore",
-           "COMPARISONS", "matches_predicates"]
+           "COMPARISONS", "matches_predicates", "matches_extents"]
 
 OID_COLUMN = "_oid"
 
@@ -82,6 +82,29 @@ def matches_predicates(obj: "SciObject",
                 f"range predicate {attr} {op} {value!r} is not "
                 f"comparable with stored value {obj.get(attr)!r}"
             ) from exc
+    return True
+
+
+def matches_extents(obj: "SciObject", cls: "NonPrimitiveClass",
+                    spatial: Box | None, temporal: AbsTime | None,
+                    spatial_coverage: bool = False) -> bool:
+    """Whether *obj* satisfies the spatio-temporal extent predicates.
+
+    The single definition of extent semantics (overlap for space, exact
+    match for time), shared by the streaming scan filters and the
+    planner's derivation-output collection.  With *spatial_coverage* the
+    object's extent must *contain* the query box, not merely overlap it.
+    """
+    if spatial is not None and cls.spatial_attr is not None:
+        extent = obj[cls.spatial_attr]
+        if spatial_coverage:
+            if not extent.contains(spatial):
+                return False
+        elif not extent.overlaps(spatial):
+            return False
+    if temporal is not None and cls.temporal_attr is not None \
+            and obj[cls.temporal_attr] != temporal:
+        return False
     return True
 
 
@@ -231,6 +254,12 @@ class ClassStore:
     current_tx: Transaction | None = field(default=None)
     #: Oids stored under the open transaction (purged on rollback).
     _tx_oids: list[int] = field(default_factory=list)
+    #: Stored-data scans started, per class (cheap, always on).
+    scan_counts: dict[str, int] = field(default_factory=dict)
+    #: When set (e.g. by a test fixture) every scan appends
+    #: ``(class_name, spatial, temporal, filters, ranges)`` — the
+    #: instrument behind the "fallbacks never re-scan" guarantee.
+    scan_log: list[tuple] | None = field(default=None)
 
     @staticmethod
     def relation_for(class_name: str) -> str:
@@ -442,10 +471,16 @@ class ClassStore:
                     spatial: Box | None = None,
                     temporal: AbsTime | None = None,
                     filters: tuple[tuple[str, Any], ...] = (),
-                    ranges: tuple[tuple[str, str, Any], ...] = ()
+                    ranges: tuple[tuple[str, str, Any], ...] = (),
+                    projection: tuple[str, ...] = ()
                     ) -> AccessPath:
         """Cost-based access path for one retrieval (shared with the
-        GaeaQL optimizer, so EXPLAIN shows exactly what will run)."""
+        GaeaQL optimizer, so EXPLAIN shows exactly what will run).
+
+        A non-empty *projection* names the only attributes the consumer
+        wants, enabling covering index-only scans when an attribute
+        B-tree supplies them all.
+        """
         cls = self.registry.get(class_name)
         filters, ranges = self.normalize_predicates(cls, filters, ranges)
         spatial_q = spatial if (
@@ -459,6 +494,7 @@ class ClassStore:
             self.engine, self.relation_for(class_name),
             spatial=spatial_q, temporal=temporal_q,
             equals=filters, ranges=ranges,
+            needed_columns=tuple(projection) or None,
         )
 
     def _rows_for_path(self, relation: str, path: AccessPath,
@@ -477,6 +513,102 @@ class ClassStore:
                                              snapshot)
         return self.engine.scan(relation, snapshot)
 
+    def _record_scan(self, class_name: str, spatial: Box | None,
+                     temporal: AbsTime | None,
+                     filters: tuple[tuple[str, Any], ...],
+                     ranges: tuple[tuple[str, str, Any], ...]) -> None:
+        self.scan_counts[class_name] = self.scan_counts.get(class_name, 0) + 1
+        if self.scan_log is not None:
+            self.scan_log.append(
+                (class_name, spatial, temporal, filters, ranges)
+            )
+
+    def validated_path(self, class_name: str,
+                       spatial: Box | None = None,
+                       temporal: AbsTime | None = None,
+                       filters: tuple[tuple[str, Any], ...] = (),
+                       ranges: tuple[tuple[str, str, Any], ...] = (),
+                       access_path: AccessPath | None = None,
+                       projection: tuple[str, ...] = ()) -> AccessPath:
+        """*access_path* if still current, else a freshly chosen path.
+
+        A plan-time path choice is only trusted while the catalog's
+        index version still matches: CREATE/DROP INDEX since planning
+        means the recorded choice may name a structure that no longer
+        exists (or miss one that now would win).
+        """
+        if access_path is not None \
+                and access_path.index_version \
+                == self.engine.catalog.index_version:
+            return access_path
+        return self.choose_path(class_name, spatial=spatial,
+                                temporal=temporal, filters=filters,
+                                ranges=ranges, projection=projection)
+
+    def iter_scan(self, class_name: str,
+                  spatial: Box | None = None,
+                  temporal: AbsTime | None = None,
+                  filters: tuple[tuple[str, Any], ...] = (),
+                  ranges: tuple[tuple[str, str, Any], ...] = (),
+                  access_path: AccessPath | None = None
+                  ) -> Iterator[SciObject]:
+        """The raw candidate stream of one stored-data scan.
+
+        Rows come straight off the (re-validated) access path with **no
+        predicate re-checks** — the physical operator layer layers
+        extent and attribute filters on top.  Exactly one scan event is
+        recorded per call, which is what the scan counters measure.
+        """
+        cls = self.registry.get(class_name)
+        filters, ranges = self.normalize_predicates(cls, filters, ranges)
+        yield from self._iter_scan_normalized(
+            class_name, spatial, temporal, filters, ranges, access_path
+        )
+
+    def _iter_scan_normalized(self, class_name: str,
+                              spatial: Box | None, temporal: AbsTime | None,
+                              filters: tuple[tuple[str, Any], ...],
+                              ranges: tuple[tuple[str, str, Any], ...],
+                              access_path: AccessPath | None
+                              ) -> Iterator[SciObject]:
+        """:meth:`iter_scan` body over already-normalized predicates."""
+        relation = self.relation_for(class_name)
+        snapshot = self._snapshot()
+        path = self.validated_path(class_name, spatial=spatial,
+                                   temporal=temporal, filters=filters,
+                                   ranges=ranges, access_path=access_path)
+        self._record_scan(class_name, spatial, temporal, filters, ranges)
+        for row in self._rows_for_path(relation, path, snapshot):
+            yield self._row_to_object(class_name, row)
+
+    def iter_index_only(self, class_name: str, path: AccessPath
+                        ) -> Iterator[dict[str, Any]]:
+        """Stream covering-scan rows: ``{column: key}`` dicts straight
+        off the B-tree, never fetching heap values.
+
+        Only valid for an ``index_only`` path (the planner guarantees
+        the key covers every requested attribute and every predicate).
+        """
+        if not path.index_only or path.column is None:
+            raise StorageError(
+                "iter_index_only needs an index-only access path"
+            )
+        relation = self.relation_for(class_name)
+        self._record_scan(class_name, None, None, (), ())
+        if path.kind == "index-eq":
+            pairs = self.engine.iter_index_keys(
+                relation, path.column, eq=path.argument,
+                snapshot=self._snapshot(),
+            )
+        else:
+            lo, hi = path.argument
+            pairs = self.engine.iter_index_keys(
+                relation, path.column, lo=lo, hi=hi,
+                snapshot=self._snapshot(),
+            )
+        for key, _ in pairs:
+            yield {path.column: key}
+
     def iter_find(self, class_name: str,
                   spatial: Box | None = None,
                   temporal: AbsTime | None = None,
@@ -494,22 +626,10 @@ class ClassStore:
         candidate stream, never changes the result.
         """
         cls = self.registry.get(class_name)
-        relation = self.relation_for(class_name)
-        snapshot = self._snapshot()
         filters, ranges = self.normalize_predicates(cls, filters, ranges)
-        path = access_path
-        if path is None \
-                or path.index_version != self.engine.catalog.index_version:
-            path = self.choose_path(class_name, spatial=spatial,
-                                    temporal=temporal, filters=filters,
-                                    ranges=ranges)
-        for row in self._rows_for_path(relation, path, snapshot):
-            obj = self._row_to_object(class_name, row)
-            if spatial is not None and cls.spatial_attr is not None \
-                    and not obj[cls.spatial_attr].overlaps(spatial):
-                continue
-            if temporal is not None and cls.temporal_attr is not None \
-                    and obj[cls.temporal_attr] != temporal:
+        for obj in self._iter_scan_normalized(class_name, spatial, temporal,
+                                              filters, ranges, access_path):
+            if not matches_extents(obj, cls, spatial, temporal):
                 continue
             if not matches_predicates(obj, filters, ranges):
                 continue

@@ -23,17 +23,26 @@ from typing import Any, Iterator
 from ..errors import AssertionViolatedError, DerivationError, UnderivableError
 from ..spatial.box import Box
 from ..temporal.abstime import AbsTime
-from .classes import SciObject, matches_predicates
+from .classes import SciObject, matches_extents, matches_predicates
 from .derivation import Bindings, CardinalityAssertion, Process
 from .interpolation import InterpolationError, TemporalInterpolator
 from .manager import DerivationManager
 from .tasks import Task
 
-__all__ = ["RetrievalPlanner", "RetrievalResult", "RetrievalPath"]
+__all__ = ["RetrievalPlanner", "RetrievalResult", "RetrievalPath",
+           "MarkingCache"]
 
 RetrievalPath = str  # "retrieve" | "interpolate" | "derive"
 
 _DEFAULT_FALLBACKS: tuple[str, ...] = ("interpolate", "derive")
+
+#: Shared per-class stored-supply counts, keyed by
+#: ``(class_name, str(spatial), str(temporal))``.  One query execution
+#: (e.g. a concept union over several derivable members) passes the same
+#: cache to every derivation so the backward-planning marking probes run
+#: once per input class instead of once per member; the cache must be
+#: cleared whenever a derivation actually fires (stored supply changed).
+MarkingCache = dict
 
 
 @dataclass(frozen=True)
@@ -97,28 +106,65 @@ class RetrievalPlanner:
         retrieval — exactly what post-filtering produced before pushdown.
         """
         cls = self.manager.classes.get(class_name)
-        filters, ranges = self.manager.store.normalize_predicates(
-            cls, filters, ranges
-        )
+        store = self.manager.store
+        filters, ranges = store.normalize_predicates(cls, filters, ranges)
 
-        # Step 1: direct retrieval, predicates pushed into the scan.
-        found = self.manager.store.find(class_name, spatial=spatial,
-                                        temporal=temporal, filters=filters,
-                                        ranges=ranges)
-        if spatial_coverage and spatial is not None \
-                and cls.spatial_attr is not None:
-            found = [
-                obj for obj in found
-                if obj[cls.spatial_attr].contains(spatial)
-            ]
+        # Step 1: direct retrieval — ONE stored-data scan, counting both
+        # extent matches and predicate survivors as it streams, so the
+        # fallback decision below never re-reads the relation.
+        path = store.choose_path(class_name, spatial=spatial,
+                                 temporal=temporal, filters=filters,
+                                 ranges=ranges)
+        extent_matches = 0
+        found: list[SciObject] = []
+        for obj in store.iter_scan(class_name, spatial=spatial,
+                                   temporal=temporal, filters=filters,
+                                   ranges=ranges, access_path=path):
+            if not matches_extents(obj, cls, spatial, temporal,
+                                   spatial_coverage=spatial_coverage):
+                continue
+            extent_matches += 1
+            if matches_predicates(obj, filters, ranges):
+                found.append(obj)
         if found:
             return RetrievalResult(objects=tuple(found), path="retrieve")
-        if (filters or ranges) and self._extents_covered(
-                cls, class_name, spatial, temporal, spatial_coverage):
-            # Stored data covers the extents; the attribute predicates
-            # filtered everything out.  Fallbacks are for missing *data*,
-            # not for unsatisfied predicates.
-            return RetrievalResult(objects=(), path="retrieve")
+        if filters or ranges:
+            # An attribute-driven index probe prunes the stream by the
+            # predicates themselves, so its emptiness says nothing about
+            # the extents; a short-circuiting existence probe settles it.
+            covered = extent_matches > 0 if path.observes_extents \
+                else self._extents_covered(cls, class_name, spatial,
+                                           temporal, spatial_coverage)
+            if covered:
+                # Stored data covers the extents; the attribute
+                # predicates filtered everything out.  Fallbacks are for
+                # missing *data*, not for unsatisfied predicates.
+                return RetrievalResult(objects=(), path="retrieve")
+
+        return self.run_fallbacks(
+            class_name, spatial, temporal,
+            spatial_coverage=spatial_coverage,
+            filters=filters, ranges=ranges,
+            known_empty=True,
+        )
+
+    def run_fallbacks(self, class_name: str,
+                      spatial: Box | None, temporal: AbsTime | None,
+                      spatial_coverage: bool = False,
+                      filters: tuple[tuple[str, Any], ...] = (),
+                      ranges: tuple[tuple[str, str, Any], ...] = (),
+                      known_empty: bool = False,
+                      marking_cache: MarkingCache | None = None
+                      ) -> RetrievalResult:
+        """Steps 2–3 of §2.1.5 in the configured fallback order.
+
+        With *known_empty* the caller asserts that no stored object of
+        *class_name* matches the query extents (it has already executed
+        the stored-data scan), letting the derivation step skip its own
+        re-scans of the target relation.  Normalized attribute
+        predicates are re-applied to whatever the fallbacks produce.
+        """
+        cls = self.manager.classes.get(class_name)
 
         def filtered(result: RetrievalResult) -> RetrievalResult:
             """Apply pushed predicates to fallback-produced objects."""
@@ -150,7 +196,9 @@ class RetrievalPlanner:
                     continue
                 return filtered(self._derive(
                     class_name, spatial, temporal,
-                    spatial_coverage=spatial_coverage))
+                    spatial_coverage=spatial_coverage,
+                    known_empty=known_empty,
+                    marking_cache=marking_cache))
             except (InterpolationError, UnderivableError,
                     AssertionViolatedError) as exc:
                 errors.append(f"{step}: {exc}")
@@ -180,18 +228,47 @@ class RetrievalPlanner:
         return self.manager.store.exists(class_name, spatial=spatial,
                                          temporal=temporal)
 
+    def interpolate(self, class_name: str,
+                    spatial: Box | None = None,
+                    temporal: AbsTime | None = None) -> RetrievalResult:
+        """Force the temporal-interpolation path (§2.1.5 step 2).
+
+        The public entry point the ``Interpolate`` physical operator
+        drives; raises :class:`InterpolationError` when the class has no
+        temporal extent, the query no timestamp, or no snapshots bracket
+        it.
+        """
+        cls = self.manager.classes.get(class_name)
+        if temporal is None:
+            raise InterpolationError(
+                f"retrieval of {class_name!r} has no timestamp to "
+                "interpolate at"
+            )
+        if cls.temporal_attr is None:
+            raise InterpolationError(
+                f"class {class_name!r} has no temporal extent"
+            )
+        return self._interpolate(class_name, spatial, temporal)
+
     def derive(self, class_name: str,
                spatial: Box | None = None,
                temporal: AbsTime | None = None,
-               spatial_coverage: bool = False) -> RetrievalResult:
+               spatial_coverage: bool = False,
+               known_empty: bool = False,
+               marking_cache: MarkingCache | None = None
+               ) -> RetrievalResult:
         """Force the derivation path, skipping direct retrieval.
 
         The public face of the §2.1.5 step-3 machinery, used by the
-        ``DERIVE`` statement: recompute the objects through the
-        derivation net even when matching data is already stored.
+        ``DERIVE`` statement and the ``Derive`` physical operator:
+        recompute the objects through the derivation net even when
+        matching data is already stored.  See :meth:`run_fallbacks` for
+        *known_empty* and *marking_cache*.
         """
         return self._derive(class_name, spatial, temporal,
-                            spatial_coverage=spatial_coverage)
+                            spatial_coverage=spatial_coverage,
+                            known_empty=known_empty,
+                            marking_cache=marking_cache)
 
     # -- step 2: interpolation ------------------------------------------------------
 
@@ -290,11 +367,15 @@ class RetrievalPlanner:
 
     def _derive(self, class_name: str, spatial: Box | None,
                 temporal: AbsTime | None,
-                spatial_coverage: bool = False) -> RetrievalResult:
+                spatial_coverage: bool = False,
+                known_empty: bool = False,
+                marking_cache: MarkingCache | None = None
+                ) -> RetrievalResult:
+        cls = self.manager.classes.get(class_name)
+
         def matching_target() -> list[SciObject]:
             objs = self.manager.store.find(class_name, spatial=spatial,
                                            temporal=temporal)
-            cls = self.manager.classes.get(class_name)
             if spatial_coverage and spatial is not None \
                     and cls.spatial_attr is not None:
                 objs = [o for o in objs
@@ -302,11 +383,16 @@ class RetrievalPlanner:
             return objs
 
         net = self.manager.derivation_net()
-        marking = self._query_marking(spatial, temporal)
-        # The target is counted strictly against the query extents (the
-        # caller already established no stored object matches); inputs use
-        # the lenient candidate rule of `_candidates_for`.
-        marking[class_name] = len(matching_target())
+        # The target is counted strictly against the query extents;
+        # inputs use the lenient candidate rule of `_candidates_for`.
+        # With `known_empty` the caller has already executed the
+        # stored-data scan and found nothing at these extents, so the
+        # target count is known without touching the relation again.
+        known = {class_name: 0} if known_empty else None
+        marking = self._query_marking(spatial, temporal, known=known,
+                                      cache=marking_cache)
+        if not known_empty:
+            marking[class_name] = len(matching_target())
         plan = net.backward_plan(class_name, marking)
         # Demand per class: the largest threshold any planned consumer
         # places on it (the target itself needs one object).  A step is
@@ -319,19 +405,41 @@ class RetrievalPlanner:
                 demand[arc.place] = max(demand.get(arc.place, 0),
                                         arc.threshold)
         tasks: list[Task] = []
+        target_outputs: list[SciObject] = []
         for process_name in plan.steps:
             process = self.manager.processes.get(process_name)
             out_cls = process.output_class
-            existing = self.manager.store.find(
-                out_cls, spatial=spatial, temporal=None
-            )
+            if known_empty and out_cls == class_name and temporal is None:
+                # The caller's scan found nothing at these extents with
+                # no timestamp restriction — the any-time supply check
+                # below would re-read the same emptiness.
+                existing: list[SciObject] = []
+            else:
+                existing = self.manager.store.find(
+                    out_cls, spatial=spatial, temporal=None
+                )
             needed = max(demand.get(out_cls, 1) - len(existing), 1)
             results = self._execute_with_search(
                 process, spatial, temporal, count=needed,
                 exclude_oids={obj.oid for obj in existing},
             )
             tasks.extend(r.task for r in results)
-        produced = matching_target()
+            if out_cls == class_name:
+                target_outputs.extend(r.output for r in results)
+        if marking_cache is not None and tasks:
+            # Firing changed stored supply; cached counts are stale.
+            marking_cache.clear()
+        if known_empty:
+            # Nothing was stored at these extents before firing, so the
+            # answer is exactly the fired outputs that match them — no
+            # re-scan of the relation needed.
+            produced = [
+                obj for obj in target_outputs
+                if matches_extents(obj, cls, spatial, temporal,
+                                   spatial_coverage=spatial_coverage)
+            ]
+        else:
+            produced = matching_target()
         if not produced:
             # The derivation ran but its output does not match the
             # requested extents (e.g. inputs covered a different region).
@@ -385,16 +493,31 @@ class RetrievalPlanner:
         )
 
     def _query_marking(self, spatial: Box | None,
-                       temporal: AbsTime | None) -> dict[str, int]:
+                       temporal: AbsTime | None,
+                       known: dict[str, int] | None = None,
+                       cache: MarkingCache | None = None) -> dict[str, int]:
         """Class-level marking restricted to the query extents.
 
         Mirrors :meth:`_candidates_for`: exact temporal matches are
         preferred, falling back to any stored object when none match —
         derivations may legitimately consume inputs at other timestamps
         (e.g. a change process spanning years).
+
+        *known* supplies counts the caller has already established
+        (classes it just scanned), and *cache* shares per-class counts
+        across derivations of one query execution — a concept union
+        whose members share input classes probes each input once.
         """
         marking: dict[str, int] = {}
+        extent_key = (str(spatial), str(temporal))
         for name in self.manager.classes.names():
+            if known is not None and name in known:
+                marking[name] = known[name]
+                continue
+            cache_key = (name, extent_key)
+            if cache is not None and cache_key in cache:
+                marking[name] = cache[cache_key]
+                continue
             cls = self.manager.classes.get(name)
             objs = self.manager.store.find(
                 name, spatial=spatial if cls.spatial_attr else None,
@@ -407,6 +530,8 @@ class RetrievalPlanner:
                 ]
                 objs = exact or objs
             marking[name] = len(objs)
+            if cache is not None:
+                cache[cache_key] = marking[name]
         return marking
 
     def _candidates_for(self, arg, spatial: Box | None,
@@ -501,7 +626,8 @@ class RetrievalPlanner:
                 spatial: Box | None = None,
                 temporal: AbsTime | None = None,
                 filters: tuple[tuple[str, Any], ...] = (),
-                ranges: tuple[tuple[str, str, Any], ...] = ()
+                ranges: tuple[tuple[str, str, Any], ...] = (),
+                projection: tuple[str, ...] = ()
                 ) -> dict[str, object]:
         """Describe, without side effects, which path a retrieval would
         take — used by the optimizer and by EXP-A.
@@ -513,7 +639,7 @@ class RetrievalPlanner:
         cls = self.manager.classes.get(class_name)
         access = self.manager.store.choose_path(
             class_name, spatial=spatial, temporal=temporal,
-            filters=filters, ranges=ranges,
+            filters=filters, ranges=ranges, projection=projection,
         )
         matches = sum(1 for _ in self.manager.store.iter_find(
             class_name, spatial=spatial, temporal=temporal,

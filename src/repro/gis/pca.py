@@ -83,12 +83,27 @@ def compute_correlation(mats: list[Matrix]) -> Matrix:
     return Matrix.from_array(np.corrcoef(samples, rowvar=False))
 
 
+def _orient(vec: np.ndarray) -> np.ndarray:
+    """Resolve eigenvector sign ambiguity deterministically.
+
+    The anchor is the *first* coefficient whose magnitude is within a
+    relative tolerance of the maximum, not the argmax itself: when two
+    coefficients are near-equal in magnitude (e.g. the ±[1, 1]/√2
+    eigenvectors of a 2-variable correlation matrix), floating-point
+    noise can flip which one argmax picks, and with it the sign of the
+    whole component.
+    """
+    mags = np.abs(vec)
+    anchor = int(np.argmax(mags >= mags.max() * (1.0 - 1e-9)))
+    return -vec if vec[anchor] < 0 else vec
+
+
 def get_eigen_vector(cov: Matrix, component: int = 0) -> Vector:
     """``get-eigen-vector``: the eigenvector of the given component rank.
 
     Component 0 is the largest-eigenvalue axis.  Sign is normalized so
-    the largest-magnitude coefficient is positive (eigenvectors are
-    sign-ambiguous; normalization keeps derivations reproducible).
+    the anchor coefficient is positive (eigenvectors are sign-ambiguous;
+    normalization keeps derivations reproducible).
     """
     if cov.nrow != cov.ncol:
         raise SignatureMismatchError("get_eigen_vector: matrix not square")
@@ -98,11 +113,7 @@ def get_eigen_vector(cov: Matrix, component: int = 0) -> Vector:
         )
     values, vectors = np.linalg.eigh(cov.data)
     order = np.argsort(values)[::-1]
-    vec = vectors[:, order[component]]
-    anchor = np.argmax(np.abs(vec))
-    if vec[anchor] < 0:
-        vec = -vec
-    return Vector.from_array(vec)
+    return Vector.from_array(_orient(vectors[:, order[component]]))
 
 
 def linear_combination(weights: Vector, mats: list[Matrix]) -> list[Matrix]:
@@ -157,10 +168,7 @@ def _pca_core(images: list[Image], ncomp: int, standardized: bool
         )
     components: list[Image] = []
     for idx in range(ncomp):
-        vec = vectors[:, idx]
-        anchor = np.argmax(np.abs(vec))
-        if vec[anchor] < 0:
-            vec = -vec
+        vec = _orient(vectors[:, idx])
         projected = linear_combination(Vector.from_array(vec), mats)
         components.append(convert_matrix_image(projected)[0])
     return components, values, vectors

@@ -160,12 +160,17 @@ class DropIndex(Statement):
 
 @dataclass(frozen=True)
 class Select(Statement):
-    """``SELECT FROM class [WHERE spatialextent OVERLAPS box AND
-    timestamp = 'date' AND attr = literal AND attr >= literal]`` —
+    """``SELECT [attr, ...] FROM class [WHERE spatialextent OVERLAPS box
+    AND timestamp = 'date' AND attr = literal AND attr >= literal]`` —
     concept names allowed as the source.  Equality predicates live in
     ``filters`` as ``(attr, value)``; comparison predicates live in
     ``ranges`` as ``(attr, op, value)`` with op in ``< <= > >=``.  The
     optimizer pushes both into index-backed access paths when it can.
+
+    ``projection`` lists the requested attributes (empty = whole
+    objects); projected retrievals yield plain dicts and, when an
+    attribute B-tree covers the projection and every predicate, ride a
+    covering index-only scan.
 
     Any value position may hold a :class:`Param` placeholder (a box may
     also be a :class:`BoxTemplate`); such statements must be bound
@@ -176,6 +181,7 @@ class Select(Statement):
     temporal: AbsTime | Param | None = None
     filters: tuple[tuple[str, Any], ...] = ()
     ranges: tuple[tuple[str, str, Any], ...] = ()
+    projection: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -190,9 +196,10 @@ class Derive(Statement):
 
 @dataclass(frozen=True)
 class Explain(Statement):
-    """``EXPLAIN SELECT ...`` — report the path without executing."""
+    """``EXPLAIN SELECT|DERIVE|RUN ...`` — render the statement's
+    operator tree and §2.1.5 path without executing it."""
 
-    inner: Select
+    inner: Statement
 
 
 @dataclass(frozen=True)

@@ -50,12 +50,12 @@ from ..storage.transactions import Transaction
 from .binding import ParamSignature, bind_nodes, collect_signature
 from .executor import Executor, QueryResult
 from .optimizer import (
-    ExplainNode,
     Optimizer,
     PlanCache,
     PlanNode,
     RetrieveNode,
 )
+from .physical import ConceptGroup, group_nodes
 
 __all__ = ["connect", "Connection", "Cursor", "PreparedStatement",
            "apilevel", "paramstyle", "threadsafety"]
@@ -289,37 +289,25 @@ class Cursor:
         """A plan dump for *operation* without returning any rows.
 
         Pricing probes the store's statistics (and may scan to resolve
-        a deferred logical path) but has no side effects — no
+        the §2.1.5 logical path) but has no side effects — no
         derivations run and nothing is materialized for the caller.
 
-        One line per plan node.  Retrieval nodes show the §2.1.5 logical
-        path and the cost-based physical access path (e.g.
-        ``index-eq(band=4) rows~100 cost~144.0``), so a user can verify
-        an index is actually being used before paying for the query::
+        Each retrieval gets a summary line with the logical path and
+        the cost-based physical access path (e.g.
+        ``index-eq(band=4) rows~100 cost~144.0``), followed by the full
+        physical operator tree with per-operator estimates — scans,
+        filters, fallback switches, concept unions — so a user can
+        verify an index is actually being used before paying for the
+        query::
 
             >>> cur.explain("SELECT FROM landsat_tm WHERE band = 4")
             'retrieve landsat_tm: path=retrieve access=index-eq(...) ...'
+
+        ``EXPLAIN DERIVE ...`` and ``EXPLAIN RUN ...`` render the
+        derivation and process-execution operators the same way.
         """
         nodes = self._bound_nodes(operation, params)
-        executor = self.connection.executor
-        lines = []
-        for node in nodes:
-            inner = node.inner if isinstance(node, ExplainNode) else (node,)
-            for n in inner:
-                if isinstance(n, RetrieveNode):
-                    path, access = executor.explain_node(n)
-                    line = f"retrieve {n.class_name}: path={path}"
-                    if n.concept:
-                        line += f" via concept {n.concept}"
-                    if access is not None:
-                        line += f" access={access}"
-                    lines.append(line)
-                else:
-                    statement = n.statement
-                    lines.append(
-                        f"statement {type(statement).__name__}"
-                    )
-        return "\n".join(lines)
+        return "\n".join(self.connection.executor.render_plan(nodes))
 
     def run(self, operation: str | PreparedStatement,
             params: Any = None) -> list[QueryResult]:
@@ -411,24 +399,40 @@ class Cursor:
         return prepared.bind(params)
 
     def _describe(self, nodes: list[PlanNode]) -> None:
-        """PEP-249 ``description`` from the first retrieval's class."""
+        """PEP-249 ``description`` from the first retrieval's class.
+
+        Projected retrievals describe only the requested attributes
+        (their rows are plain dicts restricted to the projection).
+        """
         self.description = None
         for node in nodes:
             if isinstance(node, RetrieveNode):
                 cls = self.connection.kernel.classes.get(node.class_name)
+                attributes = cls.attributes
+                if node.projection:
+                    attributes = tuple(
+                        (attr, cls.type_of(attr))
+                        for attr in node.projection
+                    )
                 self.description = [
                     (attr, type_name, None, None, None, None, None)
-                    for attr, type_name in cls.attributes
+                    for attr, type_name in attributes
                 ]
                 return
 
     def _stream(self, nodes: list[PlanNode]) -> Iterator[Any]:
+        """Drive the plan lazily, one grouped operator tree at a time.
+
+        A concept SELECT's member nodes run as a single cost-ordered
+        ``ConceptUnion`` tree, so cheap members stream before expensive
+        ones and fallback derivations share one execution context.
+        """
         executor = self.connection.executor
-        for node in nodes:
-            if isinstance(node, RetrieveNode):
-                yield from executor.iter_objects(node)
+        for item in group_nodes(nodes):
+            if isinstance(item, (RetrieveNode, ConceptGroup)):
+                yield from executor.iter_group(item)
             else:
-                self.results.append(executor.execute(node))
+                self.results.append(executor.execute(item))
         self._exhausted = True
 
     def _check_open(self) -> None:

@@ -1,9 +1,17 @@
-"""The GaeaQL executor: plan nodes → results against the kernel.
+"""The GaeaQL executor: plan nodes → operator trees → results.
 
 Retrievals come in two shapes: :meth:`Executor.execute` materializes a
-full :class:`QueryResult`, while :meth:`Executor.iter_objects` yields
-matching objects one at a time, applying post-filters lazily — the
-streaming path behind :meth:`repro.query.client.Cursor.fetchone`.
+full :class:`QueryResult`, while :meth:`Executor.iter_group` yields
+matching rows one at a time — the streaming path behind
+:meth:`repro.query.client.Cursor.fetchone`.
+
+Both shapes drive the same physical operator tree
+(:mod:`repro.query.operators`), compiled per execution from the cached
+logical plan by :class:`repro.query.physical.PhysicalPlanner`: a
+stored-data scan under a ``FallbackSwitch`` whose interpolate/derive
+children consume the scan's "nothing stored here" outcome instead of
+re-scanning, concept queries as one cost-ordered ``ConceptUnion``, and
+``RUN`` as a ``Run`` leaf.  EXPLAIN renders the very same trees.
 """
 
 from __future__ import annotations
@@ -11,15 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from ..core.classes import (
-    NonPrimitiveClass,
-    SciObject,
-    matches_predicates,
-)
+from ..core.classes import NonPrimitiveClass, SciObject
 from ..core.compound import CompoundProcess, Step
 from ..core.derivation import Argument, Process
-from ..core.planner import RetrievalResult
-from ..errors import BindError, ExecutionError, UnderivableError
+from ..errors import BindError, ExecutionError
 from ..core.metadata_manager import MetadataManager
 from .ast import (
     BoxTemplate,
@@ -35,13 +38,23 @@ from .ast import (
     Show,
     Statement,
 )
+from .operators import (
+    Derive,
+    FallbackSwitch,
+    HeapScan,
+    IndexOnlyScan,
+    IndexScan,
+    PhysicalOperator,
+    Run,
+    render_tree,
+)
 from .optimizer import (
-    DEFERRED_PATH,
     ExplainNode,
     PlanNode,
     RetrieveNode,
     StatementNode,
 )
+from .physical import ConceptGroup, PhysicalPlanner, group_nodes
 
 __all__ = ["QueryResult", "Executor"]
 
@@ -61,21 +74,79 @@ class QueryResult:
     details: dict[str, Any] = field(default_factory=dict)
 
 
+def _tree_walk(op: PhysicalOperator) -> Iterator[PhysicalOperator]:
+    yield op
+    for child in op.children:
+        yield from _tree_walk(child)
+
+
+def _tree_outcome(tree: PhysicalOperator) -> tuple[str, tuple[str, ...],
+                                                   str | None]:
+    """``(path, plan_steps, access)`` of a drained retrieval tree."""
+    path = ""
+    plan_steps: tuple[str, ...] = ()
+    access: str | None = None
+    for op in _tree_walk(tree):
+        if isinstance(op, FallbackSwitch):
+            path = op.path_taken or path
+            plan_steps = plan_steps or op.plan_steps
+        elif isinstance(op, Derive) and not op.known_empty:
+            path = path or "derive"
+            if op.result is not None:
+                plan_steps = plan_steps or op.result.plan_steps
+        if isinstance(op, (HeapScan, IndexScan, IndexOnlyScan)) \
+                and access is None:
+            access = op.path.describe()
+    return path, plan_steps, access
+
+
 @dataclass
 class Executor:
     """Executes plan nodes produced by the optimizer."""
 
     kernel: MetadataManager
+    physical: PhysicalPlanner = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.physical = PhysicalPlanner(kernel=self.kernel)
 
     def execute(self, node: PlanNode) -> QueryResult:
         """Run one plan node."""
         if isinstance(node, RetrieveNode):
             return self._retrieve(node)
         if isinstance(node, ExplainNode):
-            paths: dict[str, str] = {}
-            access: dict[str, str] = {}
-            lines = []
-            for inner in node.inner:
+            return self._explain(node)
+        if isinstance(node, StatementNode):
+            return self._statement(node.statement)
+        raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+    # -- EXPLAIN ---------------------------------------------------------------
+
+    def explain_node(self, node: RetrieveNode) -> tuple[str, str | None]:
+        """``(logical path, access-path dump)`` for one retrieval node,
+        resolved against the current store.
+
+        The logical §2.1.5 path is a run-time property of the operator
+        tree (the FallbackSwitch decides it), so EXPLAIN peeks at the
+        store through the planner's side-effect-free ``explain``.
+        """
+        self._require_bound(node)
+        if node.force_derivation:
+            return "derive", None
+        explanation = self.kernel.planner.explain(
+            node.class_name, spatial=node.spatial,
+            temporal=node.temporal, filters=node.filters,
+            ranges=node.ranges, projection=node.projection,
+        )
+        return str(explanation["path"]), str(explanation.get("access"))
+
+    def _explain(self, node: ExplainNode) -> QueryResult:
+        """EXPLAIN: the §2.1.5 path summary plus the full operator tree."""
+        paths: dict[str, str] = {}
+        access: dict[str, str] = {}
+        lines: list[str] = []
+        for inner in node.inner:
+            if isinstance(inner, RetrieveNode):
                 path, access_dump = self.explain_node(inner)
                 paths[inner.class_name] = path
                 line = f"{inner.class_name}: path={path}"
@@ -83,41 +154,68 @@ class Executor:
                     access[inner.class_name] = access_dump
                     line += f" access={access_dump}"
                 lines.append(line)
-            return QueryResult(
-                kind="explanation",
-                message="\n".join(lines),
-                details={"paths": paths, "access": access},
-            )
-        if isinstance(node, StatementNode):
-            return self._statement(node.statement)
-        raise ExecutionError(f"unknown plan node {type(node).__name__}")
+            elif isinstance(inner, StatementNode) \
+                    and isinstance(inner.statement, RunProcess):
+                lines.append(f"run {inner.statement.process}")
+        tree_lines: list[str] = []
+        for item in group_nodes(node.inner):
+            tree = self._build_item(item)
+            if tree is not None:
+                tree_lines.extend(render_tree(tree))
+        return QueryResult(
+            kind="explanation",
+            message="\n".join(lines + tree_lines),
+            details={"paths": paths, "access": access,
+                     "tree": "\n".join(tree_lines)},
+        )
 
-    def explain_node(self, node: RetrieveNode) -> tuple[str, str | None]:
-        """``(path, access-path dump)``, recomputed when planning
-        deferred it.
+    def _build_item(self, item: PlanNode | ConceptGroup
+                    ) -> PhysicalOperator | None:
+        if isinstance(item, (RetrieveNode, ConceptGroup)):
+            if isinstance(item, RetrieveNode):
+                self._require_bound(item)
+            else:
+                for member in item.members:
+                    self._require_bound(member)
+        return self.physical.build(item)
 
-        Plans compiled from parameterized statements carry
-        ``DEFERRED_PATH`` hints and no recorded access path; once bind
-        values are in place both can be explained against the current
-        store.  A recorded access path that is stale (indexes created or
-        dropped since planning) is re-priced rather than reported.
+    def render_plan(self, nodes: list[PlanNode]) -> list[str]:
+        """Cursor-level plan dump: summary lines plus operator trees.
+
+        One ``retrieve <class>: path=... access=...`` line per
+        retrieval (the contract of ``Cursor.explain``), each statement's
+        operator tree beneath it.
         """
-        path = node.path_hint
-        access = node.access_path
-        store = self.kernel.store
-        stale = (access is None or access.index_version
-                 != store.engine.catalog.index_version)
-        if path == DEFERRED_PATH or stale:
-            self._require_bound(node)
-            explanation = self.kernel.planner.explain(
-                node.class_name, spatial=node.spatial,
-                temporal=node.temporal, filters=node.filters,
-                ranges=node.ranges,
-            )
-            if path == DEFERRED_PATH:
-                path = str(explanation["path"])
-            return path, str(explanation.get("access"))
-        return path, access.describe()
+        lines: list[str] = []
+        for item in group_nodes(nodes):
+            if isinstance(item, ExplainNode):
+                lines.extend(self.render_plan(list(item.inner)))
+                continue
+            if isinstance(item, ConceptGroup):
+                for member in item.members:
+                    lines.append(self._summary_line(member))
+            elif isinstance(item, RetrieveNode):
+                lines.append(self._summary_line(item))
+            elif isinstance(item, StatementNode):
+                if not isinstance(item.statement, RunProcess):
+                    lines.append(
+                        f"statement {type(item.statement).__name__}"
+                    )
+                    continue
+                lines.append(f"run {item.statement.process}")
+            tree = self._build_item(item)
+            if tree is not None:
+                lines.extend(render_tree(tree))
+        return lines
+
+    def _summary_line(self, node: RetrieveNode) -> str:
+        path, access = self.explain_node(node)
+        line = f"retrieve {node.class_name}: path={path}"
+        if node.concept:
+            line += f" via concept {node.concept}"
+        if access is not None:
+            line += f" access={access}"
+        return line
 
     # -- retrieval ------------------------------------------------------------
 
@@ -136,91 +234,50 @@ class Executor:
                 "supply bind values (cursor.execute(source, params))"
             )
 
-    def _fetch(self, node: RetrieveNode) -> RetrievalResult:
-        """Run the §2.1.5 retrieval sequence for one plan node."""
-        self._require_bound(node)
-        planner = self.kernel.planner
-        if node.force_derivation:
-            return planner.derive(node.class_name, node.spatial, node.temporal)
-        return planner.retrieve(
-            node.class_name, spatial=node.spatial, temporal=node.temporal,
-            filters=node.filters, ranges=node.ranges,
-        )
+    def iter_group(self, item: RetrieveNode | ConceptGroup
+                   ) -> Iterator[Any]:
+        """Stream one grouped plan item's rows lazily.
 
-    def _filter_derived(self, node: RetrieveNode,
-                        objects: tuple[SciObject, ...]
-                        ) -> Iterator[SciObject]:
-        """Predicate re-check for DERIVE-forced results.
-
-        ``planner.derive`` bypasses retrieval-time pushdown, so apply
-        the node's predicates here — normalized first, so string dates
-        compare as :class:`AbsTime` exactly like on the retrieval paths
-        (``planner.retrieve`` already returns filtered objects).
+        Direct retrievals ride the plan's recorded access path (re-priced
+        by the store when indexes changed since planning) and stream row
+        by row, so ``fetchone`` on a selective indexed retrieval touches
+        only the rows the index yields.  Only when nothing is stored for
+        the extents does the tree's FallbackSwitch run the §2.1.5
+        interpolate/derive sequence — consuming the already-executed
+        scan's emptiness instead of re-scanning.  Concept groups stream
+        as one cost-ordered union.
         """
-        cls = self.kernel.classes.get(node.class_name)
-        filters, ranges = self.kernel.store.normalize_predicates(
-            cls, node.filters, node.ranges
-        )
-        return (obj for obj in objects
-                if matches_predicates(obj, filters, ranges))
+        members = item.members if isinstance(item, ConceptGroup) \
+            else (item,)
+        for member in members:
+            self._require_bound(member)
+        tree = self.physical.build(item)
+        yield from tree.run()
 
-    def iter_objects(self, node: RetrieveNode) -> Iterator[SciObject]:
-        """Stream the objects of a retrieval node lazily.
-
-        Direct retrievals ride the plan's recorded access path (index
-        probe or full scan — re-priced by the store when indexes changed
-        since planning) and stream row by row, so ``fetchone`` on a
-        selective indexed retrieval touches only the rows the index
-        yields.  Only when nothing is stored for the extents does this
-        fall back to the §2.1.5 interpolate/derive sequence, which is
-        all-or-nothing per class and materializes on the first pull.
-        """
-        self._require_bound(node)
-        planner = self.kernel.planner
-        store = self.kernel.store
-        if node.force_derivation:
-            result = planner.derive(node.class_name, node.spatial,
-                                    node.temporal)
-            yield from self._filter_derived(node, result.objects)
-            return
-        produced = False
-        for obj in store.iter_find(
-            node.class_name, spatial=node.spatial, temporal=node.temporal,
-            filters=node.filters, ranges=node.ranges,
-            access_path=node.access_path,
-        ):
-            produced = True
-            yield obj
-        if produced:
-            return
-        if (node.filters or node.ranges) and store.exists(
-                node.class_name, spatial=node.spatial,
-                temporal=node.temporal):
-            # Stored data covers the extents; the predicates rejected it
-            # all.  Fallbacks are for missing data, not empty results.
-            return
-        # planner.retrieve has already applied the (normalized)
-        # predicates to whatever the fallbacks produced.
-        result = self._fetch(node)
-        yield from result.objects
+    def iter_objects(self, node: RetrieveNode) -> Iterator[Any]:
+        """Stream the rows of a single retrieval node lazily."""
+        yield from self.iter_group(node)
 
     def _retrieve(self, node: RetrieveNode) -> QueryResult:
-        result = self._fetch(node)
-        objects = (tuple(self._filter_derived(node, result.objects))
-                   if node.force_derivation else result.objects)
-        details = {
+        self._require_bound(node)
+        tree = self.physical.build_retrieve(node)
+        objects = tuple(tree.run())
+        path, plan_steps, access = _tree_outcome(tree)
+        details: dict[str, Any] = {
             "class": node.class_name,
             "concept": node.concept,
-            "plan_steps": list(result.plan_steps),
+            "plan_steps": list(plan_steps),
             "filters": list(node.filters),
             "ranges": list(node.ranges),
         }
-        if node.access_path is not None:
-            details["access"] = node.access_path.describe()
+        if access is not None:
+            details["access"] = access
+        if node.projection:
+            details["projection"] = list(node.projection)
         return QueryResult(
             kind="objects",
             objects=objects,
-            path=result.path,
+            path=path or ("derive" if node.force_derivation else "retrieve"),
             details=details,
         )
 
@@ -329,29 +386,14 @@ class Executor:
         )
 
     def _run_process(self, statement: RunProcess) -> QueryResult:
-        derivations = self.kernel.derivations
-        if statement.process in derivations.compounds:
-            spec_args = derivations.compounds.get(statement.process).arguments
-        else:
-            spec_args = derivations.processes.get(statement.process).arguments
-        bindings = {}
-        given = dict(statement.bindings)
-        for arg in spec_args:
-            if arg.name not in given:
-                raise UnderivableError(
-                    f"RUN {statement.process}: argument {arg.name!r} unbound"
-                )
-            objects = [self.kernel.store.get(oid) for oid in given[arg.name]]
-            bindings[arg.name] = objects if arg.is_set else objects[0]
-        if statement.process in derivations.compounds:
-            result = derivations.execute_compound(statement.process, bindings)
-        else:
-            result = derivations.execute_process(statement.process, bindings)
+        operator: Run = self.physical.build_run(statement)
+        objects = tuple(operator.run())
         return QueryResult(
             kind="objects",
-            objects=(result.output,),
+            objects=objects,
             path="run",
-            details={"task_id": result.task.task_id, "reused": result.reused},
+            details={"task_id": operator.task_id,
+                     "reused": operator.reused},
         )
 
     def _show(self, statement: Show) -> QueryResult:

@@ -1,0 +1,509 @@
+"""Physical operators: one iterator-tree representation for every query.
+
+The Volcano-style layer between the logical plan (:mod:`.optimizer`
+nodes, which the plan cache stores) and the storage substrate.  Every
+statement — retrieval, ``DERIVE``, ``RUN``, concept queries — compiles
+to a tree of these operators (see :mod:`.physical`); execution drives
+the root's :meth:`~PhysicalOperator.run` iterator and EXPLAIN renders
+the same tree with per-operator cost estimates via :func:`render_tree`.
+
+The operators:
+
+* :class:`HeapScan` / :class:`IndexScan` / :class:`IndexOnlyScan` —
+  the stored-data scans, wrapping :meth:`ClassStore.iter_scan` (or the
+  covering key-only stream) down one cost-chosen
+  :class:`~repro.storage.access.AccessPath`;
+* :class:`Filter` — extent and attribute predicate re-checks, with
+  row counters the fallback decision reads;
+* :class:`Project` — attribute projection (plain dict rows);
+* :class:`Interpolate` / :class:`Derive` — the §2.1.5 fallbacks as
+  operators, driving the retrieval planner's public entry points;
+* :class:`FallbackSwitch` — threads "the stored retrieval was empty"
+  from the already-executed scan child into the fallback children, so
+  falling back never re-scans the stored relation;
+* :class:`ConceptUnion` — one plan for a concept query: member
+  subtrees ordered by estimated cost, sharing one execution context
+  (and so one derivation-marking probe cache);
+* :class:`Run` — process execution (``RUN``) as a leaf operator.
+
+Operator instances are built fresh per execution and are stateful:
+after a drain, counters (``rows_out``) and outcomes (``path_taken``,
+``plan_steps``, ``tasks``) describe what actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..core.classes import SciObject
+from ..core.interpolation import InterpolationError
+from ..core.metadata_manager import MetadataManager
+from ..core.planner import MarkingCache, RetrievalResult
+from ..errors import AssertionViolatedError, UnderivableError
+from ..spatial.box import Box
+from ..storage.access import AccessPath
+from ..temporal.abstime import AbsTime
+
+__all__ = [
+    "ExecutionContext",
+    "PhysicalOperator",
+    "HeapScan",
+    "IndexScan",
+    "IndexOnlyScan",
+    "Filter",
+    "Project",
+    "Interpolate",
+    "Derive",
+    "FallbackSwitch",
+    "ConceptUnion",
+    "Run",
+    "render_tree",
+    "INTERPOLATE_COST",
+    "DERIVE_COST",
+    "FILTER_ROW_COST",
+]
+
+#: Cost guesses for the fallback operators.  Interpolation prices two
+#: bracketing index probes plus the blend; derivation is dominated by
+#: process execution, far above any scan — the constants only need to
+#: order alternatives sensibly in plan dumps.
+INTERPOLATE_COST = 40.0
+DERIVE_COST = 400.0
+#: Per-row cost of re-checking residual predicates in Python.
+FILTER_ROW_COST = 0.05
+
+
+@dataclass
+class ExecutionContext:
+    """Shared state of one query execution (one tree drain).
+
+    The marking cache lets several :class:`Derive` operators under one
+    tree (a concept union whose members all fall back) share the
+    backward-planning supply probes; any firing clears it.
+    """
+
+    kernel: MetadataManager
+    marking_cache: MarkingCache = field(default_factory=dict)
+
+
+class PhysicalOperator:
+    """Base of all physical operators.
+
+    Subclasses set ``estimated_rows`` / ``estimated_cost`` at build
+    time and stream rows from :meth:`run`.  ``rows_out`` counts what
+    was actually produced once the iterator is drained.
+    """
+
+    estimated_rows: float = 0.0
+    estimated_cost: float = 0.0
+    rows_out: int = 0
+
+    @property
+    def children(self) -> tuple["PhysicalOperator", ...]:
+        return ()
+
+    def label(self) -> str:
+        """One-line rendering for plan dumps (no cost suffix)."""
+        raise NotImplementedError
+
+    def run(self) -> Iterator[Any]:
+        """Stream this operator's rows (stateful; drive once)."""
+        raise NotImplementedError
+
+
+def render_tree(op: PhysicalOperator, prefix: str = "",
+                is_last: bool = True, is_root: bool = True) -> list[str]:
+    """Pretty-print an operator tree with per-operator estimates."""
+    line = (f"{op.label()} "
+            f"[rows~{op.estimated_rows:.0f} cost~{op.estimated_cost:.1f}]")
+    if is_root:
+        lines = [line]
+        child_prefix = ""
+    else:
+        connector = "└─ " if is_last else "├─ "
+        lines = [prefix + connector + line]
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    kids = op.children
+    for index, child in enumerate(kids):
+        lines.extend(render_tree(child, child_prefix,
+                                 is_last=index == len(kids) - 1,
+                                 is_root=False))
+    return lines
+
+
+# -- stored-data scans --------------------------------------------------------
+
+
+class _StoreScan(PhysicalOperator):
+    """Common base of the stored-row scans: one recorded scan event."""
+
+    def __init__(self, ctx: ExecutionContext, class_name: str,
+                 path: AccessPath,
+                 spatial: Box | None = None,
+                 temporal: AbsTime | None = None,
+                 filters: tuple[tuple[str, Any], ...] = (),
+                 ranges: tuple[tuple[str, str, Any], ...] = ()):
+        self.ctx = ctx
+        self.class_name = class_name
+        self.path = path
+        self.spatial = spatial
+        self.temporal = temporal
+        self.filters = filters
+        self.ranges = ranges
+        self.estimated_rows = path.estimated_rows
+        self.estimated_cost = path.cost
+
+    @property
+    def relation(self) -> str:
+        return self.ctx.kernel.store.relation_for(self.class_name)
+
+    def run(self) -> Iterator[SciObject]:
+        for obj in self.ctx.kernel.store.iter_scan(
+            self.class_name, spatial=self.spatial, temporal=self.temporal,
+            filters=self.filters, ranges=self.ranges, access_path=self.path,
+        ):
+            self.rows_out += 1
+            yield obj
+
+
+class HeapScan(_StoreScan):
+    """Full heap scan of one class relation."""
+
+    def label(self) -> str:
+        return f"HeapScan({self.relation}) {self.path.describe()}"
+
+
+class IndexScan(_StoreScan):
+    """Index-driven scan: B-tree probe/range, grid cell or timeline."""
+
+    def label(self) -> str:
+        return (f"IndexScan({self.relation}.{self.path.column}) "
+                f"{self.path.describe()}")
+
+
+class IndexOnlyScan(PhysicalOperator):
+    """Covering scan: rows come straight off the B-tree keys.
+
+    Yields ``{column: key}`` dicts; the heap values are never fetched
+    (only version headers, for visibility).  Only planned when the key
+    supplies every projected attribute and every predicate.
+    """
+
+    def __init__(self, ctx: ExecutionContext, class_name: str,
+                 path: AccessPath):
+        self.ctx = ctx
+        self.class_name = class_name
+        self.path = path
+        self.estimated_rows = path.estimated_rows
+        self.estimated_cost = path.cost
+
+    def label(self) -> str:
+        relation = self.ctx.kernel.store.relation_for(self.class_name)
+        return (f"IndexOnlyScan({relation}.{self.path.column}) "
+                f"{self.path.describe()}")
+
+    def run(self) -> Iterator[dict[str, Any]]:
+        for row in self.ctx.kernel.store.iter_index_only(self.class_name,
+                                                         self.path):
+            self.rows_out += 1
+            yield row
+
+
+# -- row transforms -----------------------------------------------------------
+
+
+class Filter(PhysicalOperator):
+    """Predicate re-check over a child stream, with row accounting."""
+
+    def __init__(self, child: PhysicalOperator,
+                 predicate: Callable[[Any], bool],
+                 description: str, selectivity: float = 1.0):
+        self.child = child
+        self.predicate = predicate
+        self.description = description
+        self.estimated_rows = max(1.0, child.estimated_rows * selectivity)
+        self.estimated_cost = child.estimated_cost \
+            + child.estimated_rows * FILTER_ROW_COST
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Filter({self.description})"
+
+    def run(self) -> Iterator[Any]:
+        for row in self.child.run():
+            if self.predicate(row):
+                self.rows_out += 1
+                yield row
+
+
+class Project(PhysicalOperator):
+    """Projection: keep only the requested attributes, as plain dicts.
+
+    Index-only children already stream dicts restricted to the key
+    column; everything else is cut down from full objects here.
+    """
+
+    def __init__(self, child: PhysicalOperator, attrs: tuple[str, ...]):
+        self.child = child
+        self.attrs = attrs
+        self.estimated_rows = child.estimated_rows
+        self.estimated_cost = child.estimated_cost
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Project({', '.join(self.attrs)})"
+
+    def run(self) -> Iterator[dict[str, Any]]:
+        for row in self.child.run():
+            self.rows_out += 1
+            if isinstance(row, dict):
+                yield {attr: row.get(attr) for attr in self.attrs}
+            else:
+                yield {attr: row[attr] for attr in self.attrs}
+
+
+# -- fallback operators -------------------------------------------------------
+
+
+class Interpolate(PhysicalOperator):
+    """§2.1.5 step 2 as an operator: temporal interpolation."""
+
+    step = "interpolate"
+
+    def __init__(self, ctx: ExecutionContext, class_name: str,
+                 spatial: Box | None, temporal: AbsTime | None):
+        self.ctx = ctx
+        self.class_name = class_name
+        self.spatial = spatial
+        self.temporal = temporal
+        self.result: RetrievalResult | None = None
+        self.estimated_rows = 1.0
+        self.estimated_cost = INTERPOLATE_COST
+
+    def label(self) -> str:
+        return f"Interpolate({self.class_name} at {self.temporal})"
+
+    def run(self) -> Iterator[SciObject]:
+        self.result = self.ctx.kernel.planner.interpolate(
+            self.class_name, spatial=self.spatial, temporal=self.temporal
+        )
+        for obj in self.result.objects:
+            self.rows_out += 1
+            yield obj
+
+
+class Derive(PhysicalOperator):
+    """§2.1.5 step 3 as an operator: Petri-net backward derivation.
+
+    With ``known_empty`` the operator consumes the fact that the
+    already-executed scan child found nothing at the query extents, so
+    the planner skips every re-scan of the target relation; the shared
+    execution context additionally dedupes the marking probes across
+    sibling Derive operators (concept unions).
+    """
+
+    step = "derive"
+
+    def __init__(self, ctx: ExecutionContext, class_name: str,
+                 spatial: Box | None, temporal: AbsTime | None,
+                 known_empty: bool = False):
+        self.ctx = ctx
+        self.class_name = class_name
+        self.spatial = spatial
+        self.temporal = temporal
+        self.known_empty = known_empty
+        self.result: RetrievalResult | None = None
+        self.estimated_rows = 1.0
+        self.estimated_cost = DERIVE_COST
+
+    @property
+    def plan_steps(self) -> tuple[str, ...]:
+        return self.result.plan_steps if self.result is not None else ()
+
+    def label(self) -> str:
+        return f"Derive({self.class_name})"
+
+    def run(self) -> Iterator[SciObject]:
+        self.result = self.ctx.kernel.planner.derive(
+            self.class_name, spatial=self.spatial, temporal=self.temporal,
+            known_empty=self.known_empty,
+            marking_cache=self.ctx.marking_cache,
+        )
+        for obj in self.result.objects:
+            self.rows_out += 1
+            yield obj
+
+
+class FallbackSwitch(PhysicalOperator):
+    """Stored retrieval with §2.1.5 fallbacks, scan-once semantics.
+
+    Streams the stored child; only when it is exhausted *empty* does
+    the switch consult the child's own row counters (or, for scans
+    whose probe consumed the attribute predicates, one short-circuiting
+    existence probe) to decide between "predicates rejected everything"
+    (empty result) and "nothing stored at these extents" (run the
+    fallback children, which inherit the emptiness fact instead of
+    re-scanning).  ``path_taken`` records the §2.1.5 path after a
+    drain.
+    """
+
+    def __init__(self, class_name: str,
+                 stored: PhysicalOperator,
+                 extent_counter: PhysicalOperator,
+                 fallbacks: tuple[PhysicalOperator, ...],
+                 has_attr_predicates: bool,
+                 observes_extents: bool,
+                 exists_probe: Callable[[], bool],
+                 residual: Callable[[SciObject], bool] | None = None):
+        self.class_name = class_name
+        self.stored = stored
+        self.extent_counter = extent_counter
+        self.fallbacks = fallbacks
+        self.has_attr_predicates = has_attr_predicates
+        self.observes_extents = observes_extents
+        self.exists_probe = exists_probe
+        self.residual = residual
+        self.path_taken: str | None = None
+        self.estimated_rows = stored.estimated_rows
+        self.estimated_cost = stored.estimated_cost
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.stored, *self.fallbacks)
+
+    @property
+    def plan_steps(self) -> tuple[str, ...]:
+        for fallback in self.fallbacks:
+            if isinstance(fallback, Derive):
+                return fallback.plan_steps
+        return ()
+
+    def label(self) -> str:
+        return f"FallbackSwitch({self.class_name})"
+
+    def run(self) -> Iterator[Any]:
+        produced = False
+        for row in self.stored.run():
+            produced = True
+            self.rows_out += 1
+            yield row
+        if produced:
+            self.path_taken = "retrieve"
+            return
+        if self.has_attr_predicates:
+            covered = self.extent_counter.rows_out > 0 \
+                if self.observes_extents else self.exists_probe()
+            if covered:
+                # Stored data covers the extents; the predicates
+                # rejected it all.  Fallbacks are for missing data.
+                self.path_taken = "retrieve"
+                return
+        errors: list[str] = []
+        for fallback in self.fallbacks:
+            try:
+                rows = list(fallback.run())
+            except (InterpolationError, UnderivableError,
+                    AssertionViolatedError) as exc:
+                errors.append(f"{fallback.step}: {exc}")
+                continue
+            self.path_taken = fallback.step
+            for obj in rows:
+                if self.residual is not None and not self.residual(obj):
+                    continue
+                self.rows_out += 1
+                yield obj
+            return
+        raise UnderivableError(
+            f"cannot satisfy query on {self.class_name!r}"
+            + (f" ({'; '.join(errors)})" if errors else "")
+        )
+
+
+class ConceptUnion(PhysicalOperator):
+    """Union of a concept's member subtrees, cheapest first.
+
+    One shared :class:`ExecutionContext` means the members' fallback
+    derivations share supply probes; the cost ordering means cheap
+    (indexed, small) members stream before expensive ones.
+    """
+
+    def __init__(self, concept: str,
+                 members: tuple[PhysicalOperator, ...]):
+        self.concept = concept
+        self.members = tuple(sorted(members,
+                                    key=lambda op: op.estimated_cost))
+        self.estimated_rows = sum(m.estimated_rows for m in self.members)
+        self.estimated_cost = sum(m.estimated_cost for m in self.members)
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return self.members
+
+    def label(self) -> str:
+        return (f"ConceptUnion({self.concept}: "
+                f"{len(self.members)} members)")
+
+    def run(self) -> Iterator[Any]:
+        for member in self.members:
+            for row in member.run():
+                self.rows_out += 1
+                yield row
+
+
+# -- process execution --------------------------------------------------------
+
+
+class Run(PhysicalOperator):
+    """``RUN process WITH arg = (oids)`` as a leaf operator."""
+
+    def __init__(self, ctx: ExecutionContext, process: str,
+                 bindings: tuple[tuple[str, tuple[int, ...]], ...]):
+        self.ctx = ctx
+        self.process = process
+        self.bindings = bindings
+        self.task_id: str | None = None
+        self.reused = False
+        oid_count = sum(len(oids) for _, oids in bindings)
+        self.estimated_rows = 1.0
+        # Bound-object fetches plus one firing (dominated by the
+        # process body, like Derive).
+        self.estimated_cost = DERIVE_COST / 4 + oid_count
+
+    def label(self) -> str:
+        bound = ", ".join(
+            f"{arg}=({', '.join(map(str, oids))})"
+            for arg, oids in self.bindings
+        )
+        return f"Run({self.process}{' WITH ' + bound if bound else ''})"
+
+    def run(self) -> Iterator[SciObject]:
+        kernel = self.ctx.kernel
+        derivations = kernel.derivations
+        if self.process in derivations.compounds:
+            spec_args = derivations.compounds.get(self.process).arguments
+        else:
+            spec_args = derivations.processes.get(self.process).arguments
+        given = dict(self.bindings)
+        bindings: dict[str, Any] = {}
+        for arg in spec_args:
+            if arg.name not in given:
+                raise UnderivableError(
+                    f"RUN {self.process}: argument {arg.name!r} unbound"
+                )
+            objects = [kernel.store.get(oid) for oid in given[arg.name]]
+            bindings[arg.name] = objects if arg.is_set else objects[0]
+        if self.process in derivations.compounds:
+            result = derivations.execute_compound(self.process, bindings)
+        else:
+            result = derivations.execute_process(self.process, bindings)
+        self.task_id = result.task.task_id
+        self.reused = result.reused
+        self.rows_out += 1
+        yield result.output

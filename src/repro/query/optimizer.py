@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.metadata_manager import MetadataManager
-from ..errors import PlanningError
+from ..errors import DerivationError, PlanningError
 from ..spatial.box import Box
 from ..storage.access import AccessPath
 from ..temporal.abstime import AbsTime
@@ -74,6 +74,13 @@ class RetrieveNode(PlanNode):
     The extents and filter values may hold unresolved bind placeholders
     (:class:`Param` / :class:`BoxTemplate`) when the node comes from a
     prepared statement; they must be bound before execution.
+
+    The node is the *logical* plan — what the plan cache stores.  The
+    physical planner (:mod:`repro.query.physical`) compiles it into an
+    operator tree per execution, so the §2.1.5 logical path (retrieve
+    vs. interpolate vs. derive) is decided by the tree at run time, not
+    pinned at plan time; ``path_hint`` stays :data:`DEFERRED_PATH` and
+    EXPLAIN resolves it on demand.
     """
 
     class_name: str
@@ -89,6 +96,13 @@ class RetrieveNode(PlanNode):
     #: Carries the catalog index version it was priced under; a stale
     #: recorded path is re-chosen by the store rather than trusted.
     access_path: AccessPath | None = None
+    #: Requested attributes (``SELECT a, b FROM ...``); empty means all.
+    #: A projection an attribute index covers enables index-only scans.
+    projection: tuple[str, ...] = ()
+    #: Ordinal of the source statement this node came from, so the
+    #: physical planner can group one concept SELECT's member nodes
+    #: into a single union without merging adjacent statements.
+    stmt: int = 0
 
 
 @dataclass(frozen=True)
@@ -100,9 +114,14 @@ class StatementNode(PlanNode):
 
 @dataclass(frozen=True)
 class ExplainNode(PlanNode):
-    """An EXPLAIN wrapper: report inner plans without executing them."""
+    """An EXPLAIN wrapper: report inner plans without executing them.
 
-    inner: tuple[RetrieveNode, ...]
+    Wraps the plan nodes of any explainable statement — SELECT and
+    DERIVE produce :class:`RetrieveNode`\\ s, RUN a
+    :class:`StatementNode` the executor renders as a ``Run`` operator.
+    """
+
+    inner: tuple[PlanNode, ...]
 
 
 @dataclass(frozen=True)
@@ -194,19 +213,26 @@ class Optimizer:
             return CompiledPlan(fingerprint=key, nodes=cached, cached=True)
         nodes = tuple(
             node
-            for statement in parse(source)
-            for node in self.plan(statement)
+            for stmt, statement in enumerate(parse(source))
+            for node in self.plan(statement, stmt=stmt)
         )
         if nodes and all(isinstance(n, RetrieveNode) for n in nodes):
             self.cache.store(key, version, nodes)
         return CompiledPlan(fingerprint=key, nodes=nodes)
 
-    def plan(self, statement: Statement) -> list[PlanNode]:
-        """Produce the plan nodes for *statement* (usually one)."""
+    def plan(self, statement: Statement, stmt: int = 0) -> list[PlanNode]:
+        """Produce the plan nodes for *statement* (usually one).
+
+        *stmt* is the statement's ordinal within its source program;
+        plan nodes carry it so concept-member nodes from different
+        statements are never merged into one union.
+        """
         if isinstance(statement, Select):
-            return list(self._plan_select(statement))
+            return list(self._plan_select(statement, stmt))
         if isinstance(statement, Explain):
-            return [ExplainNode(inner=tuple(self._plan_select(statement.inner)))]
+            return [ExplainNode(
+                inner=tuple(self.plan(statement.inner, stmt=stmt))
+            )]
         if isinstance(statement, Derive):
             return [RetrieveNode(
                 class_name=statement.class_name,
@@ -214,6 +240,7 @@ class Optimizer:
                 temporal=statement.temporal,
                 path_hint="derive",
                 force_derivation=True,
+                stmt=stmt,
             )]
         if isinstance(statement, (DefineClass, DefineProcess, DefineCompound,
                                   DefineConcept, RunProcess, Show,
@@ -223,7 +250,8 @@ class Optimizer:
             f"no planning rule for {type(statement).__name__}"
         )
 
-    def _plan_select(self, select: Select) -> list[RetrieveNode]:
+    def _plan_select(self, select: Select, stmt: int = 0
+                     ) -> list[RetrieveNode]:
         targets = self._resolve_source(select.source)
         parameterized = (
             isinstance(select.spatial, (Param, BoxTemplate))
@@ -235,39 +263,42 @@ class Optimizer:
         )
         nodes = []
         for class_name in targets:
+            cls = self.kernel.classes.get(class_name)
+            for attr in select.projection:
+                try:
+                    cls.type_of(attr)
+                except DerivationError:
+                    raise PlanningError(
+                        f"class {class_name!r} has no attribute {attr!r} "
+                        "to project"
+                    ) from None
             access_path = None
-            if parameterized:
-                # The extents are bind parameters: the path can only be
-                # explained once values are bound (the executor resolves
-                # DEFERRED_PATH hints lazily for EXPLAIN).
-                path_hint = DEFERRED_PATH
-            else:
-                explanation = self.kernel.planner.explain(
+            if not parameterized and predicates_bound:
+                # Cost-based physical access path, recorded in the
+                # (cacheable) plan from O(1) statistics — planning never
+                # scans data.  The schema version that guards cache
+                # entries includes the catalog index version, so
+                # CREATE/DROP INDEX invalidates this choice.
+                access_path = self.kernel.store.choose_path(
                     class_name, spatial=select.spatial,
                     temporal=select.temporal,
-                    filters=select.filters if predicates_bound else (),
-                    ranges=select.ranges if predicates_bound else (),
+                    filters=select.filters, ranges=select.ranges,
+                    projection=select.projection,
                 )
-                path_hint = str(explanation["path"])
-                if predicates_bound:
-                    # Cost-based physical access path, recorded in the
-                    # (cacheable) plan.  The schema version that guards
-                    # cache entries includes the catalog index version,
-                    # so CREATE/DROP INDEX invalidates this choice.
-                    access_path = self.kernel.store.choose_path(
-                        class_name, spatial=select.spatial,
-                        temporal=select.temporal,
-                        filters=select.filters, ranges=select.ranges,
-                    )
             nodes.append(RetrieveNode(
                 class_name=class_name,
                 spatial=select.spatial,
                 temporal=select.temporal,
-                path_hint=path_hint,
+                # The §2.1.5 logical path is a run-time outcome of the
+                # operator tree (the FallbackSwitch); EXPLAIN resolves
+                # it on demand against the current store.
+                path_hint=DEFERRED_PATH,
                 concept=select.source if select.source != class_name else None,
                 filters=select.filters,
                 ranges=select.ranges,
                 access_path=access_path,
+                projection=select.projection,
+                stmt=stmt,
             ))
         return nodes
 

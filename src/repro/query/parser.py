@@ -187,7 +187,18 @@ class _Parser:
             return self._derive()
         if token.is_keyword("EXPLAIN"):
             self._advance()
-            return Explain(inner=self._select())
+            inner_token = self._peek()
+            if inner_token.is_keyword("SELECT"):
+                return Explain(inner=self._select())
+            if inner_token.is_keyword("DERIVE"):
+                return Explain(inner=self._derive())
+            if inner_token.is_keyword("RUN"):
+                return Explain(inner=self._run())
+            raise ParseError(
+                "EXPLAIN expects SELECT, DERIVE or RUN, found "
+                f"{inner_token.text!r}",
+                inner_token.line, inner_token.column,
+            )
         if token.is_keyword("RUN"):
             return self._run()
         if token.is_keyword("SHOW"):
@@ -535,6 +546,12 @@ class _Parser:
 
     def _select(self) -> Select:
         self._expect_keyword("SELECT")
+        projection: list[str] = []
+        if self._check(TokenType.IDENT):
+            # Optional projection list: `SELECT area, timestamp FROM ...`
+            projection.append(self._expect_ident())
+            while self._match(TokenType.COMMA):
+                projection.append(self._expect_ident())
         self._expect_keyword("FROM")
         source = self._expect_ident()
         spatial: Box | BoxTemplate | Param | None = None
@@ -565,7 +582,8 @@ class _Parser:
                 if not self._match(TokenType.KEYWORD, "AND"):
                     break
         return Select(source=source, spatial=spatial, temporal=temporal,
-                      filters=tuple(filters), ranges=tuple(ranges))
+                      filters=tuple(filters), ranges=tuple(ranges),
+                      projection=tuple(projection))
 
     def _comparison_op(self) -> str | None:
         """A ``< <= > >=`` operator at the cursor, if present."""

@@ -1,0 +1,257 @@
+"""The physical planner: logical plan nodes → operator trees.
+
+The logical plan (what the LRU plan cache stores, keyed on source
+fingerprints) stays a flat sequence of
+:class:`~repro.query.optimizer.RetrieveNode` /
+:class:`~repro.query.optimizer.StatementNode`.  This module compiles
+those nodes into :mod:`.operators` trees per execution:
+
+* a plain retrieval becomes scan → extent filter → predicate filter
+  under a :class:`~.operators.FallbackSwitch` whose fallback children
+  (:class:`~.operators.Interpolate`, :class:`~.operators.Derive`)
+  consume the switch's "stored scan was empty" fact;
+* ``DERIVE`` becomes a :class:`~.operators.Derive` root (plus filters /
+  projection);
+* ``RUN`` becomes a :class:`~.operators.Run` leaf;
+* a concept query's member nodes are grouped into one
+  :class:`~.operators.ConceptUnion` ordered by estimated cost, sharing
+  a single :class:`~.operators.ExecutionContext`.
+
+Building a tree prices the access paths from O(1) statistics but never
+scans data, so EXPLAIN can render any statement's tree without side
+effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..core.classes import (
+    NonPrimitiveClass,
+    matches_extents,
+    matches_predicates,
+)
+from ..core.metadata_manager import MetadataManager
+from .ast import RunProcess
+from .operators import (
+    ConceptUnion,
+    Derive,
+    ExecutionContext,
+    Filter,
+    FallbackSwitch,
+    HeapScan,
+    IndexOnlyScan,
+    IndexScan,
+    Interpolate,
+    PhysicalOperator,
+    Project,
+    Run,
+)
+from .optimizer import PlanNode, RetrieveNode, StatementNode
+
+__all__ = ["PhysicalPlanner", "ConceptGroup", "group_nodes"]
+
+
+@dataclass(frozen=True)
+class ConceptGroup:
+    """Adjacent retrieval nodes of one concept SELECT, to be unioned."""
+
+    concept: str
+    members: tuple[RetrieveNode, ...]
+
+
+def group_nodes(nodes: Iterable[PlanNode]
+                ) -> list[PlanNode | ConceptGroup]:
+    """Group each concept SELECT's member nodes for union planning.
+
+    Member nodes carry the statement ordinal they came from, so two
+    back-to-back SELECTs over the same concept stay two groups.
+    """
+    grouped: list[PlanNode | ConceptGroup] = []
+    pending: list[RetrieveNode] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        if len(pending) == 1:
+            grouped.append(pending[0])
+        else:
+            grouped.append(ConceptGroup(concept=pending[0].concept,
+                                        members=tuple(pending)))
+        pending.clear()
+
+    for node in nodes:
+        if isinstance(node, RetrieveNode) and node.concept is not None:
+            if pending and (pending[0].concept != node.concept
+                            or pending[0].stmt != node.stmt):
+                flush()
+            pending.append(node)
+            continue
+        flush()
+        grouped.append(node)
+    flush()
+    return grouped
+
+
+@dataclass
+class PhysicalPlanner:
+    """Compiles logical plan nodes into physical operator trees."""
+
+    kernel: MetadataManager
+
+    def context(self) -> ExecutionContext:
+        """A fresh execution context (per statement or union)."""
+        return ExecutionContext(kernel=self.kernel)
+
+    # -- retrievals ----------------------------------------------------------
+
+    def build_retrieve(self, node: RetrieveNode,
+                       ctx: ExecutionContext | None = None
+                       ) -> PhysicalOperator:
+        """The operator tree of one (bound) retrieval node."""
+        ctx = ctx or self.context()
+        store = self.kernel.store
+        cls = self.kernel.classes.get(node.class_name)
+        filters, ranges = store.normalize_predicates(
+            cls, node.filters, node.ranges
+        )
+        if node.force_derivation:
+            tree: PhysicalOperator = Derive(
+                ctx, node.class_name, node.spatial, node.temporal,
+                known_empty=False,
+            )
+            tree = self._attr_filter(tree, filters, ranges)
+            return self._project(tree, node)
+
+        path = store.validated_path(
+            node.class_name, spatial=node.spatial, temporal=node.temporal,
+            filters=filters, ranges=ranges, access_path=node.access_path,
+            projection=node.projection,
+        )
+        if path.index_only:
+            scan: PhysicalOperator = IndexOnlyScan(ctx, node.class_name, path)
+            extent_counter = scan
+            stored = self._attr_filter(scan, filters, ranges)
+            observes_extents = False  # probe consumed the predicates
+        else:
+            scan_cls = HeapScan if path.kind == "full-scan" else IndexScan
+            scan = scan_cls(ctx, node.class_name, path,
+                            spatial=node.spatial, temporal=node.temporal,
+                            filters=filters, ranges=ranges)
+            stored = extent_counter = self._extent_filter(scan, cls, node)
+            stored = self._attr_filter(stored, filters, ranges)
+            observes_extents = path.observes_extents
+
+        fallbacks: list[PhysicalOperator] = []
+        for step in self.kernel.planner.fallback_order:
+            if step == "interpolate":
+                if node.temporal is not None \
+                        and cls.temporal_attr is not None:
+                    fallbacks.append(Interpolate(
+                        ctx, node.class_name, node.spatial, node.temporal
+                    ))
+            else:
+                fallbacks.append(Derive(
+                    ctx, node.class_name, node.spatial, node.temporal,
+                    known_empty=True,
+                ))
+
+        residual = None
+        if filters or ranges:
+            residual = (lambda obj, f=filters, r=ranges:
+                        matches_predicates(obj, f, r))
+        tree = FallbackSwitch(
+            class_name=node.class_name,
+            stored=stored,
+            extent_counter=extent_counter,
+            fallbacks=tuple(fallbacks),
+            has_attr_predicates=bool(filters or ranges),
+            observes_extents=observes_extents,
+            exists_probe=(lambda s=store, n=node: s.exists(
+                n.class_name, spatial=n.spatial, temporal=n.temporal
+            )),
+            residual=residual,
+        )
+        return self._project(tree, node)
+
+    def _extent_filter(self, child: PhysicalOperator,
+                       cls: NonPrimitiveClass, node: RetrieveNode
+                       ) -> PhysicalOperator:
+        """Extent re-check over a raw scan (grid cells are approximate,
+        full scans see everything); pass-through when the query has no
+        extent predicates."""
+        parts = []
+        if node.spatial is not None and cls.spatial_attr is not None:
+            parts.append(f"{cls.spatial_attr} overlaps {node.spatial}")
+        if node.temporal is not None and cls.temporal_attr is not None:
+            parts.append(f"{cls.temporal_attr}={node.temporal}")
+        if not parts:
+            return child
+        return Filter(
+            child,
+            predicate=(lambda obj, c=cls, n=node: matches_extents(
+                obj, c, n.spatial, n.temporal
+            )),
+            description=" AND ".join(parts),
+        )
+
+    @staticmethod
+    def _attr_filter(child: PhysicalOperator,
+                     filters: tuple[tuple[str, Any], ...],
+                     ranges: tuple[tuple[str, str, Any], ...]
+                     ) -> PhysicalOperator:
+        """Attribute predicate re-check (works on objects and dicts —
+        both expose ``.get``); pass-through without predicates."""
+        if not (filters or ranges):
+            return child
+        parts = [f"{attr}={value!r}" for attr, value in filters]
+        parts += [f"{attr}{op}{value!r}" for attr, op, value in ranges]
+        selectivity = 0.5 ** (len(filters) + len(ranges))
+        return Filter(
+            child,
+            predicate=(lambda row, f=filters, r=ranges:
+                       matches_predicates(row, f, r)),
+            description=" AND ".join(parts),
+            selectivity=max(0.1, selectivity),
+        )
+
+    @staticmethod
+    def _project(tree: PhysicalOperator, node: RetrieveNode
+                 ) -> PhysicalOperator:
+        if not node.projection:
+            return tree
+        return Project(tree, node.projection)
+
+    # -- concept unions ------------------------------------------------------
+
+    def build_group(self, group: ConceptGroup,
+                    ctx: ExecutionContext | None = None) -> ConceptUnion:
+        """One cost-ordered union over a concept's member subtrees."""
+        ctx = ctx or self.context()
+        members = tuple(
+            self.build_retrieve(member, ctx) for member in group.members
+        )
+        return ConceptUnion(concept=group.concept, members=members)
+
+    def build(self, item: PlanNode | ConceptGroup,
+              ctx: ExecutionContext | None = None
+              ) -> PhysicalOperator | None:
+        """The tree for one grouped plan item (None for statements that
+        have no operator form, e.g. DDL and SHOW)."""
+        if isinstance(item, ConceptGroup):
+            return self.build_group(item, ctx)
+        if isinstance(item, RetrieveNode):
+            return self.build_retrieve(item, ctx)
+        if isinstance(item, StatementNode) \
+                and isinstance(item.statement, RunProcess):
+            return self.build_run(item.statement, ctx)
+        return None
+
+    # -- process execution ---------------------------------------------------
+
+    def build_run(self, statement: RunProcess,
+                  ctx: ExecutionContext | None = None) -> Run:
+        """The operator form of ``RUN process WITH ...``."""
+        return Run(ctx or self.context(), statement.process,
+                   statement.bindings)

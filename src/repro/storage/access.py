@@ -31,10 +31,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .btree import HistogramBucket
     from .engine import StorageEngine
 
 __all__ = ["AccessPath", "choose_access_path", "estimate_range_rows",
-           "SEQ_ROW_COST", "INDEX_PROBE_COST", "INDEX_ROW_COST"]
+           "estimate_eq_rows", "SEQ_ROW_COST", "INDEX_PROBE_COST",
+           "INDEX_ROW_COST", "INDEX_ONLY_ROW_COST"]
 
 #: Cost of materializing + testing one row on a full heap scan.
 SEQ_ROW_COST = 1.0
@@ -43,6 +45,10 @@ INDEX_PROBE_COST = 4.0
 #: Cost of fetching one row through an index entry (TID fetch +
 #: visibility check) — slightly above sequential to model random access.
 INDEX_ROW_COST = 1.4
+#: Cost of producing one row straight from an index entry when the key
+#: covers every requested attribute: only the version header is touched
+#: for the visibility check, never the heap values.
+INDEX_ONLY_ROW_COST = 0.4
 #: Default selectivity of a range predicate with no usable key bounds.
 DEFAULT_RANGE_SELECTIVITY = 0.33
 
@@ -65,6 +71,24 @@ class AccessPath:
     cost: float = 0.0
     residual: tuple[str, ...] = ()
     index_version: int = -1
+    #: Covering scan: the index key supplies every requested attribute,
+    #: so the heap values are never fetched (only the version header,
+    #: for the visibility check).
+    index_only: bool = False
+
+    @property
+    def observes_extents(self) -> bool:
+        """Whether a scan down this path streams every extent candidate.
+
+        True for full scans and extent-index probes: their row stream is
+        a superset of the extent matches, so counting the stream decides
+        extent coverage exactly.  False for attribute-index probes,
+        which prune by the attribute predicate before extents are seen.
+        The single definition both the retrieval planner and the
+        physical FallbackSwitch consult — they must not drift.
+        """
+        return self.kind in ("full-scan", "spatial-probe",
+                             "temporal-probe")
 
     def describe(self) -> str:
         """One-line plan-dump rendering, e.g.
@@ -80,22 +104,81 @@ class AccessPath:
             head = f"temporal-probe({self.column}={self.argument})"
         else:
             head = "full-scan"
+        if self.index_only:
+            head = f"index-only {head}"
         out = f"{head} rows~{self.estimated_rows:.0f} cost~{self.cost:.1f}"
         if self.residual:
             out += f" residual=[{', '.join(self.residual)}]"
         return out
 
 
-def estimate_range_rows(entries: int, bounds: tuple[Any, Any] | None,
-                        lo: Any, hi: Any) -> float:
-    """Expected entries of a B-tree range scan over ``[lo, hi]``.
+def _histogram_range_rows(histogram: "tuple[HistogramBucket, ...]",
+                          lo: Any, hi: Any) -> float | None:
+    """Expected entries in ``[lo, hi]`` from an equi-depth histogram.
 
-    With numeric key bounds the fraction is linearly interpolated; other
-    key types fall back to :data:`DEFAULT_RANGE_SELECTIVITY` per bounded
-    side.
+    Fully covered buckets contribute their exact depth; partially
+    covered ones are linearly interpolated within the bucket.  Returns
+    None when the query bounds are not numeric.
+    """
+    try:
+        qlo = None if lo is None else float(lo)
+        qhi = None if hi is None else float(hi)
+    except (TypeError, ValueError):
+        return None
+    total = 0.0
+    for bucket in histogram:
+        eff_lo = bucket.lo if qlo is None else max(qlo, bucket.lo)
+        eff_hi = bucket.hi if qhi is None else min(qhi, bucket.hi)
+        if eff_lo > eff_hi:
+            continue
+        span = bucket.hi - bucket.lo
+        fraction = 1.0 if span <= 0 else (eff_hi - eff_lo) / span
+        total += fraction * bucket.entries
+    return max(1.0, total)
+
+
+def estimate_eq_rows(entries: int, distinct: int,
+                     histogram: "tuple[HistogramBucket, ...] | None",
+                     value: Any) -> float:
+    """Expected entries of an equality probe for *value*.
+
+    With a histogram, the containing bucket's local density
+    (``entries / distinct``) replaces the global uniform distinct-key
+    estimate, so a probe into a dense key cluster is priced higher than
+    one into a sparse tail.
     """
     if entries == 0:
         return 0.0
+    if histogram is not None:
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            v = None
+        if v is not None:
+            for bucket in histogram:
+                if bucket.lo <= v <= bucket.hi:
+                    return max(1.0, bucket.entries / max(1, bucket.distinct))
+            return 1.0  # outside every bucket: probably empty
+    return max(1.0, entries / max(1, distinct))
+
+
+def estimate_range_rows(entries: int, bounds: tuple[Any, Any] | None,
+                        lo: Any, hi: Any,
+                        histogram: "tuple[HistogramBucket, ...] | None" = None
+                        ) -> float:
+    """Expected entries of a B-tree range scan over ``[lo, hi]``.
+
+    An equi-depth *histogram* (built from the B-tree's own keys) gives
+    skew-aware estimates; without one, numeric key bounds are linearly
+    interpolated, and other key types fall back to
+    :data:`DEFAULT_RANGE_SELECTIVITY` per bounded side.
+    """
+    if entries == 0:
+        return 0.0
+    if histogram is not None:
+        estimate = _histogram_range_rows(histogram, lo, hi)
+        if estimate is not None:
+            return estimate
     if bounds is not None:
         kmin, kmax = bounds
         try:
@@ -128,7 +211,8 @@ class _Candidate:
 def choose_access_path(engine: "StorageEngine", relation: str,
                        spatial: Any = None, temporal: Any = None,
                        equals: tuple[tuple[str, Any], ...] = (),
-                       ranges: tuple[tuple[str, str, Any], ...] = ()
+                       ranges: tuple[tuple[str, str, Any], ...] = (),
+                       needed_columns: tuple[str, ...] | None = None
                        ) -> AccessPath:
     """Pick the cheapest access path for one retrieval over *relation*.
 
@@ -136,10 +220,29 @@ def choose_access_path(engine: "StorageEngine", relation: str,
     holds ``(column, op, value)`` comparisons (op in ``< <= > >=``).
     The returned path's ``residual`` lists every predicate its scan does
     not already guarantee.
+
+    ``needed_columns`` names the attributes the consumer actually wants
+    (None means all of them).  When a B-tree's key covers every needed
+    column *and* every predicate, the candidate becomes a covering
+    ``index_only`` scan that never fetches heap values.
     """
-    info = engine.access_info(relation, spatial=spatial, temporal=temporal)
+    predicate_columns = tuple(
+        {column for column, _ in equals}
+        | {column for column, _, _ in ranges}
+    )
+    info = engine.access_info(relation, spatial=spatial, temporal=temporal,
+                              histogram_columns=predicate_columns)
     rows = max(1, info["rows"])
     version = info["index_version"]
+
+    def covering(column: str) -> bool:
+        return (
+            needed_columns is not None
+            and set(needed_columns) <= {column}
+            and spatial is None and temporal is None
+            and all(c == column for c, _ in equals)
+            and all(c == column for c, _, _ in ranges)
+        )
 
     def predicate_labels() -> dict[str, str]:
         labels: dict[str, str] = {}
@@ -169,14 +272,17 @@ def choose_access_path(engine: "StorageEngine", relation: str,
         stats = info["btrees"].get(column)
         if stats is None:
             continue
-        distinct = max(1, stats["distinct"])
-        est = max(1.0, stats["entries"] / distinct)
+        est = estimate_eq_rows(stats["entries"], stats["distinct"],
+                               stats.get("histogram"), value)
+        index_only = covering(column)
+        row_cost = INDEX_ONLY_ROW_COST if index_only else INDEX_ROW_COST
         candidates.append(_Candidate(
             AccessPath(
                 kind="index-eq", column=column, argument=value,
                 estimated_rows=est,
-                cost=INDEX_PROBE_COST + est * INDEX_ROW_COST,
+                cost=INDEX_PROBE_COST + est * row_cost,
                 index_version=version,
+                index_only=index_only,
             ),
             consumed=(f"eq:{column}",),
         ))
@@ -203,15 +309,19 @@ def choose_access_path(engine: "StorageEngine", relation: str,
         if stats is None:
             continue
         est = estimate_range_rows(
-            stats["entries"], stats["bounds"], window["lo"], window["hi"]
+            stats["entries"], stats["bounds"], window["lo"], window["hi"],
+            histogram=stats.get("histogram"),
         )
+        index_only = covering(column)
+        row_cost = INDEX_ONLY_ROW_COST if index_only else INDEX_ROW_COST
         candidates.append(_Candidate(
             AccessPath(
                 kind="index-range", column=column,
                 argument=(window["lo"], window["hi"]),
                 estimated_rows=est,
-                cost=INDEX_PROBE_COST + est * INDEX_ROW_COST,
+                cost=INDEX_PROBE_COST + est * row_cost,
                 index_version=version,
+                index_only=index_only,
             ),
             consumed=tuple(key for key, inclusive in window["keys"]
                            if inclusive),
@@ -252,4 +362,5 @@ def choose_access_path(engine: "StorageEngine", relation: str,
         cost=best.path.cost,
         residual=residual_for(best.consumed),
         index_version=version,
+        index_only=best.path.index_only,
     )

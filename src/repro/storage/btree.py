@@ -18,9 +18,29 @@ from typing import Any, Hashable, Iterator
 
 from ..errors import IndexError_
 
-__all__ = ["BTree"]
+__all__ = ["BTree", "HistogramBucket"]
 
 _MIN_ORDER = 4
+
+#: Rebuild the cached histogram when the entry count drifts by more
+#: than this fraction since it was built (keeps `histogram()` amortized
+#: O(1) per insert while staying honest under churn).
+_HIST_STALE_FRACTION = 0.2
+_HIST_STALE_FLOOR = 64
+
+
+@dataclass(frozen=True)
+class HistogramBucket:
+    """One equi-depth bucket over a numeric key range.
+
+    ``lo``/``hi`` are inclusive key bounds; ``entries`` counts (key,
+    entry) pairs and ``distinct`` counts distinct keys in the bucket.
+    """
+
+    lo: float
+    hi: float
+    entries: int
+    distinct: int
 
 
 @dataclass
@@ -53,6 +73,9 @@ class BTree:
         # cost model's range-selectivity interpolation.
         self._min_key: Any = None
         self._max_key: Any = None
+        # (entry count at build time, buckets) — see `histogram`.
+        self._hist_cache: tuple[int, tuple[HistogramBucket, ...] | None] \
+            | None = None
 
     def __len__(self) -> int:
         return self._count
@@ -228,6 +251,64 @@ class BTree:
         if self._min_key is None:
             return None
         return (self._min_key, self._max_key)
+
+    def histogram(self, max_buckets: int = 32
+                  ) -> tuple[HistogramBucket, ...] | None:
+        """Equi-depth histogram over the live keys, or None.
+
+        Buckets hold roughly equal numbers of (key, entry) pairs, so a
+        heavily skewed key distribution gets narrow buckets where the
+        data is dense and wide ones where it is sparse — the standard
+        fix for the uniform-distribution assumption in range
+        selectivity.  Only numeric key domains are summarized (other key
+        types return None and fall back to the uniform estimate).
+
+        The result is cached and rebuilt lazily once the entry count has
+        drifted enough to matter, keeping the amortized cost of a call
+        O(1) for the cost model's purposes.
+        """
+        if self._count == 0:
+            return None
+        if self._hist_cache is not None:
+            built, cached = self._hist_cache
+            drift = abs(self._count - built)
+            if drift <= max(_HIST_STALE_FLOOR, int(built
+                                                   * _HIST_STALE_FRACTION)):
+                return cached
+        buckets = self._build_histogram(max_buckets)
+        self._hist_cache = (self._count, buckets)
+        return buckets
+
+    def _build_histogram(self, max_buckets: int
+                         ) -> tuple[HistogramBucket, ...] | None:
+        """One leaf walk: pack ordered keys into equi-depth buckets."""
+        target = max(1, self._count // max(1, max_buckets))
+        buckets: list[HistogramBucket] = []
+        lo: float | None = None
+        hi = 0.0
+        entries = 0
+        distinct = 0
+        for key, bucket in self.range_scan():
+            if not bucket:
+                continue
+            if not isinstance(key, (int, float)) or isinstance(key, bool):
+                return None
+            value = float(key)
+            if lo is None:
+                lo = value
+            hi = value
+            entries += len(bucket)
+            distinct += 1
+            if entries >= target and len(buckets) < max_buckets - 1:
+                buckets.append(HistogramBucket(lo=lo, hi=hi, entries=entries,
+                                               distinct=distinct))
+                lo = None
+                entries = 0
+                distinct = 0
+        if entries and lo is not None:
+            buckets.append(HistogramBucket(lo=lo, hi=hi, entries=entries,
+                                           distinct=distinct))
+        return tuple(buckets) if buckets else None
 
     def depth(self) -> int:
         """Tree height (1 for a lone leaf)."""

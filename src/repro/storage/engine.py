@@ -405,6 +405,39 @@ class StorageEngine:
             relation, iter(sorted(state.temporal.at(at))), snap
         )
 
+    def iter_index_keys(self, relation: str, column: str,
+                        eq: Any = None,
+                        lo: Any = None, hi: Any = None,
+                        snapshot: Snapshot | None = None
+                        ) -> Iterator[tuple[Any, TID]]:
+        """Stream ``(key, tid)`` pairs off the B-tree without touching
+        heap values — the substrate of covering index-only scans.
+
+        Visibility is still checked (the version *header* is read; the
+        values are not materialized into a row dict).  With *eq* set,
+        only that key's bucket is walked; otherwise ``[lo, hi]`` with
+        ``None`` bounds open-ended.
+        """
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        tree = state.btrees.get(column)
+        if tree is None:
+            raise StorageError(f"no index on {relation}.{column}")
+        if eq is not None:
+            pairs: Iterator[tuple[Any, set[TID]]] = iter(
+                [(eq, tree.search(eq))]
+            )
+        else:
+            pairs = tree.range_scan(lo, hi)
+        for key, bucket in pairs:
+            for tid in sorted(bucket):
+                try:
+                    version = state.heap.get(tid)
+                except TupleNotFoundError:
+                    continue
+                if visible(version, snap):
+                    yield key, tid
+
     def lookup(self, relation: str, column: str, key: Any,
                snapshot: Snapshot | None = None) -> list[Row]:
         """Equality lookup via the B-tree on *column*."""
@@ -479,13 +512,19 @@ class StorageEngine:
     # -- statistics -------------------------------------------------------------------------
 
     def access_info(self, relation: str, spatial: Box | None = None,
-                    temporal: AbsTime | None = None) -> dict[str, Any]:
-        """Everything the cost model needs to price access paths: O(1).
+                    temporal: AbsTime | None = None,
+                    histogram_columns: tuple[str, ...] | None = None
+                    ) -> dict[str, Any]:
+        """Everything the cost model needs to price access paths: O(1)
+        (histograms amortized — cached in the B-tree, rebuilt only after
+        significant key churn).
 
         ``rows`` is the stored-version count (an upper bound on visible
         rows — dead versions only pad the full-scan cost, which is the
         honest direction to err).  When *spatial*/*temporal* probes are
         supplied, per-probe cardinality estimates are included.
+        *histogram_columns* limits histogram (re)builds to the columns
+        the query actually predicates on (None means all).
         """
         state = self._state(relation)
         btrees = {
@@ -493,6 +532,11 @@ class StorageEngine:
                 "entries": len(tree),
                 "distinct": tree.distinct_keys(),
                 "bounds": tree.key_bounds(),
+                "histogram": (
+                    tree.histogram()
+                    if histogram_columns is None
+                    or column in histogram_columns else None
+                ),
             }
             for column, tree in state.btrees.items()
         }

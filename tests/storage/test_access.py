@@ -8,8 +8,10 @@ from repro.storage.access import (
     INDEX_PROBE_COST,
     SEQ_ROW_COST,
     choose_access_path,
+    estimate_eq_rows,
     estimate_range_rows,
 )
+from repro.storage.btree import BTree
 from repro.temporal import AbsTime
 
 
@@ -106,6 +108,127 @@ class TestRangeEstimate:
     def test_probe_cost_floor(self):
         # A probe is never free: even a 1-row estimate pays the descent.
         assert INDEX_PROBE_COST > 0
+
+
+def _skewed_tree() -> BTree:
+    """900 entries packed into [0, 1], 100 spread over (1, 1000]."""
+    tree = BTree(order=16)
+    entry = 0
+    for i in range(900):
+        tree.insert(i / 900.0, entry)
+        entry += 1
+    for i in range(100):
+        tree.insert(1.0 + (i + 1) * 9.99, entry)
+        entry += 1
+    return tree
+
+
+class TestEquiDepthHistogram:
+    def test_buckets_hold_roughly_equal_depth(self):
+        hist = _skewed_tree().histogram(max_buckets=20)
+        assert hist is not None
+        depths = [bucket.entries for bucket in hist]
+        assert sum(depths) == 1000
+        # Equi-depth: no bucket is wildly over target (1000/20 = 50).
+        assert max(depths) <= 3 * 50
+        # The dense cluster gets narrow buckets, the tail wide ones.
+        widths = [bucket.hi - bucket.lo for bucket in hist]
+        assert min(widths[:3]) < widths[-1] / 10
+
+    def test_non_numeric_keys_yield_none(self):
+        tree = BTree(order=16)
+        for i, word in enumerate(["ant", "bee", "cat", "dog", "elk"] * 4):
+            tree.insert(word, i)
+        assert tree.histogram() is None
+
+    def test_histogram_is_cached_until_drift(self):
+        tree = _skewed_tree()
+        first = tree.histogram()
+        assert tree.histogram() is first  # cached object
+        for i in range(500):  # >20% drift forces a rebuild
+            tree.insert(2000.0 + i, 10_000 + i)
+        rebuilt = tree.histogram()
+        assert rebuilt is not first
+        assert sum(b.entries for b in rebuilt) == 1500
+
+    def test_skewed_range_estimate_beats_uniform(self):
+        """Uniform interpolation prices the sparse tail at ~50% of all
+        entries; the histogram knows ~10% live there."""
+        tree = _skewed_tree()
+        bounds = tree.key_bounds()
+        uniform = estimate_range_rows(1000, bounds, 500.0, 1000.0)
+        informed = estimate_range_rows(1000, bounds, 500.0, 1000.0,
+                                       histogram=tree.histogram())
+        actual = sum(
+            len(bucket) for _, bucket in tree.range_scan(500.0, 1000.0)
+        )
+        assert uniform > 400          # the uniform guess: ~half the tree
+        assert informed < 120         # histogram: the thin tail
+        assert abs(informed - actual) < abs(uniform - actual)
+
+    def test_dense_range_estimate(self):
+        tree = _skewed_tree()
+        informed = estimate_range_rows(1000, tree.key_bounds(), 0.0, 1.0,
+                                       histogram=tree.histogram())
+        assert informed > 700  # the dense cluster really is ~900 rows
+
+    def test_eq_estimate_uses_local_density(self):
+        tree = BTree(order=16)
+        entry = 0
+        for _ in range(300):  # one very hot key
+            tree.insert(5.0, entry)
+            entry += 1
+        for i in range(100):  # 100 singleton keys far away
+            tree.insert(1000.0 + i, entry)
+            entry += 1
+        hist = tree.histogram(max_buckets=16)
+        hot = estimate_eq_rows(400, tree.distinct_keys(), hist, 5.0)
+        cold = estimate_eq_rows(400, tree.distinct_keys(), hist, 1050.0)
+        uniform = estimate_eq_rows(400, tree.distinct_keys(), None, 5.0)
+        assert hot > 100       # local density sees the hot key
+        assert cold < 20       # and the sparse tail
+        assert uniform == pytest.approx(400 / 101)
+
+    def test_engine_access_info_carries_histograms(self, engine):
+        engine.create_index("readings", "value")
+        info = engine.access_info("readings")
+        hist = info["btrees"]["value"]["histogram"]
+        assert hist is not None
+        assert sum(bucket.entries for bucket in hist) == 200
+
+
+class TestIndexOnlyCandidates:
+    def test_covering_projection_marks_index_only(self, engine):
+        engine.create_index("readings", "code")
+        path = choose_access_path(engine, "readings",
+                                  equals=(("code", 7),),
+                                  needed_columns=("code",))
+        assert path.kind == "index-eq" and path.index_only
+        assert "index-only" in path.describe()
+
+    def test_non_covering_projection_is_not_index_only(self, engine):
+        engine.create_index("readings", "code")
+        path = choose_access_path(engine, "readings",
+                                  equals=(("code", 7),),
+                                  needed_columns=("code", "value"))
+        assert not path.index_only
+
+    def test_extent_probe_disables_index_only(self, engine):
+        engine.create_index("readings", "code")
+        path = choose_access_path(engine, "readings",
+                                  temporal=AbsTime(3),
+                                  equals=(("code", 7),),
+                                  needed_columns=("code",))
+        assert not path.index_only
+
+    def test_index_only_is_cheaper(self, engine):
+        engine.create_index("readings", "code")
+        covering = choose_access_path(engine, "readings",
+                                      equals=(("code", 7),),
+                                      needed_columns=("code",))
+        fetching = choose_access_path(engine, "readings",
+                                      equals=(("code", 7),))
+        assert covering.cost < fetching.cost
 
 
 class TestStrictRangeResiduals:
