@@ -208,6 +208,9 @@ def register_builtin_operators(ops: OperatorRegistry) -> None:
     ops.register("box_overlaps", ["box", "box"], "bool",
                  lambda a, b: a.overlaps(b),
                  doc="spatial overlap (assertion helper)")
+    ops.register("area", ["box"], "float8",
+                 lambda b: b.area,
+                 doc="box area in squared reference units")
 
     # -- matrix / vector helpers ---------------------------------------------------
     ops.register("mat_transpose", ["matrix"], "matrix", _mat_transpose,

@@ -39,7 +39,7 @@ from ..errors import (
     UnknownClassError,
 )
 from ..spatial.box import Box
-from ..storage.access import AccessPath, choose_access_path
+from ..storage.access import AccessPath, choose_access_path, choose_ordered_path
 from ..storage.catalog import IndexDef
 from ..storage.engine import Row, StorageEngine
 from ..storage.transactions import Transaction
@@ -505,13 +505,33 @@ class ClassStore:
         if path.kind == "index-range":
             lo, hi = path.argument
             return self.engine.iter_range(relation, path.column, lo, hi,
-                                          snapshot)
+                                          snapshot, reverse=path.descending)
         if path.kind == "spatial-probe":
             return self.engine.iter_spatial(relation, path.argument, snapshot)
         if path.kind == "temporal-probe":
             return self.engine.iter_temporal(relation, path.argument,
                                              snapshot)
         return self.engine.scan(relation, snapshot)
+
+    def ordered_path(self, class_name: str, attr: str,
+                     descending: bool = False,
+                     filters: tuple[tuple[str, Any], ...] = (),
+                     ranges: tuple[tuple[str, str, Any], ...] = (),
+                     limit_hint: int | None = None) -> AccessPath | None:
+        """An index-order scan over ``class_name.attr`` (sort avoidance),
+        or None when no B-tree backs the attribute.
+
+        The physical planner compares this path's cost against
+        scan-plus-explicit-Sort and keeps the cheaper plan.
+        """
+        cls = self.registry.get(class_name)
+        cls.type_of(attr)
+        filters, ranges = self.normalize_predicates(cls, filters, ranges)
+        return choose_ordered_path(
+            self.engine, self.relation_for(class_name), attr,
+            descending=descending, equals=filters, ranges=ranges,
+            limit_hint=limit_hint,
+        )
 
     def _record_scan(self, class_name: str, spatial: Box | None,
                      temporal: AbsTime | None,

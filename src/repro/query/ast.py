@@ -42,7 +42,17 @@ __all__ = [
     "BoxTemplate",
     "CreateIndex",
     "DropIndex",
+    "ColumnRef",
+    "OpCall",
+    "AggCall",
+    "SelectItem",
+    "OrderItem",
+    "JoinClause",
+    "AGGREGATE_FUNCS",
 ]
+
+#: Aggregate function names the grammar recognizes in select items.
+AGGREGATE_FUNCS = frozenset({"count", "sum", "avg", "min", "max"})
 
 
 class Statement:
@@ -159,6 +169,95 @@ class DropIndex(Statement):
 
 
 @dataclass(frozen=True)
+class ColumnRef:
+    """An attribute reference in a select item / ORDER BY / GROUP BY:
+    ``attr`` or, in join queries, ``Class.attr``.  The pseudo-attribute
+    ``oid`` names an object's surrogate id."""
+
+    attr: str
+    qualifier: str | None = None
+
+    def describe(self) -> str:
+        if self.qualifier is not None:
+            return f"{self.qualifier}.{self.attr}"
+        return self.attr
+
+
+@dataclass(frozen=True)
+class OpCall:
+    """A registered ADT operator applied in a projection, e.g.
+    ``area(extent)`` — resolved against the kernel's
+    :class:`~repro.adt.operators.OperatorRegistry` at execution time.
+    Arguments are :class:`ColumnRef`, nested :class:`OpCall`, or
+    literal values."""
+
+    operator: str
+    args: tuple[Any, ...]
+
+    def describe(self) -> str:
+        rendered = []
+        for arg in self.args:
+            if isinstance(arg, (ColumnRef, OpCall)):
+                rendered.append(arg.describe())
+            elif isinstance(arg, str):
+                rendered.append(f"'{arg}'")
+            else:
+                rendered.append(str(arg))
+        return f"{self.operator}({', '.join(rendered)})"
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """An aggregate call in a select item: ``count(*)``, ``sum(x)``,
+    ``avg(area(extent))``...  ``arg`` is None for ``count(*)``."""
+
+    func: str  # one of AGGREGATE_FUNCS
+    arg: Any | None = None  # ColumnRef | OpCall | None
+
+    def describe(self) -> str:
+        if self.arg is None:
+            return f"{self.func}(*)"
+        inner = (self.arg.describe()
+                 if isinstance(self.arg, (ColumnRef, OpCall))
+                 else str(self.arg))
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column of an extended SELECT; ``alias`` is the output
+    name (the rendered source text)."""
+
+    expr: Any  # ColumnRef | OpCall | AggCall
+    alias: str
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: a column reference or a 1-based select-item
+    ordinal (``ORDER BY 2 DESC``)."""
+
+    key: Any  # ColumnRef | int
+    descending: bool = False
+
+    def describe(self) -> str:
+        head = (self.key.describe() if isinstance(self.key, ColumnRef)
+                else str(self.key))
+        return f"{head} DESC" if self.descending else head
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN <class-or-concept> ON a.x = b.y`` — a two-source equi-join.
+    The ON sides are qualified column references; which belongs to the
+    left source is resolved at plan time."""
+
+    source: str
+    on_left: ColumnRef
+    on_right: ColumnRef
+
+
+@dataclass(frozen=True)
 class Select(Statement):
     """``SELECT [attr, ...] FROM class [WHERE spatialextent OVERLAPS box
     AND timestamp = 'date' AND attr = literal AND attr >= literal]`` —
@@ -182,6 +281,20 @@ class Select(Statement):
     filters: tuple[tuple[str, Any], ...] = ()
     ranges: tuple[tuple[str, str, Any], ...] = ()
     projection: tuple[str, ...] = ()
+    #: Extended select list (expression projection, aggregates).  Only
+    #: set when the statement uses algebra features beyond a plain
+    #: attribute projection; ``projection`` stays the fast path.
+    items: tuple[SelectItem, ...] = ()
+    #: ``JOIN ... ON`` second source.
+    join: JoinClause | None = None
+    #: Predicates written with an explicit qualifier (join queries):
+    #: ``(qualifier, attr, value)`` / ``(qualifier, attr, op, value)``.
+    qualified_filters: tuple[tuple[str, str, Any], ...] = ()
+    qualified_ranges: tuple[tuple[str, str, str, Any], ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int = 0
 
 
 @dataclass(frozen=True)

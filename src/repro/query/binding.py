@@ -17,7 +17,7 @@ from ..errors import BindError
 from ..spatial.box import Box
 from ..temporal.abstime import AbsTime
 from .ast import BoxTemplate, Param
-from .optimizer import ExplainNode, PlanNode, RetrieveNode
+from .optimizer import ExplainNode, PlanNode, QueryNode, RetrieveNode
 
 __all__ = ["ParamSignature", "collect_signature", "bind_nodes"]
 
@@ -45,6 +45,13 @@ def _params_of(node: PlanNode) -> Iterable[Param]:
     if isinstance(node, ExplainNode):
         for inner in node.inner:
             yield from _params_of(inner)
+        return
+    if isinstance(node, QueryNode):
+        for inner in node.inputs:
+            yield from _params_of(inner)
+        if node.join is not None:
+            for inner in node.join.inputs:
+                yield from _params_of(inner)
         return
     if not isinstance(node, RetrieveNode):
         return
@@ -163,6 +170,15 @@ def _bind_node(node: PlanNode, binder: _Binder) -> PlanNode:
     if isinstance(node, ExplainNode):
         return ExplainNode(inner=tuple(
             _bind_node(inner, binder) for inner in node.inner
+        ))
+    if isinstance(node, QueryNode):
+        join = node.join
+        if join is not None:
+            join = replace(join, inputs=tuple(
+                _bind_node(inner, binder) for inner in join.inputs
+            ))
+        return replace(node, join=join, inputs=tuple(
+            _bind_node(inner, binder) for inner in node.inputs
         ))
     if not isinstance(node, RetrieveNode):
         return node

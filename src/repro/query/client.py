@@ -53,6 +53,7 @@ from .optimizer import (
     Optimizer,
     PlanCache,
     PlanNode,
+    QueryNode,
     RetrieveNode,
 )
 from .physical import ConceptGroup, group_nodes
@@ -258,7 +259,8 @@ class Cursor:
         self._describe(nodes)
         boundary = 0
         while boundary < len(nodes) \
-                and not isinstance(nodes[boundary], RetrieveNode):
+                and not isinstance(nodes[boundary],
+                                   (RetrieveNode, QueryNode)):
             self.results.append(self.connection.executor.execute(
                 nodes[boundary]
             ))
@@ -406,6 +408,16 @@ class Cursor:
         """
         self.description = None
         for node in nodes:
+            if isinstance(node, QueryNode):
+                if node.items:
+                    # Expression/aggregate columns: types are whatever
+                    # the expressions produce.
+                    self.description = [
+                        (item.alias, None, None, None, None, None, None)
+                        for item in node.items
+                    ]
+                    return
+                node = node.inputs[0]
             if isinstance(node, RetrieveNode):
                 cls = self.connection.kernel.classes.get(node.class_name)
                 attributes = cls.attributes
@@ -429,7 +441,7 @@ class Cursor:
         """
         executor = self.connection.executor
         for item in group_nodes(nodes):
-            if isinstance(item, (RetrieveNode, ConceptGroup)):
+            if isinstance(item, (RetrieveNode, ConceptGroup, QueryNode)):
                 yield from executor.iter_group(item)
             else:
                 self.results.append(executor.execute(item))

@@ -51,6 +51,7 @@ from .operators import (
 from .optimizer import (
     ExplainNode,
     PlanNode,
+    QueryNode,
     RetrieveNode,
     StatementNode,
 )
@@ -114,6 +115,8 @@ class Executor:
         """Run one plan node."""
         if isinstance(node, RetrieveNode):
             return self._retrieve(node)
+        if isinstance(node, QueryNode):
+            return self._query(node)
         if isinstance(node, ExplainNode):
             return self._explain(node)
         if isinstance(node, StatementNode):
@@ -146,14 +149,17 @@ class Executor:
         access: dict[str, str] = {}
         lines: list[str] = []
         for inner in node.inner:
-            if isinstance(inner, RetrieveNode):
-                path, access_dump = self.explain_node(inner)
-                paths[inner.class_name] = path
-                line = f"{inner.class_name}: path={path}"
-                if access_dump is not None:
-                    access[inner.class_name] = access_dump
-                    line += f" access={access_dump}"
-                lines.append(line)
+            if isinstance(inner, (RetrieveNode, QueryNode)):
+                members = [inner] if isinstance(inner, RetrieveNode) \
+                    else self._query_members(inner)
+                for member in members:
+                    path, access_dump = self.explain_node(member)
+                    paths[member.class_name] = path
+                    line = f"{member.class_name}: path={path}"
+                    if access_dump is not None:
+                        access[member.class_name] = access_dump
+                        line += f" access={access_dump}"
+                    lines.append(line)
             elif isinstance(inner, StatementNode) \
                     and isinstance(inner.statement, RunProcess):
                 lines.append(f"run {inner.statement.process}")
@@ -171,13 +177,22 @@ class Executor:
 
     def _build_item(self, item: PlanNode | ConceptGroup
                     ) -> PhysicalOperator | None:
-        if isinstance(item, (RetrieveNode, ConceptGroup)):
-            if isinstance(item, RetrieveNode):
-                self._require_bound(item)
-            else:
-                for member in item.members:
-                    self._require_bound(member)
+        if isinstance(item, RetrieveNode):
+            self._require_bound(item)
+        elif isinstance(item, ConceptGroup):
+            for member in item.members:
+                self._require_bound(member)
+        elif isinstance(item, QueryNode):
+            for member in self._query_members(item):
+                self._require_bound(member)
         return self.physical.build(item)
+
+    @staticmethod
+    def _query_members(node: QueryNode) -> list[RetrieveNode]:
+        members = list(node.inputs)
+        if node.join is not None:
+            members.extend(node.join.inputs)
+        return members
 
     def render_plan(self, nodes: list[PlanNode]) -> list[str]:
         """Cursor-level plan dump: summary lines plus operator trees.
@@ -196,6 +211,9 @@ class Executor:
                     lines.append(self._summary_line(member))
             elif isinstance(item, RetrieveNode):
                 lines.append(self._summary_line(item))
+            elif isinstance(item, QueryNode):
+                for member in self._query_members(item):
+                    lines.append(self._summary_line(member))
             elif isinstance(item, StatementNode):
                 if not isinstance(item.statement, RunProcess):
                     lines.append(
@@ -234,7 +252,7 @@ class Executor:
                 "supply bind values (cursor.execute(source, params))"
             )
 
-    def iter_group(self, item: RetrieveNode | ConceptGroup
+    def iter_group(self, item: RetrieveNode | ConceptGroup | QueryNode
                    ) -> Iterator[Any]:
         """Stream one grouped plan item's rows lazily.
 
@@ -245,10 +263,17 @@ class Executor:
         the extents does the tree's FallbackSwitch run the §2.1.5
         interpolate/derive sequence — consuming the already-executed
         scan's emptiness instead of re-scanning.  Concept groups stream
-        as one cost-ordered union.
+        as one cost-ordered union; extended queries stream through
+        their full algebra tree (a LIMIT stops the scans early, a
+        blocking Sort/HashAggregate materializes only its own input).
         """
-        members = item.members if isinstance(item, ConceptGroup) \
-            else (item,)
+        if isinstance(item, QueryNode):
+            members: tuple[RetrieveNode, ...] = \
+                tuple(self._query_members(item))
+        elif isinstance(item, ConceptGroup):
+            members = item.members
+        else:
+            members = (item,)
         for member in members:
             self._require_bound(member)
         tree = self.physical.build(item)
@@ -278,6 +303,34 @@ class Executor:
             kind="objects",
             objects=objects,
             path=path or ("derive" if node.force_derivation else "retrieve"),
+            details=details,
+        )
+
+    def _query(self, node: QueryNode) -> QueryResult:
+        """Run one extended SELECT (join / aggregate / order / limit)."""
+        for member in self._query_members(node):
+            self._require_bound(member)
+        tree = self.physical.build_query(node)
+        objects = tuple(tree.run())
+        path, plan_steps, access = _tree_outcome(tree)
+        details: dict[str, Any] = {
+            "class": node.inputs[0].class_name,
+            "concept": node.inputs[0].concept,
+            "source": node.source,
+            "plan_steps": list(plan_steps),
+            "filters": list(node.inputs[0].filters),
+            "ranges": list(node.inputs[0].ranges),
+        }
+        if node.items:
+            details["columns"] = [item.alias for item in node.items]
+        if node.join is not None:
+            details["join"] = node.join.source
+        if access is not None:
+            details["access"] = access
+        return QueryResult(
+            kind="objects",
+            objects=objects,
+            path=path or "retrieve",
             details=details,
         )
 
@@ -435,12 +488,21 @@ class Executor:
                     lines.append(f"{op}{doc}")
         elif statement.what == "indexes":
             # Physical browsing: which secondary structures back which
-            # class attributes (extent indexes included).
-            lines = [
-                f"INDEX {ix.name} ON {ix.relation}({ix.column}) "
-                f"[{ix.kind}]"
-                for ix in kernel.store.engine.catalog.all_indexes()
-            ]
+            # class attributes (extent indexes included), with the
+            # statistics the cost model prices paths from.
+            lines = []
+            for ix in kernel.store.engine.catalog.all_indexes():
+                line = (f"INDEX {ix.name} ON {ix.relation}({ix.column}) "
+                        f"[{ix.kind}]")
+                if ix.kind == "btree":
+                    stats = kernel.store.engine.index_stats(
+                        ix.relation, ix.column
+                    )
+                    line += (f" entries={stats['entries']}"
+                             f" distinct_keys={stats['distinct_keys']}"
+                             f" histogram_buckets="
+                             f"{stats['histogram_buckets']}")
+                lines.append(line)
         elif statement.what == "types":
             lines = []
             for type_name in kernel.types.names():

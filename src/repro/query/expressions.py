@@ -1,0 +1,223 @@
+"""Value-expression evaluation for the extended SELECT algebra.
+
+The parser builds :class:`~repro.query.ast.ColumnRef` /
+:class:`~repro.query.ast.OpCall` / :class:`~repro.query.ast.AggCall`
+trees; this module evaluates them against the three row shapes that
+flow through operator trees — :class:`~repro.core.classes.SciObject`,
+plain dicts (projections, aggregate outputs), and :class:`JoinedRow`
+(two-source joins) — and supplies the aggregate accumulators
+``HashAggregate`` drives.
+
+``OpCall`` dispatches through the kernel's
+:class:`~repro.adt.operators.OperatorRegistry` (type-checked apply), so
+the GIS layer's named operators are directly queryable:
+``SELECT area(extent) FROM ...``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..adt.operators import OperatorRegistry
+from ..core.classes import SciObject
+from ..errors import ExecutionError
+from .ast import AggCall, ColumnRef, OpCall
+
+__all__ = ["JoinedRow", "resolve_column", "evaluate", "make_accumulator",
+           "Accumulator"]
+
+
+class JoinedRow:
+    """One output row of a two-source join: a named side per source.
+
+    Unqualified attribute lookups search the left side first, then the
+    right — the SQL-ish resolution order.  The ``oid`` pseudo-attribute
+    reads an object's surrogate id.  ``get`` makes joined rows quack
+    like objects for residual predicate re-checks.
+    """
+
+    __slots__ = ("sides",)
+
+    def __init__(self, sides: dict[str, Any]):
+        self.sides = sides
+
+    _MISSING = object()
+
+    @staticmethod
+    def _side_value(side: Any, attr: str) -> Any:
+        if isinstance(side, SciObject):
+            if attr == "oid":
+                return side.oid
+            return side.values.get(attr, JoinedRow._MISSING)
+        if isinstance(side, dict):
+            return side.get(attr, JoinedRow._MISSING)
+        return JoinedRow._MISSING
+
+    def get(self, attr: str, default: Any = None) -> Any:
+        for side in self.sides.values():
+            value = self._side_value(side, attr)
+            if value is not JoinedRow._MISSING:
+                return value
+        return default
+
+    def __getitem__(self, attr: str) -> Any:
+        value = self.get(attr, JoinedRow._MISSING)
+        if value is JoinedRow._MISSING:
+            raise ExecutionError(f"joined row has no attribute {attr!r}")
+        return value
+
+    def resolve(self, qualifier: str | None, attr: str,
+                default: Any = None) -> Any:
+        if qualifier is None:
+            return self.get(attr, default)
+        side = self.sides.get(qualifier)
+        if side is None:
+            # Accept the side's class name as a qualifier too.
+            for candidate in self.sides.values():
+                if isinstance(candidate, SciObject) \
+                        and candidate.class_name == qualifier:
+                    side = candidate
+                    break
+        if side is None:
+            return default
+        value = self._side_value(side, attr)
+        return default if value is JoinedRow._MISSING else value
+
+
+def resolve_column(row: Any, ref: ColumnRef) -> Any:
+    """The value of *ref* in *row*, whatever the row's shape."""
+    if isinstance(row, JoinedRow):
+        return row.resolve(ref.qualifier, ref.attr)
+    if isinstance(row, SciObject):
+        if ref.attr == "oid":
+            return row.oid
+        return row.values.get(ref.attr)
+    if isinstance(row, dict):
+        if ref.attr in row:
+            return row[ref.attr]
+        # Post-aggregate rows key columns by their rendered alias
+        # (`avg(ndvi)`), which a qualified ref also matches.
+        return row.get(ref.describe())
+    return None
+
+
+def evaluate(expr: Any, row: Any,
+             operators: OperatorRegistry | None = None) -> Any:
+    """Evaluate a non-aggregate value expression against one row."""
+    if isinstance(expr, ColumnRef):
+        return resolve_column(row, expr)
+    if isinstance(expr, OpCall):
+        if operators is None:
+            raise ExecutionError(
+                f"operator call {expr.describe()} needs an operator registry"
+            )
+        args = [evaluate(arg, row, operators) for arg in expr.args]
+        return operators.apply(expr.operator, *args)
+    if isinstance(expr, AggCall):
+        # Aggregates are computed by HashAggregate; a dict row already
+        # carries the result under the call's alias.
+        if isinstance(row, dict):
+            return row.get(expr.describe())
+        raise ExecutionError(
+            f"aggregate {expr.describe()} outside an aggregation context"
+        )
+    return expr  # literal
+
+
+class Accumulator:
+    """One aggregate's running state (per group)."""
+
+    def __init__(self, func: str):
+        self.func = func
+        self.count = 0
+        self.total: Any = None
+        self.low: Any = None
+        self.high: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return  # SQL-style: NULLs don't feed aggregates
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total = value if self.total is None else self.total + value
+        elif self.func == "min":
+            if self.low is None or value < self.low:
+                self.low = value
+        elif self.func == "max":
+            if self.high is None or value > self.high:
+                self.high = value
+
+    def result(self) -> Any:
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return None if self.count == 0 else self.total / self.count
+        if self.func == "min":
+            return self.low
+        return self.high
+
+
+def make_accumulator(call: AggCall) -> Accumulator:
+    """A fresh accumulator for one aggregate call."""
+    return Accumulator(call.func)
+
+
+def column_refs(exprs: Iterable[Any]) -> list[ColumnRef]:
+    """Every column reference appearing in *exprs* (recursively)."""
+    found: list[ColumnRef] = []
+
+    def walk(expr: Any) -> None:
+        if isinstance(expr, ColumnRef):
+            found.append(expr)
+        elif isinstance(expr, OpCall):
+            for arg in expr.args:
+                walk(arg)
+        elif isinstance(expr, AggCall) and expr.arg is not None:
+            walk(expr.arg)
+
+    for expr in exprs:
+        walk(expr)
+    return found
+
+
+def sort_key_fn(keys: tuple[tuple[Any, bool], ...],
+                operators: OperatorRegistry | None
+                ) -> Callable[[Any], "_SortKey"]:
+    """A key function imposing the (possibly mixed-direction) order."""
+    descs = tuple(desc for _, desc in keys)
+
+    def key(row: Any) -> _SortKey:
+        return _SortKey(
+            tuple(evaluate(expr, row, operators) for expr, _ in keys),
+            descs,
+        )
+
+    return key
+
+
+class _SortKey:
+    """Comparable wrapper for multi-key, per-key-direction ordering.
+
+    Only ``__lt__`` is needed (``sorted`` and ``heapq.nsmallest`` use
+    nothing else).  ``None`` sorts after everything — missing values
+    land last regardless of direction.
+    """
+
+    __slots__ = ("values", "descs")
+
+    def __init__(self, values: tuple[Any, ...], descs: tuple[bool, ...]):
+        self.values = values
+        self.descs = descs
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        for mine, theirs, desc in zip(self.values, other.values, self.descs):
+            if mine == theirs:
+                continue
+            if mine is None:
+                return False
+            if theirs is None:
+                return True
+            return (theirs < mine) if desc else (mine < theirs)
+        return False

@@ -17,6 +17,7 @@ _SINGLE = {
     ":": TokenType.COLON,
     ".": TokenType.DOT,
     "=": TokenType.EQUALS,
+    "*": TokenType.STAR,
     "$": TokenType.DOLLAR,
     "?": TokenType.QMARK,
 }
@@ -116,7 +117,8 @@ def tokenize(source: str) -> list[Token]:
             text = source[start:i]
             upper = text.upper()
             if upper in KEYWORDS:
-                push(TokenType.KEYWORD, upper, start_col)
+                tokens.append(Token(type=TokenType.KEYWORD, text=upper,
+                                    line=line, column=start_col, raw=text))
             else:
                 push(TokenType.IDENT, text, start_col)
             continue

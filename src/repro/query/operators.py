@@ -33,17 +33,31 @@ after a drain, counters (``rows_out``) and outcomes (``path_taken``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+import math
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Any, Callable, Iterator
 
-from ..core.classes import SciObject
+from ..core.classes import SciObject, matches_extents, matches_predicates
 from ..core.interpolation import InterpolationError
 from ..core.metadata_manager import MetadataManager
 from ..core.planner import MarkingCache, RetrievalResult
-from ..errors import AssertionViolatedError, UnderivableError
+from ..errors import (
+    AssertionViolatedError,
+    UnderivableError,
+    UnknownClassError,
+)
 from ..spatial.box import Box
-from ..storage.access import AccessPath
+from ..storage.access import AccessPath, INDEX_PROBE_COST, INDEX_ROW_COST
 from ..temporal.abstime import AbsTime
+from .ast import AggCall, ColumnRef, SelectItem
+from .expressions import (
+    JoinedRow,
+    evaluate,
+    make_accumulator,
+    resolve_column,
+    sort_key_fn,
+)
 
 __all__ = [
     "ExecutionContext",
@@ -53,6 +67,12 @@ __all__ = [
     "IndexOnlyScan",
     "Filter",
     "Project",
+    "ExprProject",
+    "Sort",
+    "Limit",
+    "HashAggregate",
+    "HashJoin",
+    "IndexNestedLoopJoin",
     "Interpolate",
     "Derive",
     "FallbackSwitch",
@@ -62,6 +82,8 @@ __all__ = [
     "INTERPOLATE_COST",
     "DERIVE_COST",
     "FILTER_ROW_COST",
+    "SORT_ROW_COST",
+    "HASH_ROW_COST",
 ]
 
 #: Cost guesses for the fallback operators.  Interpolation prices two
@@ -72,6 +94,12 @@ INTERPOLATE_COST = 40.0
 DERIVE_COST = 400.0
 #: Per-row cost of re-checking residual predicates in Python.
 FILTER_ROW_COST = 0.05
+#: Per-comparison cost of explicit sorting (multiplied by n·log n, or
+#: n·log k for a bounded top-K heap).
+SORT_ROW_COST = 0.02
+#: Per-row cost of hashing into / probing a hash table (joins,
+#: aggregation groups).
+HASH_ROW_COST = 0.05
 
 
 @dataclass
@@ -269,6 +297,359 @@ class Project(PhysicalOperator):
                 yield {attr: row[attr] for attr in self.attrs}
 
 
+class ExprProject(PhysicalOperator):
+    """Expression projection: evaluate each select item per row.
+
+    Column references, and registered ADT operator calls resolved
+    through the kernel's :class:`~repro.adt.operators.OperatorRegistry`
+    (``SELECT area(extent) FROM ...``); rows come out as plain dicts
+    keyed by the item aliases.
+    """
+
+    def __init__(self, child: PhysicalOperator,
+                 items: tuple[SelectItem, ...], operators: Any):
+        self.child = child
+        self.items = items
+        self.operators = operators
+        self.estimated_rows = child.estimated_rows
+        self.estimated_cost = child.estimated_cost \
+            + child.estimated_rows * FILTER_ROW_COST
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"ExprProject({', '.join(i.alias for i in self.items)})"
+
+    def run(self) -> Iterator[dict[str, Any]]:
+        for row in self.child.run():
+            self.rows_out += 1
+            yield {
+                item.alias: evaluate(item.expr, row, self.operators)
+                for item in self.items
+            }
+
+
+class Sort(PhysicalOperator):
+    """Explicit sort; a bounded top-K heap when a Limit sits above.
+
+    ``keys`` pairs each key expression with its direction.  With
+    ``top_k`` set (pushed down from ``LIMIT k [OFFSET m]`` as ``k+m``),
+    the operator keeps a k-sized heap (``heapq.nsmallest``) instead of
+    materializing and sorting the whole input — O(n·log k).
+    """
+
+    def __init__(self, child: PhysicalOperator,
+                 keys: tuple[tuple[Any, bool], ...], operators: Any,
+                 top_k: int | None = None):
+        self.child = child
+        self.keys = keys
+        self.top_k = top_k
+        self.key_fn = sort_key_fn(keys, operators)
+        n = max(1.0, child.estimated_rows)
+        held = n if top_k is None else min(n, float(max(1, top_k)))
+        self.estimated_rows = child.estimated_rows if top_k is None \
+            else min(child.estimated_rows, float(top_k))
+        self.estimated_cost = child.estimated_cost \
+            + n * math.log2(max(2.0, held)) * SORT_ROW_COST
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    @property
+    def step(self) -> str:
+        """Delegate to the child so a Sort-wrapped fallback (sort
+        avoidance ordering the derive path) stays a legal fallback."""
+        return getattr(self.child, "step", "sort")
+
+    def label(self) -> str:
+        rendered = []
+        for expr, descending in self.keys:
+            head = expr.describe() if hasattr(expr, "describe") else str(expr)
+            rendered.append(f"{head} DESC" if descending else head)
+        suffix = f" top-{self.top_k}" if self.top_k is not None else ""
+        return f"Sort({', '.join(rendered)}{suffix})"
+
+    def run(self) -> Iterator[Any]:
+        if self.top_k is not None:
+            ordered = heapq.nsmallest(self.top_k, self.child.run(),
+                                      key=self.key_fn)
+        else:
+            ordered = sorted(self.child.run(), key=self.key_fn)
+        for row in ordered:
+            self.rows_out += 1
+            yield row
+
+
+class Limit(PhysicalOperator):
+    """``LIMIT n [OFFSET m]``: stop the child stream after n rows."""
+
+    def __init__(self, child: PhysicalOperator,
+                 limit: int | None = None, offset: int = 0):
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        remaining = max(0.0, child.estimated_rows - offset)
+        self.estimated_rows = remaining if limit is None \
+            else min(remaining, float(limit))
+        self.estimated_cost = child.estimated_cost
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        parts = []
+        if self.limit is not None:
+            parts.append(str(self.limit))
+        if self.offset:
+            parts.append(f"OFFSET {self.offset}")
+        return f"Limit({' '.join(parts)})"
+
+    def run(self) -> Iterator[Any]:
+        if self.limit == 0:
+            return
+        skipped = 0
+        for row in self.child.run():
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            self.rows_out += 1
+            yield row
+            if self.limit is not None and self.rows_out >= self.limit:
+                return
+
+
+class HashAggregate(PhysicalOperator):
+    """Hash grouping + aggregate accumulation in one pass.
+
+    Output rows are dicts keyed by the select-item aliases, in
+    first-seen group order.  A scalar aggregate (no GROUP BY) over an
+    empty input still yields its one row — ``count`` 0, other
+    aggregates None.
+    """
+
+    def __init__(self, child: PhysicalOperator,
+                 group_refs: tuple[ColumnRef, ...],
+                 items: tuple[SelectItem, ...], operators: Any):
+        self.child = child
+        self.group_refs = group_refs
+        self.items = items
+        self.operators = operators
+        n = child.estimated_rows
+        self.estimated_rows = max(1.0, math.sqrt(n)) if group_refs else 1.0
+        self.estimated_cost = child.estimated_cost + n * HASH_ROW_COST
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        groups = ", ".join(ref.describe() for ref in self.group_refs)
+        aggs = ", ".join(item.alias for item in self.items
+                         if isinstance(item.expr, AggCall))
+        if groups:
+            return f"HashAggregate({groups}; {aggs})"
+        return f"HashAggregate({aggs})"
+
+    def _fresh_accumulators(self) -> dict[str, Any]:
+        return {
+            item.alias: make_accumulator(item.expr)
+            for item in self.items if isinstance(item.expr, AggCall)
+        }
+
+    def run(self) -> Iterator[dict[str, Any]]:
+        groups: dict[tuple, tuple[Any, dict[str, Any]]] = {}
+        for row in self.child.run():
+            key = tuple(
+                evaluate(ref, row, self.operators)
+                for ref in self.group_refs
+            )
+            entry = groups.get(key)
+            if entry is None:
+                entry = (row, self._fresh_accumulators())
+                groups[key] = entry
+            _, accumulators = entry
+            for item in self.items:
+                if not isinstance(item.expr, AggCall):
+                    continue
+                accumulator = accumulators[item.alias]
+                if item.expr.arg is None:  # count(*): count the row
+                    accumulator.add(1)
+                else:
+                    accumulator.add(
+                        evaluate(item.expr.arg, row, self.operators)
+                    )
+        if not groups and not self.group_refs:
+            # Scalar aggregate over nothing: one row of empty results.
+            groups[()] = ({}, self._fresh_accumulators())
+        for sample_row, accumulators in groups.values():
+            out: dict[str, Any] = {}
+            for item in self.items:
+                if isinstance(item.expr, AggCall):
+                    out[item.alias] = accumulators[item.alias].result()
+                else:
+                    out[item.alias] = evaluate(item.expr, sample_row,
+                                               self.operators)
+            self.rows_out += 1
+            yield out
+
+
+class HashJoin(PhysicalOperator):
+    """Two-source equi-join: hash the smaller input, probe the other.
+
+    Output rows are :class:`~repro.query.expressions.JoinedRow` with one
+    named side per source.  Rows whose join key is None never match
+    (SQL NULL semantics).
+    """
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_ref: ColumnRef, right_ref: ColumnRef,
+                 left_name: str, right_name: str):
+        self.left = left
+        self.right = right
+        self.left_ref = left_ref
+        self.right_ref = right_ref
+        self.left_name = left_name
+        self.right_name = right_name
+        l_rows = left.estimated_rows
+        r_rows = right.estimated_rows
+        # Equi-join heuristic without key statistics: FK-shaped joins
+        # return about as many rows as the bigger side.
+        self.estimated_rows = max(l_rows, r_rows)
+        self.estimated_cost = left.estimated_cost + right.estimated_cost \
+            + (l_rows + r_rows) * HASH_ROW_COST
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return (f"HashJoin({self.left_name}.{self.left_ref.attr} = "
+                f"{self.right_name}.{self.right_ref.attr})")
+
+    def run(self) -> Iterator[JoinedRow]:
+        build_left = self.left.estimated_rows < self.right.estimated_rows
+        if build_left:
+            build, probe = self.left, self.right
+            build_ref, probe_ref = self.left_ref, self.right_ref
+        else:
+            build, probe = self.right, self.left
+            build_ref, probe_ref = self.right_ref, self.left_ref
+        table: dict[Any, list[Any]] = {}
+        for row in build.run():
+            key = resolve_column(row, build_ref)
+            if key is None:
+                continue
+            table.setdefault(key, []).append(row)
+        for row in probe.run():
+            key = resolve_column(row, probe_ref)
+            if key is None:
+                continue
+            for match in table.get(key, ()):
+                left_row, right_row = (row, match) if not build_left \
+                    else (match, row)
+                self.rows_out += 1
+                yield JoinedRow({self.left_name: left_row,
+                                 self.right_name: right_row})
+
+
+class IndexNestedLoopJoin(PhysicalOperator):
+    """Equi-join driven by per-left-row index probes on the right class.
+
+    Each left row probes the right class through the storage layer's
+    cost-chosen access path (:meth:`ClassStore.iter_find` — B-tree probe
+    when the join attribute is indexed) with the right side's own
+    predicates pushed into the probe.  A join on the ``oid``
+    pseudo-attribute (imagery → derivation provenance) short-circuits
+    to the O(1) object fetch.  Chosen over :class:`HashJoin` when the
+    left side is small and the right side probes cheaply.
+    """
+
+    def __init__(self, ctx: ExecutionContext, left: PhysicalOperator,
+                 left_ref: ColumnRef, right_class: str,
+                 right_ref: ColumnRef, left_name: str, right_name: str,
+                 spatial: Box | None = None,
+                 temporal: AbsTime | None = None,
+                 filters: tuple[tuple[str, Any], ...] = (),
+                 ranges: tuple[tuple[str, str, Any], ...] = (),
+                 per_probe_rows: float = 1.0):
+        self.ctx = ctx
+        self.left = left
+        self.left_ref = left_ref
+        self.right_class = right_class
+        self.right_ref = right_ref
+        self.left_name = left_name
+        self.right_name = right_name
+        self.spatial = spatial
+        self.temporal = temporal
+        self.filters = filters
+        self.ranges = ranges
+        self.per_probe_rows = per_probe_rows
+        l_rows = left.estimated_rows
+        self.estimated_rows = max(1.0, l_rows * per_probe_rows)
+        self.estimated_cost = left.estimated_cost + l_rows * (
+            INDEX_PROBE_COST + per_probe_rows * INDEX_ROW_COST
+        )
+        # The probe access path varies only in its key: fix the shape
+        # once, so per-row probes skip normalization + path selection.
+        self._probe_template: AccessPath | None = None
+        if self.right_ref.attr != "oid":
+            engine = ctx.kernel.store.engine
+            self._probe_template = AccessPath(
+                kind="index-eq", column=self.right_ref.attr,
+                estimated_rows=per_probe_rows,
+                cost=INDEX_PROBE_COST + per_probe_rows * INDEX_ROW_COST,
+                index_version=engine.catalog.index_version,
+            )
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left,)
+
+    def label(self) -> str:
+        return (f"IndexNestedLoopJoin({self.left_name}.{self.left_ref.attr}"
+                f" = {self.right_name}.{self.right_ref.attr})"
+                f" probe={self.right_class}.{self.right_ref.attr}")
+
+    def _probe(self, key: Any) -> Iterator[SciObject]:
+        store = self.ctx.kernel.store
+        if self.right_ref.attr == "oid":
+            try:
+                obj = store.get(key)
+            except UnknownClassError:
+                return
+            if obj.class_name != self.right_class:
+                return
+            cls = self.ctx.kernel.classes.get(self.right_class)
+            if not matches_extents(obj, cls, self.spatial, self.temporal):
+                return
+            if not matches_predicates(obj, self.filters, self.ranges):
+                return
+            yield obj
+            return
+        path = None
+        if self._probe_template is not None:
+            path = dc_replace(self._probe_template, argument=key)
+        yield from store.iter_find(
+            self.right_class, spatial=self.spatial, temporal=self.temporal,
+            filters=self.filters + ((self.right_ref.attr, key),),
+            ranges=self.ranges, access_path=path,
+        )
+
+    def run(self) -> Iterator[JoinedRow]:
+        for left_row in self.left.run():
+            key = resolve_column(left_row, self.left_ref)
+            if key is None:
+                continue
+            for right_row in self._probe(key):
+                self.rows_out += 1
+                yield JoinedRow({self.left_name: left_row,
+                                 self.right_name: right_row})
+
+
 # -- fallback operators -------------------------------------------------------
 
 
@@ -381,6 +762,8 @@ class FallbackSwitch(PhysicalOperator):
     @property
     def plan_steps(self) -> tuple[str, ...]:
         for fallback in self.fallbacks:
+            if isinstance(fallback, Sort):  # sort-avoidance order wrapper
+                fallback = fallback.child
             if isinstance(fallback, Derive):
                 return fallback.plan_steps
         return ()

@@ -31,7 +31,9 @@ from ..spatial.box import Box
 from ..storage.access import AccessPath
 from ..temporal.abstime import AbsTime
 from .ast import (
+    AggCall,
     BoxTemplate,
+    ColumnRef,
     CreateIndex,
     DefineClass,
     DefineCompound,
@@ -40,18 +42,22 @@ from .ast import (
     Derive,
     DropIndex,
     Explain,
+    JoinClause,
     LineageQuery,
+    OpCall,
+    OrderItem,
     Param,
     RunProcess,
     Select,
+    SelectItem,
     Show,
     Statement,
 )
 from .parser import parse
 
 __all__ = ["PlanNode", "RetrieveNode", "StatementNode", "ExplainNode",
-           "Optimizer", "PlanCache", "CompiledPlan", "fingerprint",
-           "DEFERRED_PATH"]
+           "QueryNode", "JoinSpec", "Optimizer", "PlanCache",
+           "CompiledPlan", "fingerprint", "DEFERRED_PATH"]
 
 #: Path hint of a retrieval whose extents are bind parameters: the
 #: actual path can only be explained once values are bound.
@@ -103,6 +109,44 @@ class RetrieveNode(PlanNode):
     #: physical planner can group one concept SELECT's member nodes
     #: into a single union without merging adjacent statements.
     stmt: int = 0
+
+
+@dataclass(frozen=True)
+class JoinSpec(PlanNode):
+    """The planned right side of a two-source equi-join.
+
+    ``inputs`` holds one planned retrieval per right-side class (several
+    when the join target is a concept, which unions its members).  The
+    physical planner chooses hash join vs. index nested-loop join from
+    current statistics at build time.
+    """
+
+    source: str
+    inputs: tuple[RetrieveNode, ...]
+    left_ref: ColumnRef
+    right_ref: ColumnRef
+
+
+@dataclass(frozen=True)
+class QueryNode(PlanNode):
+    """An extended-SELECT plan: retrieval inputs under the relational
+    algebra clauses (join / aggregate / order / limit / expression
+    projection).
+
+    The retrieval legs are ordinary :class:`RetrieveNode`\\ s (several
+    for a concept source), so binding, access-path recording and cache
+    invalidation reuse the plain-SELECT machinery; the physical planner
+    composes the algebra operators on top per execution.
+    """
+
+    source: str
+    inputs: tuple[RetrieveNode, ...]
+    join: JoinSpec | None = None
+    items: tuple[SelectItem, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int = 0
 
 
 @dataclass(frozen=True)
@@ -216,7 +260,8 @@ class Optimizer:
             for stmt, statement in enumerate(parse(source))
             for node in self.plan(statement, stmt=stmt)
         )
-        if nodes and all(isinstance(n, RetrieveNode) for n in nodes):
+        if nodes and all(isinstance(n, (RetrieveNode, QueryNode))
+                         for n in nodes):
             self.cache.store(key, version, nodes)
         return CompiledPlan(fingerprint=key, nodes=nodes)
 
@@ -250,21 +295,38 @@ class Optimizer:
             f"no planning rule for {type(statement).__name__}"
         )
 
-    def _plan_select(self, select: Select, stmt: int = 0
-                     ) -> list[RetrieveNode]:
-        targets = self._resolve_source(select.source)
+    def _plan_select(self, select: Select, stmt: int = 0) -> list[PlanNode]:
+        extended = (
+            select.items or select.join is not None or select.group_by
+            or select.order_by or select.limit is not None or select.offset
+            or select.qualified_filters or select.qualified_ranges
+        )
+        if extended:
+            return [self._plan_query(select, stmt)]
+        return list(self._retrieve_nodes(
+            select.source, select.spatial, select.temporal,
+            select.filters, select.ranges, select.projection, stmt,
+        ))
+
+    def _retrieve_nodes(self, source: str, spatial: Any, temporal: Any,
+                        filters: tuple[tuple[str, Any], ...],
+                        ranges: tuple[tuple[str, str, Any], ...],
+                        projection: tuple[str, ...], stmt: int
+                        ) -> list[RetrieveNode]:
+        """One planned retrieval per target class of *source*."""
+        targets = self._resolve_source(source)
         parameterized = (
-            isinstance(select.spatial, (Param, BoxTemplate))
-            or isinstance(select.temporal, Param)
+            isinstance(spatial, (Param, BoxTemplate))
+            or isinstance(temporal, Param)
         )
         predicates_bound = not (
-            any(isinstance(v, Param) for _, v in select.filters)
-            or any(isinstance(v, Param) for _, _, v in select.ranges)
+            any(isinstance(v, Param) for _, v in filters)
+            or any(isinstance(v, Param) for _, _, v in ranges)
         )
         nodes = []
         for class_name in targets:
             cls = self.kernel.classes.get(class_name)
-            for attr in select.projection:
+            for attr in projection:
                 try:
                     cls.type_of(attr)
                 except DerivationError:
@@ -280,27 +342,189 @@ class Optimizer:
                 # entries includes the catalog index version, so
                 # CREATE/DROP INDEX invalidates this choice.
                 access_path = self.kernel.store.choose_path(
-                    class_name, spatial=select.spatial,
-                    temporal=select.temporal,
-                    filters=select.filters, ranges=select.ranges,
-                    projection=select.projection,
+                    class_name, spatial=spatial,
+                    temporal=temporal,
+                    filters=filters, ranges=ranges,
+                    projection=projection,
                 )
             nodes.append(RetrieveNode(
                 class_name=class_name,
-                spatial=select.spatial,
-                temporal=select.temporal,
+                spatial=spatial,
+                temporal=temporal,
                 # The §2.1.5 logical path is a run-time outcome of the
                 # operator tree (the FallbackSwitch); EXPLAIN resolves
                 # it on demand against the current store.
                 path_hint=DEFERRED_PATH,
-                concept=select.source if select.source != class_name else None,
-                filters=select.filters,
-                ranges=select.ranges,
+                concept=source if source != class_name else None,
+                filters=filters,
+                ranges=ranges,
                 access_path=access_path,
-                projection=select.projection,
+                projection=projection,
                 stmt=stmt,
             ))
         return nodes
+
+    # -- extended SELECT (join / aggregate / order / limit) ------------------
+
+    def _plan_query(self, select: Select, stmt: int) -> QueryNode:
+        """Plan a SELECT using the algebra clauses into one QueryNode."""
+        join = select.join
+        if join is not None and join.source == select.source:
+            raise PlanningError(
+                "a join needs two distinct sources (self-joins are not "
+                "supported)"
+            )
+        left_filters = list(select.filters)
+        left_ranges = list(select.ranges)
+        right_filters: list[tuple[str, Any]] = []
+        right_ranges: list[tuple[str, str, Any]] = []
+
+        def side_for(qualifier: str) -> tuple[list, list]:
+            if qualifier == select.source:
+                return left_filters, left_ranges
+            if join is not None and qualifier == join.source:
+                return right_filters, right_ranges
+            raise PlanningError(
+                f"predicate qualifier {qualifier!r} names neither "
+                f"{select.source!r} nor the join source"
+            )
+
+        for qualifier, attr, value in select.qualified_filters:
+            side_for(qualifier)[0].append((attr, value))
+        for qualifier, attr, op, value in select.qualified_ranges:
+            side_for(qualifier)[1].append((attr, op, value))
+
+        inputs = tuple(self._retrieve_nodes(
+            select.source, select.spatial, select.temporal,
+            tuple(left_filters), tuple(left_ranges), (), stmt,
+        ))
+        join_spec = None
+        if join is not None:
+            left_ref, right_ref = self._orient_join(select.source, join)
+            self._validate_ref(left_ref, select.source, join)
+            self._validate_ref(right_ref, select.source, join)
+            join_spec = JoinSpec(
+                source=join.source,
+                inputs=tuple(self._retrieve_nodes(
+                    join.source, None, None,
+                    tuple(right_filters), tuple(right_ranges), (), stmt,
+                )),
+                left_ref=left_ref,
+                right_ref=right_ref,
+            )
+        self._validate_query_shape(select, join_spec)
+        return QueryNode(
+            source=select.source,
+            inputs=inputs,
+            join=join_spec,
+            items=select.items,
+            group_by=select.group_by,
+            order_by=select.order_by,
+            limit=select.limit,
+            offset=select.offset,
+        )
+
+    def _orient_join(self, left_source: str, join: JoinClause
+                     ) -> tuple[ColumnRef, ColumnRef]:
+        """``(left_ref, right_ref)`` whichever way the ON was written."""
+        quals = (join.on_left.qualifier, join.on_right.qualifier)
+        if quals == (left_source, join.source):
+            return join.on_left, join.on_right
+        if quals == (join.source, left_source):
+            return join.on_right, join.on_left
+        raise PlanningError(
+            f"JOIN ON must relate {left_source!r} to {join.source!r}, "
+            f"got qualifiers {quals[0]!r} and {quals[1]!r}"
+        )
+
+    def _side_classes(self, source: str) -> list[str]:
+        return self._resolve_source(source)
+
+    def _validate_ref(self, ref: ColumnRef, left_source: str,
+                      join: JoinSpec | JoinClause | None) -> None:
+        """A column reference must name a real attribute of its side
+        (``oid`` is the always-present surrogate)."""
+        if ref.attr == "oid":
+            if ref.qualifier is not None and join is not None \
+                    and ref.qualifier not in (left_source, join.source):
+                raise PlanningError(
+                    f"unknown qualifier {ref.qualifier!r} in "
+                    f"{ref.describe()!r}"
+                )
+            return
+        if ref.qualifier is None:
+            sources = [left_source] + ([join.source] if join else [])
+        elif ref.qualifier == left_source:
+            sources = [left_source]
+        elif join is not None and ref.qualifier == join.source:
+            sources = [join.source]
+        else:
+            raise PlanningError(
+                f"unknown qualifier {ref.qualifier!r} in {ref.describe()!r}"
+            )
+        for source in sources:
+            for class_name in self._side_classes(source):
+                try:
+                    self.kernel.classes.get(class_name).type_of(ref.attr)
+                    return
+                except DerivationError:
+                    continue
+        raise PlanningError(
+            f"no source class has attribute {ref.attr!r} "
+            f"(in {ref.describe()!r})"
+        )
+
+    def _validate_value_expr(self, expr: Any, left_source: str,
+                             join: JoinSpec | None) -> None:
+        if isinstance(expr, ColumnRef):
+            self._validate_ref(expr, left_source, join)
+        elif isinstance(expr, OpCall):
+            if expr.operator not in self.kernel.operators:
+                raise PlanningError(
+                    f"unknown operator {expr.operator!r} in projection — "
+                    "see SHOW OPERATORS"
+                )
+            for arg in expr.args:
+                self._validate_value_expr(arg, left_source, join)
+        elif isinstance(expr, AggCall) and expr.arg is not None:
+            self._validate_value_expr(expr.arg, left_source, join)
+
+    def _validate_query_shape(self, select: Select,
+                              join: JoinSpec | None) -> None:
+        items = select.items
+        aggregate = bool(select.group_by) or any(
+            isinstance(item.expr, AggCall) for item in items
+        )
+        if aggregate and not items:
+            raise PlanningError("GROUP BY needs a select list")
+        group_keys = {ref.describe() for ref in select.group_by}
+        for ref in select.group_by:
+            self._validate_ref(ref, select.source, join)
+        for item in items:
+            self._validate_value_expr(item.expr, select.source, join)
+            if aggregate and not isinstance(item.expr, AggCall):
+                if not (isinstance(item.expr, ColumnRef)
+                        and item.expr.describe() in group_keys):
+                    raise PlanningError(
+                        f"select item {item.alias!r} must be an aggregate "
+                        "or a GROUP BY key"
+                    )
+        aliases = {item.alias for item in items}
+        for order in select.order_by:
+            if isinstance(order.key, int):
+                if not items or not 1 <= order.key <= len(items):
+                    raise PlanningError(
+                        f"ORDER BY ordinal {order.key} is out of range"
+                    )
+            elif aggregate:
+                if order.key.describe() not in aliases \
+                        and order.key.describe() not in group_keys:
+                    raise PlanningError(
+                        f"ORDER BY {order.key.describe()!r} is neither a "
+                        "select item nor a GROUP BY key"
+                    )
+            else:
+                self._validate_ref(order.key, select.source, join)
 
     def _resolve_source(self, source: str) -> list[str]:
         """A SELECT source is a class name or a concept name.

@@ -42,8 +42,11 @@ from ..errors import ParseError
 from ..spatial.box import Box
 from ..temporal.abstime import AbsTime
 from .ast import (
+    AGGREGATE_FUNCS,
+    AggCall,
     ArgumentSpec,
     BoxTemplate,
+    ColumnRef,
     CreateIndex,
     DefineClass,
     DefineCompound,
@@ -52,10 +55,14 @@ from .ast import (
     Derive,
     DropIndex,
     Explain,
+    JoinClause,
     LineageQuery,
+    OpCall,
+    OrderItem,
     Param,
     RunProcess,
     Select,
+    SelectItem,
     Show,
     Statement,
     StepSpec,
@@ -64,6 +71,14 @@ from .lexer import tokenize
 from .tokens import Token, TokenType
 
 __all__ = ["parse", "parse_statement"]
+
+#: Keywords that structure the extended SELECT clauses; every *other*
+#: keyword may double as a name in expression positions (an attribute
+#: legitimately called ``extent``, ``result``, ...).
+_CLAUSE_KEYWORDS = frozenset({
+    "SELECT", "FROM", "JOIN", "ON", "WHERE", "AND", "OVERLAPS",
+    "GROUP", "ORDER", "BY", "LIMIT", "OFFSET", "ASC", "DESC",
+})
 
 
 def parse(source: str) -> list[Statement]:
@@ -130,6 +145,24 @@ class _Parser:
             f"expected identifier, found {token.text or token.type.value!r}",
             token.line, token.column,
         )
+
+    def _check_name(self) -> bool:
+        """Whether the cursor holds a usable name: an identifier or a
+        soft (non-clause) keyword."""
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            return True
+        return (token.type is TokenType.KEYWORD
+                and token.text not in _CLAUSE_KEYWORDS)
+
+    def _expect_name(self) -> str:
+        """An identifier, or a soft keyword in its source spelling."""
+        token = self._peek()
+        if token.type is TokenType.KEYWORD \
+                and token.text not in _CLAUSE_KEYWORDS:
+            self._advance()
+            return token.raw or token.text
+        return self._expect_ident()
 
     # -- program ------------------------------------------------------------------
 
@@ -546,30 +579,48 @@ class _Parser:
 
     def _select(self) -> Select:
         self._expect_keyword("SELECT")
-        projection: list[str] = []
-        if self._check(TokenType.IDENT):
-            # Optional projection list: `SELECT area, timestamp FROM ...`
-            projection.append(self._expect_ident())
-            while self._match(TokenType.COMMA):
-                projection.append(self._expect_ident())
+        items = self._select_list()
         self._expect_keyword("FROM")
         source = self._expect_ident()
+        join: JoinClause | None = None
+        if self._match(TokenType.KEYWORD, "JOIN"):
+            right_source = self._expect_ident()
+            self._expect_keyword("ON")
+            on_left = self._column_ref(require_qualifier=True)
+            self._expect(TokenType.EQUALS)
+            on_right = self._column_ref(require_qualifier=True)
+            join = JoinClause(source=right_source, on_left=on_left,
+                              on_right=on_right)
         spatial: Box | BoxTemplate | Param | None = None
         temporal: AbsTime | Param | None = None
         filters: list[tuple[str, Any]] = []
         ranges: list[tuple[str, str, Any]] = []
+        qualified_filters: list[tuple[str, str, Any]] = []
+        qualified_ranges: list[tuple[str, str, str, Any]] = []
         if self._match(TokenType.KEYWORD, "WHERE"):
             while True:
-                attr = self._expect_ident()
-                if self._match(TokenType.KEYWORD, "OVERLAPS"):
+                attr = self._expect_name()
+                qualifier: str | None = None
+                if self._match(TokenType.DOT):
+                    qualifier = attr
+                    attr = self._expect_name()
+                if qualifier is None \
+                        and self._match(TokenType.KEYWORD, "OVERLAPS"):
                     spatial = self._placeholder() or self._box_literal()
                 elif (comparison := self._comparison_op()) is not None:
-                    ranges.append(
-                        (attr, comparison, self._predicate_value(attr))
-                    )
+                    value = self._predicate_value(attr)
+                    if qualifier is not None:
+                        qualified_ranges.append(
+                            (qualifier, attr, comparison, value)
+                        )
+                    else:
+                        ranges.append((attr, comparison, value))
                 elif self._match(TokenType.EQUALS):
                     value = self._predicate_value(attr)
-                    if attr == "timestamp" and not isinstance(value, (int, float)):
+                    if qualifier is not None:
+                        qualified_filters.append((qualifier, attr, value))
+                    elif attr == "timestamp" \
+                            and not isinstance(value, (int, float)):
                         temporal = (value if isinstance(value, (Param, AbsTime))
                                     else AbsTime.parse(value))
                     else:
@@ -581,9 +632,168 @@ class _Parser:
                     )
                 if not self._match(TokenType.KEYWORD, "AND"):
                     break
+        group_by: list[ColumnRef] = []
+        if self._match(TokenType.KEYWORD, "GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._column_ref())
+            while self._match(TokenType.COMMA):
+                group_by.append(self._column_ref())
+        order_by: list[OrderItem] = []
+        if self._match(TokenType.KEYWORD, "ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._match(TokenType.COMMA):
+                order_by.append(self._order_item())
+        limit: int | None = None
+        offset = 0
+        if self._match(TokenType.KEYWORD, "LIMIT"):
+            limit = self._bounded_count("LIMIT")
+            if self._match(TokenType.KEYWORD, "OFFSET"):
+                offset = self._bounded_count("OFFSET")
+        # A plain attribute projection with none of the algebra clauses
+        # stays on the established fast path (`projection`), preserving
+        # covering index-only scans and cached-plan shapes.  The `oid`
+        # pseudo-attribute is not a stored column, so it always takes
+        # the expression-projection path.
+        projection: tuple[str, ...] = ()
+        simple = (
+            join is None and not group_by and not order_by
+            and limit is None and not offset
+            and not qualified_filters and not qualified_ranges
+            and all(isinstance(item.expr, ColumnRef)
+                    and item.expr.qualifier is None
+                    and item.expr.attr != "oid" for item in items)
+        )
+        if simple:
+            projection = tuple(item.expr.attr for item in items)
+            items = ()
         return Select(source=source, spatial=spatial, temporal=temporal,
                       filters=tuple(filters), ranges=tuple(ranges),
-                      projection=tuple(projection))
+                      projection=projection, items=tuple(items),
+                      join=join,
+                      qualified_filters=tuple(qualified_filters),
+                      qualified_ranges=tuple(qualified_ranges),
+                      group_by=tuple(group_by), order_by=tuple(order_by),
+                      limit=limit, offset=offset)
+
+    def _select_list(self) -> tuple[SelectItem, ...]:
+        """The select list: empty, ``*``, or expression items."""
+        if self._match(TokenType.STAR):
+            return ()
+        if not (self._check_name()
+                or self._check(TokenType.NUMBER)
+                or self._check(TokenType.STRING)):
+            return ()
+        items = [self._select_item()]
+        while self._match(TokenType.COMMA):
+            items.append(self._select_item())
+        return tuple(items)
+
+    def _select_item(self) -> SelectItem:
+        expr = self._select_expr()
+        if isinstance(expr, (ColumnRef, OpCall, AggCall)):
+            alias = expr.describe()
+        else:
+            alias = str(expr)
+        return SelectItem(expr=expr, alias=alias)
+
+    def _select_expr(self) -> Any:
+        """A select-item expression: column ref (optionally qualified),
+        aggregate call, registered-operator call, or literal."""
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return (float(token.text) if "." in token.text
+                    else int(token.text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.text
+        if not self._check_name():
+            raise ParseError(
+                f"bad select item {token.text or token.type.value!r}",
+                token.line, token.column,
+            )
+        name = self._expect_name()
+        if self._match(TokenType.DOT):
+            return ColumnRef(attr=self._expect_name(), qualifier=name)
+        if not self._check(TokenType.LPAREN):
+            return ColumnRef(attr=name)
+        self._advance()  # '('
+        if name.lower() in AGGREGATE_FUNCS:
+            func = name.lower()
+            if self._match(TokenType.STAR):
+                self._expect(TokenType.RPAREN)
+                if func != "count":
+                    raise ParseError(
+                        f"{func}(*) is not defined — only count(*)",
+                        token.line, token.column,
+                    )
+                return AggCall(func=func, arg=None)
+            if func == "count" and self._check(TokenType.RPAREN):
+                self._advance()
+                return AggCall(func=func, arg=None)
+            arg = self._select_expr()
+            if isinstance(arg, AggCall):
+                raise ParseError(
+                    f"aggregate {func} cannot nest another aggregate",
+                    token.line, token.column,
+                )
+            self._expect(TokenType.RPAREN)
+            return AggCall(func=func, arg=arg)
+        args: list[Any] = []
+        while not self._check(TokenType.RPAREN):
+            arg = self._select_expr()
+            if isinstance(arg, AggCall):
+                raise ParseError(
+                    f"aggregate call inside operator {name!r} — apply the "
+                    "operator inside the aggregate instead",
+                    token.line, token.column,
+                )
+            args.append(arg)
+            if not self._match(TokenType.COMMA):
+                break
+        self._expect(TokenType.RPAREN)
+        return OpCall(operator=name, args=tuple(args))
+
+    def _column_ref(self, require_qualifier: bool = False) -> ColumnRef:
+        """``attr`` or ``Class.attr``."""
+        token = self._peek()
+        name = self._expect_name()
+        if self._match(TokenType.DOT):
+            return ColumnRef(attr=self._expect_name(), qualifier=name)
+        if require_qualifier:
+            raise ParseError(
+                f"join condition needs qualified references "
+                f"(Class.attr), found bare {name!r}",
+                token.line, token.column,
+            )
+        return ColumnRef(attr=name)
+
+    def _order_item(self) -> OrderItem:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.text:
+                raise ParseError("ORDER BY ordinal must be an integer",
+                                 token.line, token.column)
+            key: Any = int(token.text)
+        else:
+            key = self._column_ref()
+        descending = False
+        if self._match(TokenType.KEYWORD, "DESC"):
+            descending = True
+        else:
+            self._match(TokenType.KEYWORD, "ASC")
+        return OrderItem(key=key, descending=descending)
+
+    def _bounded_count(self, clause: str) -> int:
+        token = self._expect(TokenType.NUMBER)
+        if "." in token.text or int(token.text) < 0:
+            raise ParseError(
+                f"{clause} takes a non-negative integer",
+                token.line, token.column,
+            )
+        return int(token.text)
 
     def _comparison_op(self) -> str | None:
         """A ``< <= > >=`` operator at the cursor, if present."""

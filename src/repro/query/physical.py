@@ -24,7 +24,7 @@ effects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterable
 
 from ..core.classes import (
@@ -33,22 +33,34 @@ from ..core.classes import (
     matches_predicates,
 )
 from ..core.metadata_manager import MetadataManager
-from .ast import RunProcess
+from .ast import AggCall, ColumnRef, RunProcess
 from .operators import (
     ConceptUnion,
     Derive,
     ExecutionContext,
+    ExprProject,
     Filter,
     FallbackSwitch,
+    HashAggregate,
+    HashJoin,
     HeapScan,
+    IndexNestedLoopJoin,
     IndexOnlyScan,
     IndexScan,
     Interpolate,
+    Limit,
     PhysicalOperator,
     Project,
     Run,
+    Sort,
 )
-from .optimizer import PlanNode, RetrieveNode, StatementNode
+from .optimizer import (
+    JoinSpec,
+    PlanNode,
+    QueryNode,
+    RetrieveNode,
+    StatementNode,
+)
 
 __all__ = ["PhysicalPlanner", "ConceptGroup", "group_nodes"]
 
@@ -107,9 +119,20 @@ class PhysicalPlanner:
     # -- retrievals ----------------------------------------------------------
 
     def build_retrieve(self, node: RetrieveNode,
-                       ctx: ExecutionContext | None = None
+                       ctx: ExecutionContext | None = None,
+                       fallback_order: tuple[tuple[Any, bool], ...]
+                       | None = None
                        ) -> PhysicalOperator:
-        """The operator tree of one (bound) retrieval node."""
+        """The operator tree of one (bound) retrieval node.
+
+        *fallback_order* is set when an ordered index scan replaced an
+        explicit Sort (sort avoidance): the interpolate/derive fallback
+        children — whose output order the index cannot guarantee — each
+        get their own small Sort so the tree's order contract holds on
+        every path.  These Sorts are never top-K-bounded: the
+        FallbackSwitch applies residual predicates *after* a fallback
+        runs, so truncating early could drop qualifying rows.
+        """
         ctx = ctx or self.context()
         store = self.kernel.store
         cls = self.kernel.classes.get(node.class_name)
@@ -156,6 +179,11 @@ class PhysicalPlanner:
                     ctx, node.class_name, node.spatial, node.temporal,
                     known_empty=True,
                 ))
+        if fallback_order is not None:
+            fallbacks = [
+                Sort(fallback, fallback_order, self.kernel.operators)
+                for fallback in fallbacks
+            ]
 
         residual = None
         if filters or ranges:
@@ -241,12 +269,168 @@ class PhysicalPlanner:
         have no operator form, e.g. DDL and SHOW)."""
         if isinstance(item, ConceptGroup):
             return self.build_group(item, ctx)
+        if isinstance(item, QueryNode):
+            return self.build_query(item, ctx)
         if isinstance(item, RetrieveNode):
             return self.build_retrieve(item, ctx)
         if isinstance(item, StatementNode) \
                 and isinstance(item.statement, RunProcess):
             return self.build_run(item.statement, ctx)
         return None
+
+    # -- extended queries (join / aggregate / order / limit) -----------------
+
+    def build_query(self, node: QueryNode,
+                    ctx: ExecutionContext | None = None
+                    ) -> PhysicalOperator:
+        """The operator tree of one extended SELECT.
+
+        Composition order: inputs → join → aggregate → sort → limit →
+        expression projection.  Sorting runs *before* projection, so an
+        ORDER BY may reference projected-out attributes; after an
+        aggregate, sort keys resolve against the aggregate's output
+        aliases instead.  A Sort under a Limit becomes a bounded top-K
+        heap, and when a single ORDER BY key rides a B-tree-indexed
+        attribute the cost model may replace the Sort entirely with an
+        ordered index scan (sort avoidance, visible in EXPLAIN).
+        """
+        ctx = ctx or self.context()
+        operators = self.kernel.operators
+        aggregate = bool(node.group_by) or any(
+            isinstance(item.expr, AggCall) for item in node.items
+        )
+        top_k = None
+        if node.limit is not None:
+            top_k = node.limit + node.offset
+        keys = self._order_keys(node)
+
+        need_sort = bool(keys)
+        if (not aggregate and node.join is None and len(node.inputs) == 1
+                and len(keys) == 1 and isinstance(keys[0][0], ColumnRef)
+                and keys[0][0].qualifier in (None, node.source)):
+            # Single-key order over one class: the ordered tree already
+            # carries whichever of {ordered index scan, explicit Sort}
+            # priced cheaper.
+            tree = self._order_tree(node.inputs[0], keys, top_k, ctx)
+            need_sort = False
+        else:
+            tree = self._inputs_tree(node.source, node.inputs, ctx)
+        if node.join is not None:
+            tree = self._join_tree(node, tree, ctx)
+        if aggregate:
+            tree = HashAggregate(tree, node.group_by, node.items, operators)
+        if need_sort:
+            tree = Sort(tree, keys, operators, top_k=top_k)
+        if node.limit is not None or node.offset:
+            tree = Limit(tree, node.limit, node.offset)
+        if node.items and not aggregate:
+            tree = ExprProject(tree, node.items, operators)
+        return tree
+
+    def _order_keys(self, node: QueryNode
+                    ) -> tuple[tuple[Any, bool], ...]:
+        """ORDER BY keys as evaluable ``(expr, descending)`` pairs.
+
+        Ordinals resolve to the select item's expression; evaluation
+        against post-aggregate dict rows falls back to the rendered
+        alias, so the same pair works on both row shapes.
+        """
+        keys: list[tuple[Any, bool]] = []
+        for order in node.order_by:
+            if isinstance(order.key, int):
+                expr: Any = node.items[order.key - 1].expr
+            else:
+                expr = order.key
+            keys.append((expr, order.descending))
+        return tuple(keys)
+
+    def _inputs_tree(self, source: str,
+                     inputs: tuple[RetrieveNode, ...],
+                     ctx: ExecutionContext) -> PhysicalOperator:
+        """One side's tree: a retrieval, or a union of concept members."""
+        if len(inputs) == 1:
+            return self.build_retrieve(inputs[0], ctx)
+        members = tuple(self.build_retrieve(member, ctx)
+                        for member in inputs)
+        return ConceptUnion(concept=source, members=members)
+
+    def _order_tree(self, node: RetrieveNode,
+                    keys: tuple[tuple[Any, bool], ...],
+                    top_k: int | None,
+                    ctx: ExecutionContext) -> PhysicalOperator:
+        """The ordered tree for a single-key ORDER BY over one class.
+
+        Prices an explicit Sort over the cost-chosen scan (bounded by
+        ``top_k`` when a LIMIT sits above — the Sort operator's own
+        estimate) against a key-order B-tree walk that needs no Sort at
+        all (sort avoidance).  Whichever tree prices cheaper is
+        returned.
+        """
+        base = self.build_retrieve(node, ctx)
+        explicit = Sort(base, keys, self.kernel.operators, top_k=top_k)
+        ref, descending = keys[0]
+        if ref.attr == "oid":
+            return explicit
+        store = self.kernel.store
+        try:
+            ordered = store.ordered_path(
+                node.class_name, ref.attr, descending=descending,
+                filters=node.filters, ranges=node.ranges,
+                limit_hint=top_k,
+            )
+        except Exception:
+            return explicit
+        if ordered is None:
+            return explicit
+        ordered_tree = self.build_retrieve(
+            replace(node, access_path=ordered), ctx,
+            fallback_order=keys,
+        )
+        if ordered_tree.estimated_cost < explicit.estimated_cost:
+            return ordered_tree
+        return explicit
+
+    def _join_tree(self, node: QueryNode, left: PhysicalOperator,
+                   ctx: ExecutionContext) -> PhysicalOperator:
+        """The join operator over *left*: hash join vs. index
+        nested-loop join, decided by estimated cost."""
+        join = node.join
+        store = self.kernel.store
+        engine = self.kernel.engine
+        inlj: IndexNestedLoopJoin | None = None
+        if len(join.inputs) == 1:
+            right_node = join.inputs[0]
+            attr = join.right_ref.attr
+            relation = store.relation_for(right_node.class_name)
+            per_probe: float | None = None
+            if attr == "oid":
+                per_probe = 1.0  # surrogate fetch: at most one object
+            elif engine.has_index(relation, attr):
+                stats = engine.access_info(
+                    relation, histogram_columns=()
+                )["btrees"].get(attr)
+                if stats is not None:
+                    per_probe = (stats["entries"]
+                                 / max(1, stats["distinct"]))
+            if per_probe is not None:
+                cls = self.kernel.classes.get(right_node.class_name)
+                filters, ranges = store.normalize_predicates(
+                    cls, right_node.filters, right_node.ranges
+                )
+                inlj = IndexNestedLoopJoin(
+                    ctx, left, join.left_ref, right_node.class_name,
+                    join.right_ref, node.source, join.source,
+                    spatial=right_node.spatial,
+                    temporal=right_node.temporal,
+                    filters=filters, ranges=ranges,
+                    per_probe_rows=per_probe,
+                )
+        right = self._inputs_tree(join.source, join.inputs, ctx)
+        hash_join = HashJoin(left, right, join.left_ref, join.right_ref,
+                             node.source, join.source)
+        if inlj is not None and inlj.estimated_cost < hash_join.estimated_cost:
+            return inlj
+        return hash_join
 
     # -- process execution ---------------------------------------------------
 

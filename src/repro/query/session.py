@@ -24,6 +24,7 @@ the original interpreter stack of Figure 1 did.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..core.metadata_manager import MetadataManager, WORLD, open_kernel
@@ -37,6 +38,23 @@ from .parser import parse
 
 __all__ = ["GaeaSession", "open_session"]
 
+#: Deprecation is announced once per process, not once per session —
+#: test suites and loops over open_session stay readable.
+_DEPRECATION_WARNED = False
+
+
+def _warn_deprecated() -> None:
+    global _DEPRECATION_WARNED
+    if _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED = True
+    warnings.warn(
+        "GaeaSession/open_session is deprecated; use repro.connect() "
+        "(prepared statements, plan cache, streaming cursors)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 
 @dataclass
 class GaeaSession:
@@ -48,6 +66,7 @@ class GaeaSession:
     history: list[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
+        _warn_deprecated()
         self.optimizer = Optimizer(kernel=self.kernel)
         self.executor = Executor(kernel=self.kernel)
 

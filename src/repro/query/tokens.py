@@ -29,6 +29,7 @@ class TokenType(Enum):
     COLON = ":"
     DOT = "."
     EQUALS = "="
+    STAR = "*"
     GE = ">="
     LE = "<="
     GT = ">"
@@ -48,17 +49,25 @@ KEYWORDS = frozenset({
     "DERIVE", "EXPLAIN", "SHOW", "CLASSES", "PROCESSES", "CONCEPTS",
     "TASKS", "LINEAGE", "RUN", "WITH", "EXPERIMENTS", "OPERATORS",
     "TYPES", "CREATE", "DROP", "INDEX", "ON", "INDEXES",
+    "JOIN", "GROUP", "ORDER", "LIMIT", "OFFSET", "ASC", "DESC",
 })
 
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token with source position (1-based)."""
+    """One lexical token with source position (1-based).
+
+    For keywords, ``text`` is the canonical upper-case spelling and
+    ``raw`` the source spelling — expression positions that accept
+    soft keywords as names (e.g. an attribute called ``extent``) read
+    ``raw`` to keep the user's case.
+    """
 
     type: TokenType
     text: str
     line: int
     column: int
+    raw: str = ""
 
     def is_keyword(self, word: str) -> bool:
         """True for the keyword *word* (upper-case)."""

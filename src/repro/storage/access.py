@@ -34,9 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .btree import HistogramBucket
     from .engine import StorageEngine
 
-__all__ = ["AccessPath", "choose_access_path", "estimate_range_rows",
-           "estimate_eq_rows", "SEQ_ROW_COST", "INDEX_PROBE_COST",
-           "INDEX_ROW_COST", "INDEX_ONLY_ROW_COST"]
+__all__ = ["AccessPath", "choose_access_path", "choose_ordered_path",
+           "estimate_range_rows", "estimate_eq_rows", "SEQ_ROW_COST",
+           "INDEX_PROBE_COST", "INDEX_ROW_COST", "INDEX_ONLY_ROW_COST"]
 
 #: Cost of materializing + testing one row on a full heap scan.
 SEQ_ROW_COST = 1.0
@@ -75,6 +75,15 @@ class AccessPath:
     #: so the heap values are never fetched (only the version header,
     #: for the visibility check).
     index_only: bool = False
+    #: The scan streams rows in key order over ``column`` (sort
+    #: avoidance: an ORDER BY this column needs no explicit Sort).
+    ordered: bool = False
+    #: Descending key order (``ORDER BY ... DESC`` rides the B-tree's
+    #: reverse leaf walk).
+    descending: bool = False
+    #: Why the path was priced this way — the driving index's
+    #: ``distinct_keys`` and histogram bucket count, for plan dumps.
+    stats_note: str = ""
 
     @property
     def observes_extents(self) -> bool:
@@ -97,7 +106,12 @@ class AccessPath:
             head = f"index-eq({self.column}={self.argument!r})"
         elif self.kind == "index-range":
             lo, hi = self.argument
-            head = f"index-range({self.column} in [{lo!r}, {hi!r}])"
+            if lo is None and hi is None:
+                head = f"index-range({self.column} full)"
+            else:
+                lo_s = "-inf" if lo is None else repr(lo)
+                hi_s = "+inf" if hi is None else repr(hi)
+                head = f"index-range({self.column} in [{lo_s}, {hi_s}])"
         elif self.kind == "spatial-probe":
             head = f"spatial-probe({self.column} overlaps {self.argument})"
         elif self.kind == "temporal-probe":
@@ -106,9 +120,13 @@ class AccessPath:
             head = "full-scan"
         if self.index_only:
             head = f"index-only {head}"
+        if self.ordered:
+            head += " (ordered desc)" if self.descending else " (ordered)"
         out = f"{head} rows~{self.estimated_rows:.0f} cost~{self.cost:.1f}"
         if self.residual:
             out += f" residual=[{', '.join(self.residual)}]"
+        if self.stats_note:
+            out += f" [{self.stats_note}]"
         return out
 
 
@@ -208,6 +226,13 @@ class _Candidate:
     consumed: tuple[str, ...] = ()
 
 
+def _stats_note(stats: dict[str, Any]) -> str:
+    """The pricing inputs of a B-tree path, for plan dumps."""
+    histogram = stats.get("histogram")
+    return (f"distinct_keys={stats['distinct']} "
+            f"hist_buckets={len(histogram) if histogram else 0}")
+
+
 def choose_access_path(engine: "StorageEngine", relation: str,
                        spatial: Any = None, temporal: Any = None,
                        equals: tuple[tuple[str, Any], ...] = (),
@@ -283,6 +308,7 @@ def choose_access_path(engine: "StorageEngine", relation: str,
                 cost=INDEX_PROBE_COST + est * row_cost,
                 index_version=version,
                 index_only=index_only,
+                stats_note=_stats_note(stats),
             ),
             consumed=(f"eq:{column}",),
         ))
@@ -322,6 +348,7 @@ def choose_access_path(engine: "StorageEngine", relation: str,
                 cost=INDEX_PROBE_COST + est * row_cost,
                 index_version=version,
                 index_only=index_only,
+                stats_note=_stats_note(stats),
             ),
             consumed=tuple(key for key, inclusive in window["keys"]
                            if inclusive),
@@ -363,4 +390,70 @@ def choose_access_path(engine: "StorageEngine", relation: str,
         residual=residual_for(best.consumed),
         index_version=version,
         index_only=best.path.index_only,
+        stats_note=best.path.stats_note,
+    )
+
+
+def choose_ordered_path(engine: "StorageEngine", relation: str,
+                        column: str, descending: bool = False,
+                        equals: tuple[tuple[str, Any], ...] = (),
+                        ranges: tuple[tuple[str, str, Any], ...] = (),
+                        limit_hint: int | None = None
+                        ) -> AccessPath | None:
+    """An index-order scan over *column* satisfying ``ORDER BY column``,
+    or None when no B-tree backs the column.
+
+    The scan is an (open or range-bounded) B-tree walk in key order —
+    ascending or reversed — so a Sort above it is redundant.  Every
+    predicate except the range window on *column* stays residual.  With
+    a *limit_hint* the consumer stops after that many rows, so only the
+    key-order prefix is priced (scaled up by the residual predicates'
+    expected rejection rate) — this is what makes top-K over an indexed
+    column beat scan-then-sort.
+    """
+    info = engine.access_info(relation, histogram_columns=(column,))
+    stats = info["btrees"].get(column)
+    if stats is None:
+        return None
+    lo = hi = None
+    consumed: list[str] = []
+    for rng_column, op, value in ranges:
+        if rng_column != column:
+            continue
+        if op in (">", ">="):
+            if lo is None or value > lo:
+                lo = value
+        else:
+            if hi is None or value < hi:
+                hi = value
+        if op in ("<=", ">="):
+            consumed.append(f"rng:{column}:{op}:{value!r}")
+    est = estimate_range_rows(stats["entries"], stats["bounds"], lo, hi,
+                              histogram=stats.get("histogram"))
+    touched = est
+    if limit_hint is not None:
+        # Residual predicates reject rows before the limit counts them;
+        # assume each residual halves the stream (the Filter heuristic).
+        residual_count = len(equals) + sum(
+            1 for c, _, _ in ranges if c != column
+        )
+        selectivity = max(0.1, 0.5 ** residual_count)
+        touched = min(est, max(1.0, limit_hint / selectivity))
+    labels: dict[str, str] = {}
+    for eq_column, value in equals:
+        labels[f"eq:{eq_column}"] = f"{eq_column}={value!r}"
+    for rng_column, op, value in ranges:
+        labels[f"rng:{rng_column}:{op}:{value!r}"] = \
+            f"{rng_column}{op}{value!r}"
+    residual = tuple(text for key, text in labels.items()
+                     if key not in consumed)
+    return AccessPath(
+        kind="index-range", column=column, argument=(lo, hi),
+        estimated_rows=est,
+        cost=INDEX_PROBE_COST + touched * INDEX_ROW_COST,
+        residual=residual,
+        index_version=info["index_version"],
+        ordered=True,
+        descending=descending,
+        stats_note=_stats_note(stats),
     )

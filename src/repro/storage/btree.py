@@ -98,12 +98,20 @@ class BTree:
         return set()
 
     def range_scan(self, lo: Any = None, hi: Any = None,
-                   include_lo: bool = True, include_hi: bool = True
+                   include_lo: bool = True, include_hi: bool = True,
+                   reverse: bool = False
                    ) -> Iterator[tuple[Any, set[Hashable]]]:
-        """Yield ``(key, entries)`` for keys in the given range, ascending.
+        """Yield ``(key, entries)`` for keys in the given range, ascending
+        (or descending with *reverse*).
 
-        ``None`` bounds are open-ended.
+        ``None`` bounds are open-ended.  Direction-aware iteration is
+        what lets an ``ORDER BY ... DESC`` ride the index instead of an
+        explicit sort.
         """
+        if reverse:
+            yield from self._range_scan_reversed(lo, hi, include_lo,
+                                                 include_hi)
+            return
         if lo is not None:
             leaf = self._find_leaf(lo)
             start = bisect.bisect_left(leaf.keys, lo)
@@ -126,6 +134,46 @@ class BTree:
                 idx += 1
             node = node.next_leaf
             idx = 0
+
+    def _range_scan_reversed(self, lo: Any, hi: Any,
+                             include_lo: bool, include_hi: bool
+                             ) -> Iterator[tuple[Any, set[Hashable]]]:
+        """Descending leaf walk.  Leaves only link forward, so the walk
+        descends the tree right-to-left with an explicit stack instead
+        of following ``next_leaf`` pointers.
+
+        Subtrees entirely outside ``[lo, hi]`` are pruned during the
+        descent (child ``i`` holds keys in ``[keys[i-1], keys[i])``),
+        so a bounded walk seeks its start leaf instead of skipping
+        every key above ``hi`` one by one.
+        """
+        stack: list[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.leaf:
+                # Children pushed left-to-right pop right-to-left.
+                for idx, child in enumerate(node.children):
+                    if hi is not None and idx > 0 \
+                            and node.keys[idx - 1] > hi:
+                        continue  # subtree minimum already above hi
+                    if lo is not None and idx < len(node.keys) \
+                            and node.keys[idx] < lo:
+                        continue  # subtree maximum already below lo
+                    stack.append(child)
+                continue
+            for idx in range(len(node.keys) - 1, -1, -1):
+                key = node.keys[idx]
+                if hi is not None:
+                    if key > hi or (key == hi and not include_hi):
+                        continue
+                if lo is not None:
+                    if key < lo or (key == lo and not include_lo):
+                        return
+                yield key, set(node.values[idx])
+
+    def items_reversed(self) -> Iterator[tuple[Any, set[Hashable]]]:
+        """All ``(key, entries)`` pairs in descending key order."""
+        yield from self.range_scan(reverse=True)
 
     def _leftmost_leaf(self) -> _Node:
         node = self._root

@@ -369,17 +369,21 @@ class StorageEngine:
                                            snap)
 
     def iter_range(self, relation: str, column: str, lo: Any, hi: Any,
-                   snapshot: Snapshot | None = None) -> Iterator[Row]:
-        """Stream visible rows with ``lo <= column <= hi`` in key order.
+                   snapshot: Snapshot | None = None,
+                   reverse: bool = False) -> Iterator[Row]:
+        """Stream visible rows with ``lo <= column <= hi`` in key order
+        (descending key order with *reverse*).
 
-        ``None`` bounds are open-ended.
+        ``None`` bounds are open-ended.  Key-ordered streaming is the
+        substrate of sort avoidance: an ``ORDER BY`` over an indexed
+        column rides this iterator instead of an explicit Sort.
         """
         snap = snapshot or self.snapshot()
         state = self._state(relation)
         tree = state.btrees.get(column)
         if tree is None:
             raise StorageError(f"no index on {relation}.{column}")
-        for _, bucket in tree.range_scan(lo, hi):
+        for _, bucket in tree.range_scan(lo, hi, reverse=reverse):
             yield from self._iter_visible_tids(relation,
                                                iter(sorted(bucket)), snap)
 
@@ -408,7 +412,8 @@ class StorageEngine:
     def iter_index_keys(self, relation: str, column: str,
                         eq: Any = None,
                         lo: Any = None, hi: Any = None,
-                        snapshot: Snapshot | None = None
+                        snapshot: Snapshot | None = None,
+                        reverse: bool = False
                         ) -> Iterator[tuple[Any, TID]]:
         """Stream ``(key, tid)`` pairs off the B-tree without touching
         heap values — the substrate of covering index-only scans.
@@ -428,7 +433,7 @@ class StorageEngine:
                 [(eq, tree.search(eq))]
             )
         else:
-            pairs = tree.range_scan(lo, hi)
+            pairs = tree.range_scan(lo, hi, reverse=reverse)
         for key, bucket in pairs:
             for tid in sorted(bucket):
                 try:
@@ -556,6 +561,26 @@ class StorageEngine:
             "spatial_estimate": spatial_estimate,
             "temporal_column": state.temporal_column,
             "temporal_estimate": temporal_estimate,
+        }
+
+    def index_stats(self, relation: str, column: str) -> dict[str, Any]:
+        """Statistics of the B-tree on ``relation.column``, for browsing
+        (``SHOW INDEXES``) and plan dumps: why a path was priced the way
+        it was.
+
+        ``histogram_buckets`` is the bucket count of the cached
+        equi-depth histogram (0 for non-numeric key domains).
+        """
+        state = self._state(relation)
+        tree = state.btrees.get(column)
+        if tree is None:
+            raise StorageError(f"no index on {relation}.{column}")
+        histogram = tree.histogram()
+        return {
+            "entries": len(tree),
+            "distinct_keys": tree.distinct_keys(),
+            "histogram_buckets": len(histogram) if histogram else 0,
+            "depth": tree.depth(),
         }
 
     def stats(self, relation: str) -> dict[str, int]:

@@ -165,3 +165,29 @@ class TestSessionMechanics:
     def test_execute_one_rejects_multi(self, loaded):
         with pytest.raises(ValueError):
             loaded.execute_one("SHOW TASKS; SHOW CLASSES")
+
+
+class TestDeprecationShim:
+    def test_warns_exactly_once_per_process(self):
+        import warnings
+
+        from repro.query import session as session_module
+        from repro.query.session import open_session
+
+        session_module._DEPRECATION_WARNED = False
+        with pytest.warns(DeprecationWarning, match="repro.connect"):
+            open_session()
+        # The second session in the same process must stay silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            open_session()
+        assert session_module._DEPRECATION_WARNED
+
+    def test_direct_construction_also_warns(self):
+        from repro.core import open_kernel
+        from repro.query import session as session_module
+        from repro.query.session import GaeaSession
+
+        session_module._DEPRECATION_WARNED = False
+        with pytest.warns(DeprecationWarning):
+            GaeaSession(kernel=open_kernel())

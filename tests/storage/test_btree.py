@@ -100,3 +100,68 @@ class TestRangeScan:
         for _, bucket in tree.range_scan(0, 0):
             bucket.add("mutation")
         assert tree.search(0) == {"e0"}
+
+
+class TestReversedScan:
+    @pytest.fixture()
+    def tree(self):
+        t = BTree(order=4)
+        for key in range(0, 100, 10):
+            t.insert(key, f"e{key}")
+        return t
+
+    def test_items_reversed(self, tree):
+        got = [k for k, _ in tree.items_reversed()]
+        assert got == list(range(90, -10, -10))
+
+    def test_items_reversed_carries_entries(self, tree):
+        top_key, entries = next(tree.items_reversed())
+        assert top_key == 90
+        assert entries == {"e90"}
+
+    def test_reverse_closed_range(self, tree):
+        got = [k for k, _ in tree.range_scan(20, 50, reverse=True)]
+        assert got == [50, 40, 30, 20]
+
+    def test_reverse_exclusive_bounds(self, tree):
+        got = [k for k, _ in tree.range_scan(20, 50, include_lo=False,
+                                             include_hi=False, reverse=True)]
+        assert got == [40, 30]
+
+    def test_reverse_open_ended(self, tree):
+        assert [k for k, _ in tree.range_scan(lo=70, reverse=True)] \
+            == [90, 80, 70]
+        assert [k for k, _ in tree.range_scan(hi=20, reverse=True)] \
+            == [20, 10, 0]
+
+    def test_reverse_matches_forward_at_scale(self):
+        tree = BTree(order=8)
+        keys = list(range(997))
+        random.Random(11).shuffle(keys)
+        for key in keys:
+            tree.insert(key, f"t{key}")
+        forward = [k for k, _ in tree.range_scan(100, 900)]
+        backward = [k for k, _ in tree.range_scan(100, 900, reverse=True)]
+        assert backward == forward[::-1]
+        assert [k for k, _ in tree.items_reversed()] == list(range(996, -1, -1))
+
+    def test_reverse_entries_are_copies(self, tree):
+        for _, bucket in tree.range_scan(0, 0, reverse=True):
+            bucket.add("mutation")
+        assert tree.search(0) == {"e0"}
+
+    def test_reverse_empty_tree(self):
+        assert list(BTree(order=4).items_reversed()) == []
+
+    def test_reverse_bounded_scan_at_scale(self):
+        # A hi-bounded descending walk must seek its start leaf (the
+        # descent prunes subtrees above hi) and still be exact.
+        tree = BTree(order=8)
+        for key in range(5000):
+            tree.insert(key, f"t{key}")
+        got = [k for k, _ in tree.range_scan(10, 25, reverse=True)]
+        assert got == list(range(25, 9, -1))
+        got = [k for k, _ in tree.range_scan(hi=3, reverse=True)]
+        assert got == [3, 2, 1, 0]
+        got = [k for k, _ in tree.range_scan(lo=4996, reverse=True)]
+        assert got == [4999, 4998, 4997, 4996]
