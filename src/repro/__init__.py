@@ -57,14 +57,29 @@ migration.
 from .core import open_kernel
 from .query import Connection, Cursor, PreparedStatement, connect, open_session
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "Connection",
     "Cursor",
+    "GaeaServer",
     "PreparedStatement",
     "connect",
     "open_kernel",
     "open_session",
+    "remote_connect",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # The server stack imports lazily: plain local use never pays for
+    # the socket/server modules, and repro.server importing repro stays
+    # cycle-free.
+    if name == "GaeaServer":
+        from .server import GaeaServer
+        return GaeaServer
+    if name == "remote_connect":
+        from .server.remote import remote_connect
+        return remote_connect
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -4,9 +4,11 @@ Run a script:              python -m repro script.gql
 Interactive session:       python -m repro
 Load a checkpoint first:   python -m repro --checkpoint db.ckpt [script.gql]
 Save on exit:              python -m repro --save db.ckpt script.gql
+Serve over the network:    python -m repro serve --port 7474 [--init setup.gql]
 
 Statements end at a blank line in interactive mode (GaeaQL statements are
-multi-line); ``\\q`` quits.
+multi-line); ``\\q`` quits.  ``serve`` starts the wire-protocol server
+(see ``docs/serving.md``); connect with ``repro.client.remote_connect``.
 """
 
 from __future__ import annotations
@@ -68,14 +70,68 @@ def _repl(connection: Connection) -> None:
         _execute(connection, "\n".join(buffer), sys.stdout)
 
 
+def _serve(argv: list[str]) -> int:
+    """The ``serve`` subcommand: run the wire-protocol server."""
+    from .server import GaeaServer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve a Gaea kernel over the wire protocol",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7474,
+                        help="port to bind (default 7474; 0 = ephemeral)")
+    parser.add_argument("--checkpoint", metavar="PATH",
+                        help="load this kernel checkpoint before serving")
+    parser.add_argument("--init", metavar="SCRIPT",
+                        help="GaeaQL script to run before accepting clients")
+    args = parser.parse_args(argv)
+
+    kernel = None
+    if args.checkpoint:
+        try:
+            kernel = load_kernel(args.checkpoint)
+        except (GaeaError, OSError) as exc:
+            print(f"error: cannot load {args.checkpoint}: {exc}",
+                  file=sys.stderr)
+            return 2
+    server = GaeaServer(kernel=kernel, host=args.host, port=args.port)
+    if args.init:
+        try:
+            with open(args.init) as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.init}: {exc}", file=sys.stderr)
+            return 2
+        if not _execute(Connection(kernel=server.kernel), source, sys.stdout):
+            return 1
+    with server:
+        print(f"gaea server listening on {server.host}:{server.port} "
+              "(Ctrl-C stops)")
+        try:
+            while True:
+                # The accept loop runs in a daemon thread; just sleep.
+                import time
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("stopping")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="GaeaQL interpreter (Gaea scientific DBMS reproduction)",
     )
     parser.add_argument("script", nargs="?",
-                        help="GaeaQL script to execute (default: REPL)")
+                        help="GaeaQL script to execute (default: REPL), "
+                             "or 'serve' to run the wire server")
     parser.add_argument("--checkpoint", metavar="PATH",
                         help="load this kernel checkpoint before running")
     parser.add_argument("--save", metavar="PATH",

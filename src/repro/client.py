@@ -1,0 +1,40 @@
+"""``repro.client``: one import surface for local and remote access.
+
+Local (in-process) connections::
+
+    from repro.client import connect
+    conn = connect()
+
+Remote connections to a ``repro serve`` process::
+
+    from repro.client import remote_connect
+    conn = remote_connect("127.0.0.1", 7474)
+
+Both return DB-API-shaped connection objects with the same cursor
+surface (``execute`` with ``?``/``:name`` bind parameters, streaming
+fetches, ``explain``, ``begin``/``commit``/``rollback``).
+"""
+
+from .query.client import (
+    Connection,
+    Cursor,
+    PreparedStatement,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
+from .server.remote import RemoteConnection, RemoteCursor, remote_connect
+
+__all__ = [
+    "Connection",
+    "Cursor",
+    "PreparedStatement",
+    "RemoteConnection",
+    "RemoteCursor",
+    "apilevel",
+    "connect",
+    "paramstyle",
+    "remote_connect",
+    "threadsafety",
+]

@@ -26,6 +26,9 @@ from __future__ import annotations
 
 import itertools
 import operator
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -49,6 +52,17 @@ __all__ = ["NonPrimitiveClass", "SciObject", "ClassRegistry", "ClassStore",
            "COMPARISONS", "matches_predicates", "matches_extents"]
 
 OID_COLUMN = "_oid"
+
+#: The snapshot pinned for the current logical reader, as ``(store,
+#: snapshot)``.  A :class:`~contextvars.ContextVar` rather than a
+#: thread-local so each server worker thread (and each task, under an
+#: event loop) carries its own pin.  Note PEP 567's generator caveat:
+#: a pin set *inside* a generator leaks across its yields, so consumers
+#: wrap each ``next()`` call (see ``query.client.Cursor``), never the
+#: generator body.
+_ACTIVE_VIEW: ContextVar[tuple["ClassStore", Any] | None] = ContextVar(
+    "repro_active_view", default=None
+)
 
 #: Comparison operators usable in range predicates (GaeaQL WHERE).
 COMPARISONS: dict[str, Callable[[Any, Any], bool]] = {
@@ -260,6 +274,25 @@ class ClassStore:
     #: ``(class_name, spatial, temporal, filters, ranges)`` — the
     #: instrument behind the "fallbacks never re-scan" guarantee.
     scan_log: list[tuple] | None = field(default=None)
+    # Makes the single-writer check-and-set atomic: two threads racing
+    # `begin_transaction` must not both win.
+    _writer_gate: threading.RLock = field(default_factory=threading.RLock,
+                                          repr=False, compare=False)
+    # Scan counters/log are shared across every connection; a plain
+    # dict read-modify-write would drop counts under contention.
+    _stats_lock: threading.Lock = field(default_factory=threading.Lock,
+                                        repr=False, compare=False)
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_writer_gate"]
+        del state["_stats_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._writer_gate = threading.RLock()
+        self._stats_lock = threading.Lock()
 
     @staticmethod
     def relation_for(class_name: str) -> str:
@@ -277,22 +310,24 @@ class ClassStore:
         transaction sees its own writes) but invisible to fresh snapshots
         until commit.
         """
-        if self.current_tx is not None:
-            raise TransactionError(
-                f"transaction {self.current_tx.xid} is already active on "
-                "this kernel (single-writer store)"
-            )
-        self.current_tx = self.engine.begin()
-        self._tx_oids = []
-        return self.current_tx
+        with self._writer_gate:
+            if self.current_tx is not None:
+                raise TransactionError(
+                    f"transaction {self.current_tx.xid} is already active "
+                    "on this kernel (single-writer store)"
+                )
+            self.current_tx = self.engine.begin()
+            self._tx_oids = []
+            return self.current_tx
 
     def commit_transaction(self) -> None:
         """Commit the explicit transaction; its objects become durable."""
-        if self.current_tx is None:
-            raise TransactionError("no transaction is active")
-        self.engine.commit(self.current_tx)
-        self.current_tx = None
-        self._tx_oids = []
+        with self._writer_gate:
+            if self.current_tx is None:
+                raise TransactionError("no transaction is active")
+            self.engine.commit(self.current_tx)
+            self.current_tx = None
+            self._tx_oids = []
 
     def rollback_transaction(self) -> None:
         """Abort the explicit transaction; its object versions stay dead
@@ -300,19 +335,62 @@ class ClassStore:
         transaction are dropped from the object index so later lookups
         fail with the documented :class:`UnknownClassError` instead of
         pointing at permanently invisible row versions."""
-        if self.current_tx is None:
-            raise TransactionError("no transaction is active")
-        self.engine.abort(self.current_tx)
-        self.current_tx = None
-        for oid in self._tx_oids:
-            self._oid_index.pop(oid, None)
-        self._tx_oids = []
+        with self._writer_gate:
+            if self.current_tx is None:
+                raise TransactionError("no transaction is active")
+            self.engine.abort(self.current_tx)
+            self.current_tx = None
+            for oid in self._tx_oids:
+                self._oid_index.pop(oid, None)
+            self._tx_oids = []
+
+    @contextmanager
+    def read_view(self, snapshot: Any) -> Iterator[None]:
+        """Pin *snapshot* for every read this store performs in the
+        current context.
+
+        The substrate of snapshot-isolated readers: a served connection
+        pins the snapshot captured at ``begin()`` (or at statement
+        start) so every row fetched underneath — scans, index probes,
+        object gets — judges visibility against that one committed-set,
+        however long the writer keeps committing alongside.
+        """
+        token = _ACTIVE_VIEW.set((self, snapshot))
+        try:
+            yield
+        finally:
+            _ACTIVE_VIEW.reset(token)
+
+    def reader_snapshot(self) -> Any:
+        """A fresh everything-committed-so-far snapshot, for pinning."""
+        return self.engine.snapshot()
+
+    @contextmanager
+    def write_view(self) -> Iterator[None]:
+        """Suspend any reader pin for this scope: reads see the live
+        write-side view (fresh snapshot per read, or the open writer
+        transaction's own view).
+
+        The derivation fallbacks store objects — committing fresh xids
+        mid-scope — and immediately re-read them; under a reader's
+        frozen snapshot (or even a snapshot frozen at scope entry) those
+        reads would miss the data the fallback just created.  The outer
+        pin is restored on exit.
+        """
+        with self.read_view(None):
+            yield
 
     def _snapshot(self):
-        """Snapshot for reads: the open transaction's view, if any."""
-        if self.current_tx is None:
+        """Snapshot for reads: the pinned view when one is active in
+        this context, else the open writer transaction's view, if any."""
+        pinned = _ACTIVE_VIEW.get()
+        if pinned is not None and pinned[0] is self \
+                and pinned[1] is not None:
+            return pinned[1]
+        tx = self.current_tx
+        if tx is None:
             return None  # engine default: everything committed
-        return self.engine.snapshot(self.current_tx)
+        return self.engine.snapshot(tx)
 
     def materialize(self, cls: NonPrimitiveClass) -> None:
         """Create the backing relation (and extent indexes) for *cls*."""
@@ -342,13 +420,19 @@ class ClassStore:
         oid = next(self._oid_counter)
         row = (oid,) + tuple(values[a] for a in cls.attribute_names)
         relation = self.relation_for(class_name)
-        if self.current_tx is not None:
-            tid = self.engine.insert(relation, row, self.current_tx)
+        tx = self.current_tx
+        if tx is not None:
+            tid = self.engine.insert(relation, row, tx)
             self._tx_oids.append(oid)
+            write_view = self.engine.snapshot(tx)
         else:
             tid = self.engine.insert_row(relation, row)
+            write_view = self.engine.snapshot()
         self._oid_index[oid] = (class_name, tid)
-        stored = self.engine.fetch(relation, tid, self._snapshot())
+        # Re-fetch under the *write-side* snapshot, not `_snapshot()`:
+        # a derivation running while a reader pin is active must still
+        # see the row it just inserted.
+        stored = self.engine.fetch(relation, tid, write_view)
         obj_values = {a: stored[a] for a in cls.attribute_names}
         return SciObject(class_name=class_name, oid=oid, values=obj_values)
 
@@ -537,11 +621,13 @@ class ClassStore:
                      temporal: AbsTime | None,
                      filters: tuple[tuple[str, Any], ...],
                      ranges: tuple[tuple[str, str, Any], ...]) -> None:
-        self.scan_counts[class_name] = self.scan_counts.get(class_name, 0) + 1
-        if self.scan_log is not None:
-            self.scan_log.append(
-                (class_name, spatial, temporal, filters, ranges)
-            )
+        with self._stats_lock:
+            self.scan_counts[class_name] = \
+                self.scan_counts.get(class_name, 0) + 1
+            if self.scan_log is not None:
+                self.scan_log.append(
+                    (class_name, spatial, temporal, filters, ranges)
+                )
 
     def validated_path(self, class_name: str,
                        spatial: Box | None = None,

@@ -244,6 +244,13 @@ class DerivationNet:
         # are permanent and firings over distinct inputs accumulate).
         producible: dict[str, bool] = {}
         chosen: dict[str, Transition] = {}
+        # Order in which places were *proved* producible.  At the moment
+        # producible[p] flips True, every input of chosen[p] is either
+        # satisfied by the marking or was proved producible earlier, so
+        # this order is a valid firing order even when the chosen tree
+        # closes a cycle through the marking (e.g. a threshold-2 input
+        # replenished by a feedback transition).
+        proof_order: dict[str, int] = {}
 
         def satisfiable(place: str, required: int,
                         trail: frozenset[str]) -> bool:
@@ -260,6 +267,7 @@ class DerivationNet:
                 ):
                     producible[place] = True
                     chosen[place] = transition
+                    proof_order[place] = len(proof_order)
                     return True
             producible[place] = False
             return False
@@ -298,6 +306,11 @@ class DerivationNet:
                 steps.append(transition.name)
 
         emit(target, frozenset())
+        # The tree walk above finds *which* transitions are needed, but
+        # its emission order can be wrong when it cuts a cycle (the
+        # producer on the stack is appended after transitions that
+        # consume its output).  Re-sort by proof order, which is sound.
+        steps.sort(key=lambda name: proof_order[self.transition(name).output])
         return DerivationPlan(
             target=target, steps=tuple(steps), initial_places=frozenset(initial)
         )

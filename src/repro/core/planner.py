@@ -274,6 +274,13 @@ class RetrievalPlanner:
 
     def _interpolate(self, class_name: str, spatial: Box | None,
                      temporal: AbsTime) -> RetrievalResult:
+        # Like derivation, interpolation stores its output and wants the
+        # latest committed brackets — suspend any reader pin.
+        with self.manager.store.write_view():
+            return self._interpolate_live(class_name, spatial, temporal)
+
+    def _interpolate_live(self, class_name: str, spatial: Box | None,
+                          temporal: AbsTime) -> RetrievalResult:
         cls = self.manager.classes.get(class_name)
         relation = self.manager.store.relation_for(class_name)
         timeline = self.manager.store.engine.timeline_of(relation)
@@ -317,6 +324,13 @@ class RetrievalPlanner:
         Requires an image-typed ``data`` attribute; every other
         non-extent attribute must agree across the pieces.
         """
+        with self.manager.store.write_view():
+            return self._interpolate_spatial_live(class_name, region,
+                                                  temporal)
+
+    def _interpolate_spatial_live(self, class_name: str, region: Box,
+                                  temporal: AbsTime | None
+                                  ) -> RetrievalResult:
         from ..gis.mosaic import covers, mosaic
 
         cls = self.manager.classes.get(class_name)
@@ -371,6 +385,22 @@ class RetrievalPlanner:
                 known_empty: bool = False,
                 marking_cache: MarkingCache | None = None
                 ) -> RetrievalResult:
+        # Derivation stores objects and re-reads them mid-flight; a
+        # reader's pinned snapshot must not apply inside (it would hide
+        # what the net just fired).  The pin is restored on return.
+        with self.manager.store.write_view():
+            return self._derive_live(
+                class_name, spatial, temporal,
+                spatial_coverage=spatial_coverage,
+                known_empty=known_empty, marking_cache=marking_cache,
+            )
+
+    def _derive_live(self, class_name: str, spatial: Box | None,
+                     temporal: AbsTime | None,
+                     spatial_coverage: bool = False,
+                     known_empty: bool = False,
+                     marking_cache: MarkingCache | None = None
+                     ) -> RetrievalResult:
         cls = self.manager.classes.get(class_name)
 
         def matching_target() -> list[SciObject]:

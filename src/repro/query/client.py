@@ -63,7 +63,10 @@ __all__ = ["connect", "Connection", "Cursor", "PreparedStatement",
 
 #: PEP-249 module globals (informational).
 apilevel = "2.0"
-threadsafety = 1  # module-level sharing only
+#: Connections may be shared across threads: readers pin immutable
+#: snapshots (never blocking on the writer) and all shared state —
+#: plan cache, indexes, transaction manager — is internally locked.
+threadsafety = 2
 paramstyle = "qmark"  # ':name' named parameters are also accepted
 
 
@@ -103,6 +106,9 @@ class Connection:
         )
         self.executor = Executor(kernel=kernel)
         self._tx: Transaction | None = None
+        #: Pinned committed-set for an explicit read-only transaction
+        #: (`begin(read_only=True)`); cleared by commit/rollback.
+        self._read_snapshot: Any | None = None
         self._closed = False
 
     # -- plan-cache statistics -------------------------------------------------
@@ -155,28 +161,42 @@ class Connection:
 
     @property
     def in_transaction(self) -> bool:
-        return self._tx is not None
+        return self._tx is not None or self._read_snapshot is not None
 
-    def begin(self) -> Transaction:
+    def begin(self, read_only: bool = False) -> Transaction | None:
         """Open an explicit transaction on the kernel's object store.
 
         Objects stored until :meth:`commit` are visible to this kernel's
         readers mid-flight (they share the writer's snapshot) but are
         permanently discarded by :meth:`rollback` — the storage layer is
         no-overwrite MVCC, so rolled-back versions simply never commit.
+
+        With *read_only* the connection instead pins a snapshot of
+        everything committed right now and returns None: no storage
+        transaction opens (any number of read-only transactions run
+        concurrently with the single writer, never blocking on it), and
+        every statement until :meth:`commit`/:meth:`rollback` sees that
+        one frozen view regardless of concurrent commits.
         """
         self._check_open()
-        if self._tx is not None:
+        if self.in_transaction:
+            label = (f"transaction {self._tx.xid}" if self._tx is not None
+                     else "a read-only transaction")
             raise InterfaceError(
-                f"transaction {self._tx.xid} is already open on this "
-                "connection"
+                f"{label} is already open on this connection"
             )
+        if read_only:
+            self._read_snapshot = self.kernel.store.reader_snapshot()
+            return None
         self._tx = self.kernel.store.begin_transaction()
         return self._tx
 
     def commit(self) -> None:
         """Commit the open transaction (no-op outside one: auto-commit)."""
         self._check_open()
+        if self._read_snapshot is not None:
+            self._read_snapshot = None
+            return
         if self._tx is None:
             return
         self.kernel.store.commit_transaction()
@@ -185,10 +205,26 @@ class Connection:
     def rollback(self) -> None:
         """Abort the open transaction (no-op outside one)."""
         self._check_open()
+        if self._read_snapshot is not None:
+            self._read_snapshot = None
+            return
         if self._tx is None:
             return
         self.kernel.store.rollback_transaction()
         self._tx = None
+
+    def _statement_snapshot(self) -> Any:
+        """The snapshot one statement's reads should be pinned to:
+        the writer's own view inside an explicit transaction, the
+        frozen view inside a read-only transaction, else a fresh
+        everything-committed snapshot (statement-level consistency
+        under auto-commit)."""
+        store = self.kernel.store
+        if self._tx is not None:
+            return store.engine.snapshot(self._tx)
+        if self._read_snapshot is not None:
+            return self._read_snapshot
+        return store.reader_snapshot()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -202,6 +238,7 @@ class Connection:
             return
         if self._tx is not None:
             self.rollback()
+        self._read_snapshot = None
         self._closed = True
 
     def _check_open(self) -> None:
@@ -325,7 +362,18 @@ class Cursor:
         self._rows = None
         self._exhausted = True
         self._describe(nodes)
-        out = [self.connection.executor.execute(node) for node in nodes]
+        executor = self.connection.executor
+        store = self.connection.kernel.store
+        out = []
+        for node in nodes:
+            if isinstance(node, (RetrieveNode, QueryNode)):
+                # Eager materialization: safe to pin around the whole
+                # call (no generator escapes the context).
+                with store.read_view(
+                        self.connection._statement_snapshot()):
+                    out.append(executor.execute(node))
+            else:
+                out.append(executor.execute(node))
         self.results = [r for r in out if r.kind != "objects"]
         self._fetched = sum(
             len(r.objects) for r in out if r.kind == "objects"
@@ -442,10 +490,29 @@ class Cursor:
         executor = self.connection.executor
         for item in group_nodes(nodes):
             if isinstance(item, (RetrieveNode, ConceptGroup, QueryNode)):
-                yield from executor.iter_group(item)
+                snapshot = self.connection._statement_snapshot()
+                yield from self._pinned(executor.iter_group(item), snapshot)
             else:
                 self.results.append(executor.execute(item))
         self._exhausted = True
+
+    def _pinned(self, rows: Iterator[Any], snapshot: Any) -> Iterator[Any]:
+        """Drive *rows* with *snapshot* pinned around each ``next()``.
+
+        The pin must wrap the individual ``next()`` calls, not this
+        generator's body: a ContextVar set inside a generator leaks to
+        the caller across yields (PEP 567 has no per-generator context),
+        so a ``with read_view(...)`` around a ``yield from`` would bleed
+        the pin into whatever code consumes the cursor.
+        """
+        store = self.connection.kernel.store
+        while True:
+            with store.read_view(snapshot):
+                try:
+                    obj = next(rows)
+                except StopIteration:
+                    return
+            yield obj
 
     def _check_open(self) -> None:
         if self._closed:

@@ -21,6 +21,7 @@ on lookup instead of being served.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
@@ -196,6 +197,21 @@ class PlanCache:
     invalidations: int = 0
     _entries: OrderedDict[str, tuple[tuple[Any, ...], tuple[PlanNode, ...]]] \
         = field(default_factory=OrderedDict)
+    # `move_to_end` + eviction is a multi-step mutation of the shared
+    # OrderedDict; two threads interleaving it corrupt the LRU order
+    # (or KeyError on a concurrently evicted key), so every operation
+    # — including the counter bumps — runs under this lock.
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -209,29 +225,32 @@ class PlanCache:
         so uncacheable statements (DDL, SHOW, EXPLAIN) do not distort
         the miss rate.
         """
-        entry = self._entries.get(key)
-        if entry is not None and entry[0] != schema_version:
-            del self._entries[key]
-            self.invalidations += 1
-            entry = None
-        if entry is None:
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry[1]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] != schema_version:
+                del self._entries[key]
+                self.invalidations += 1
+                entry = None
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[1]
 
     def store(self, key: str, schema_version: tuple[Any, ...],
               nodes: tuple[PlanNode, ...]) -> None:
         """Insert *nodes* (counted as a miss), evicting the least
         recently used entry."""
-        self.misses += 1
-        self._entries[key] = (schema_version, nodes)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = (schema_version, nodes)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 @dataclass

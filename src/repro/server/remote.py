@@ -1,0 +1,289 @@
+"""remote_connect: the DB-API client over the wire protocol.
+
+:class:`RemoteConnection` and :class:`RemoteCursor` mirror the local
+:class:`~repro.query.client.Connection`/``Cursor`` surface — execute
+with bind parameters, fetchone/fetchmany/fetchall/iteration, explain,
+begin/commit/rollback — over one socket to a :class:`~.server.GaeaServer`.
+
+Server-side failures come back as typed error frames; the client
+re-raises them as the matching :mod:`repro.errors` class when one
+exists (``TransactionError`` on the server is ``TransactionError``
+here), falling back to :class:`~repro.errors.InterfaceError`.
+
+Unlike the local API, a remote connection is *not* thread-safe: it owns
+one socket carrying strictly ordered request/response pairs.  Open one
+connection per thread — the server gives each its own snapshot-isolated
+session.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterator
+
+from .. import errors
+from ..errors import GaeaError, InterfaceError
+from .protocol import decode_value, encode_value, recv_frame, send_frame
+
+__all__ = ["RemoteConnection", "RemoteCursor", "remote_connect"]
+
+#: Rows pulled per fetch frame when draining (fetchall / iteration).
+_FETCH_BATCH = 64
+
+
+def _raise_remote(error: dict[str, Any]) -> None:
+    """Re-raise a server error frame as its local exception type."""
+    name = error.get("type", "InterfaceError")
+    message = error.get("message", "remote error")
+    exc_type = getattr(errors, name, None)
+    if not (isinstance(exc_type, type) and issubclass(exc_type, GaeaError)):
+        exc_type = InterfaceError
+        message = f"{name}: {message}"
+    raise exc_type(message)
+
+
+class RemoteConnection:
+    """A client connection to a :class:`~.server.GaeaServer`."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float | None = None):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+        hello = self.request({"op": "hello"})
+        self.server_version: str = hello.get("version", "?")
+
+    # -- wire ----------------------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One request/response round trip; raises on error frames."""
+        if self._closed:
+            raise InterfaceError("remote connection is closed")
+        try:
+            send_frame(self._sock, payload)
+            response = recv_frame(self._sock)
+        except OSError as exc:
+            self._closed = True
+            raise InterfaceError(f"connection lost: {exc}") from exc
+        if response is None:
+            self._closed = True
+            raise InterfaceError("server closed the connection")
+        if "error" in response:
+            _raise_remote(response["error"])
+        return response.get("ok", {})
+
+    # -- DB-API surface ------------------------------------------------------
+
+    def cursor(self) -> "RemoteCursor":
+        if self._closed:
+            raise InterfaceError("remote connection is closed")
+        return RemoteCursor(self)
+
+    def execute(self, source: str, params: Any = None) -> "RemoteCursor":
+        """Eager convenience mirroring ``Connection.execute``."""
+        cursor = self.cursor()
+        cursor.execute(source, params)
+        cursor.fetchall()
+        return cursor
+
+    def store(self, class_name: str, values: dict[str, Any]) -> int:
+        """Store one object (GaeaQL has no INSERT); returns its oid.
+
+        ADT values — :class:`~repro.spatial.box.Box`,
+        :class:`~repro.temporal.abstime.AbsTime`,
+        :class:`~repro.adt.image.Image` — travel through the value
+        codec; strings in external form (``'(0,0,10,10)'``,
+        ``'1986-01-15'``) are coerced server-side as usual.
+        """
+        ok = self.request({
+            "op": "store", "class": class_name,
+            "values": encode_value(values),
+        })
+        return ok["oid"]
+
+    def begin(self, read_only: bool = False) -> None:
+        self.request({"op": "begin", "read_only": read_only})
+
+    def commit(self) -> None:
+        self.request({"op": "commit"})
+
+    def rollback(self) -> None:
+        self.request({"op": "rollback"})
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self.request({"op": "close"})
+        except (GaeaError, OSError):
+            pass
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._closed:
+            try:
+                if exc_type is None:
+                    self.commit()
+                else:
+                    self.rollback()
+            except (GaeaError, OSError):
+                pass
+        self.close()
+
+
+class RemoteCursor:
+    """A streaming result handle over the wire (PEP-249 shaped)."""
+
+    arraysize = 1
+
+    def __init__(self, connection: RemoteConnection):
+        self.connection = connection
+        self.description: list[tuple] | None = None
+        #: Non-object results, as ``{"kind", "message", "path"}`` dicts.
+        self.results: list[dict[str, Any]] = []
+        self._cursor_id: int | None = None
+        self._buffer: list[Any] = []
+        self._exhausted = True
+        self._fetched = 0
+        self._closed = False
+
+    def execute(self, source: str, params: Any = None) -> "RemoteCursor":
+        self._check_open()
+        ok = self.connection.request({
+            "op": "execute",
+            "cursor": self._cursor_id,
+            "source": source,
+            "params": encode_value(params),
+        })
+        self._cursor_id = ok["cursor"]
+        self.description = (
+            [tuple(column) for column in ok["description"]]
+            if ok.get("description") else None
+        )
+        self.results = list(ok.get("results", []))
+        self._buffer = []
+        self._exhausted = False
+        self._fetched = 0
+        return self
+
+    def executemany(self, source: str, seq_of_params: Any) -> "RemoteCursor":
+        for params in seq_of_params:
+            self.execute(source, params)
+            self.fetchall()
+        return self
+
+    def explain(self, source: str, params: Any = None) -> str:
+        self._check_open()
+        ok = self.connection.request({
+            "op": "explain", "source": source,
+            "params": encode_value(params),
+        })
+        return ok["plan"]
+
+    # -- fetching ------------------------------------------------------------
+
+    def _fill(self, count: int) -> None:
+        if self._exhausted or self._cursor_id is None:
+            return
+        ok = self.connection.request({
+            "op": "fetch", "cursor": self._cursor_id, "count": count,
+        })
+        self._buffer.extend(decode_value(row) for row in ok["rows"])
+        # The server re-ships the cursor's full message list (statements
+        # past a retrieval run as the stream drains); keep the superset.
+        if len(ok.get("results", [])) > len(self.results):
+            self.results = list(ok["results"])
+        if ok["done"]:
+            self._exhausted = True
+
+    def fetchone(self) -> Any | None:
+        self._check_open()
+        if self._cursor_id is None:
+            raise InterfaceError("no execute() has been issued")
+        if not self._buffer:
+            self._fill(1)
+        if not self._buffer:
+            return None
+        self._fetched += 1
+        return self._buffer.pop(0)
+
+    def fetchmany(self, size: int | None = None) -> list[Any]:
+        count = self.arraysize if size is None else size
+        while len(self._buffer) < count and not self._exhausted:
+            self._fill(count - len(self._buffer))
+        out, self._buffer = self._buffer[:count], self._buffer[count:]
+        self._fetched += len(out)
+        return out
+
+    def fetchall(self) -> list[Any]:
+        while not self._exhausted:
+            self._fill(_FETCH_BATCH)
+        out, self._buffer = self._buffer, []
+        self._fetched += len(out)
+        return out
+
+    def __iter__(self) -> Iterator[Any]:
+        while True:
+            obj = self.fetchone()
+            if obj is None:
+                return
+            yield obj
+
+    @property
+    def rowcount(self) -> int:
+        if not self._exhausted or self._buffer:
+            return -1
+        return self._fetched
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._cursor_id is not None and not self.connection.closed:
+            try:
+                self.connection.request({
+                    "op": "close_cursor", "cursor": self._cursor_id,
+                })
+            except (GaeaError, OSError):
+                pass
+        self._buffer = []
+        self._exhausted = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+
+    def __enter__(self) -> "RemoteCursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def remote_connect(host: str = "127.0.0.1", port: int = 7474,
+                   timeout: float | None = None) -> RemoteConnection:
+    """Connect to a running ``repro serve`` / :class:`GaeaServer`.
+
+    ::
+
+        from repro.client import remote_connect
+
+        conn = remote_connect("127.0.0.1", 7474)
+        cur = conn.cursor()
+        cur.execute("SELECT FROM land_cover WHERE timestamp = ?",
+                    ["1986-01-15"])
+        for obj in cur:
+            ...
+    """
+    return RemoteConnection(host, port, timeout=timeout)

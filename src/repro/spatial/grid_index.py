@@ -10,8 +10,9 @@ intersects it.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Hashable, Iterator
+from typing import Any, Hashable, Iterator
 
 from ..errors import SpatialError
 from .box import Box
@@ -40,12 +41,25 @@ class GridIndex:
     # Extents outside the universe are legal but unbinnable; they live in
     # an overflow set consulted by every query.
     _outside: set[Hashable] = field(default_factory=set)
+    # Queries union mutable cell sets, so concurrent insert/remove would
+    # otherwise raise "set changed size during iteration" mid-query.
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.nx < 1 or self.ny < 1:
             raise SpatialError("grid resolution must be >= 1 per axis")
         if self.universe.area == 0.0:
             raise SpatialError("grid universe must have positive area")
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -79,42 +93,45 @@ class GridIndex:
         Extents outside the universe go to the overflow set: legal, just
         not accelerated.
         """
-        if entry_id in self._entries:
-            raise SpatialError(f"duplicate grid entry id {entry_id!r}")
-        self._entries[entry_id] = box
-        if not self.universe.overlaps(box):
-            self._outside.add(entry_id)
-            return
-        for cell in self._cell_span(box):
-            self._cells.setdefault(cell, set()).add(entry_id)
+        with self._lock:
+            if entry_id in self._entries:
+                raise SpatialError(f"duplicate grid entry id {entry_id!r}")
+            self._entries[entry_id] = box
+            if not self.universe.overlaps(box):
+                self._outside.add(entry_id)
+                return
+            for cell in self._cell_span(box):
+                self._cells.setdefault(cell, set()).add(entry_id)
 
     def remove(self, entry_id: Hashable) -> None:
         """Drop *entry_id* from the index."""
-        box = self._entries.pop(entry_id, None)
-        if box is None:
-            raise SpatialError(f"unknown grid entry id {entry_id!r}")
-        if entry_id in self._outside:
-            self._outside.discard(entry_id)
-            return
-        for cell in self._cell_span(box):
-            bucket = self._cells.get(cell)
-            if bucket is not None:
-                bucket.discard(entry_id)
-                if not bucket:
-                    del self._cells[cell]
+        with self._lock:
+            box = self._entries.pop(entry_id, None)
+            if box is None:
+                raise SpatialError(f"unknown grid entry id {entry_id!r}")
+            if entry_id in self._outside:
+                self._outside.discard(entry_id)
+                return
+            for cell in self._cell_span(box):
+                bucket = self._cells.get(cell)
+                if bucket is not None:
+                    bucket.discard(entry_id)
+                    if not bucket:
+                        del self._cells[cell]
 
     # -- queries ------------------------------------------------------------
 
     def query(self, box: Box) -> set[Hashable]:
         """Ids of every indexed extent overlapping *box*."""
-        candidates: set[Hashable] = set(self._outside)
-        for cell in self._cell_span(box):
-            candidates |= self._cells.get(cell, set())
-        return {
-            entry_id
-            for entry_id in candidates
-            if self._entries[entry_id].overlaps(box)
-        }
+        with self._lock:
+            candidates: set[Hashable] = set(self._outside)
+            for cell in self._cell_span(box):
+                candidates |= self._cells.get(cell, set())
+            return {
+                entry_id
+                for entry_id in candidates
+                if self._entries[entry_id].overlaps(box)
+            }
 
     def estimate_matches(self, box: Box) -> int:
         """Cheap upper-bound estimate of :meth:`query`'s result size.
@@ -125,18 +142,20 @@ class GridIndex:
         counted once per cell, which keeps this an over- rather than
         under-estimate.
         """
-        total = len(self._outside)
-        for cell in self._cell_span(box):
-            total += len(self._cells.get(cell, ()))
-        return min(total, len(self._entries))
+        with self._lock:
+            total = len(self._outside)
+            for cell in self._cell_span(box):
+                total += len(self._cells.get(cell, ()))
+            return min(total, len(self._entries))
 
     def query_contained(self, box: Box) -> set[Hashable]:
         """Ids of extents entirely inside *box*."""
-        return {
-            entry_id
-            for entry_id in self.query(box)
-            if box.contains(self._entries[entry_id])
-        }
+        with self._lock:
+            return {
+                entry_id
+                for entry_id in self.query(box)
+                if box.contains(self._entries[entry_id])
+            }
 
     def extent_of(self, entry_id: Hashable) -> Box:
         """The indexed extent for *entry_id*."""

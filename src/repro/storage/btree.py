@@ -13,6 +13,7 @@ degenerate to heap scans.
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator
 
@@ -21,6 +22,11 @@ from ..errors import IndexError_
 __all__ = ["BTree", "HistogramBucket"]
 
 _MIN_ORDER = 4
+
+#: Keys collected per lock acquisition during a range scan.  Scans hold
+#: the tree lock only while gathering a chunk and yield with it
+#: released, so a long scan never starves the writer.
+_SCAN_CHUNK = 256
 
 #: Rebuild the cached histogram when the entry count drifts by more
 #: than this fraction since it was built (keeps `histogram()` amortized
@@ -76,6 +82,20 @@ class BTree:
         # (entry count at build time, buckets) — see `histogram`.
         self._hist_cache: tuple[int, tuple[HistogramBucket, ...] | None] \
             | None = None
+        # Guards structural mutation and traversal.  Reentrant because
+        # `histogram()` builds via `range_scan()` while already holding
+        # it.  Scans release it between chunks (see `range_scan`), so
+        # readers and the single writer interleave at chunk granularity.
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return self._count
@@ -91,11 +111,12 @@ class BTree:
 
     def search(self, key: Any) -> set[Hashable]:
         """All entries stored under *key* (empty set when absent)."""
-        leaf = self._find_leaf(key)
-        idx = bisect.bisect_left(leaf.keys, key)
-        if idx < len(leaf.keys) and leaf.keys[idx] == key:
-            return set(leaf.values[idx])
-        return set()
+        with self._lock:
+            leaf = self._find_leaf(key)
+            idx = bisect.bisect_left(leaf.keys, key)
+            if idx < len(leaf.keys) and leaf.keys[idx] == key:
+                return set(leaf.values[idx])
+            return set()
 
     def range_scan(self, lo: Any = None, hi: Any = None,
                    include_lo: bool = True, include_hi: bool = True,
@@ -107,11 +128,43 @@ class BTree:
         ``None`` bounds are open-ended.  Direction-aware iteration is
         what lets an ``ORDER BY ... DESC`` ride the index instead of an
         explicit sort.
+
+        The scan collects up to :data:`_SCAN_CHUNK` keys per lock
+        acquisition and yields them with the lock released, re-seeking
+        from the last key (exclusive).  Keys are never physically
+        removed (deletes leave empty buckets), so the re-seek cannot
+        skip pre-existing keys; keys inserted behind the cursor belong
+        to transactions the caller's snapshot filters out anyway.
         """
         if reverse:
-            yield from self._range_scan_reversed(lo, hi, include_lo,
-                                                 include_hi)
-            return
+            cursor, cursor_inclusive = hi, include_hi
+            while True:
+                with self._lock:
+                    chunk = self._collect_reversed(
+                        lo, cursor, include_lo, cursor_inclusive,
+                        _SCAN_CHUNK)
+                yield from chunk
+                if len(chunk) < _SCAN_CHUNK:
+                    return
+                cursor, cursor_inclusive = chunk[-1][0], False
+        else:
+            cursor, cursor_inclusive = lo, include_lo
+            while True:
+                with self._lock:
+                    chunk = self._collect_forward(
+                        cursor, hi, cursor_inclusive, include_hi,
+                        _SCAN_CHUNK)
+                yield from chunk
+                if len(chunk) < _SCAN_CHUNK:
+                    return
+                cursor, cursor_inclusive = chunk[-1][0], False
+
+    def _collect_forward(self, lo: Any, hi: Any, include_lo: bool,
+                         include_hi: bool, limit: int
+                         ) -> list[tuple[Any, set[Hashable]]]:
+        """Up to *limit* ``(key, copied bucket)`` pairs, ascending.
+        Caller holds the lock."""
+        out: list[tuple[Any, set[Hashable]]] = []
         if lo is not None:
             leaf = self._find_leaf(lo)
             start = bisect.bisect_left(leaf.keys, lo)
@@ -129,24 +182,28 @@ class BTree:
                         continue
                 if hi is not None:
                     if key > hi or (key == hi and not include_hi):
-                        return
-                yield key, set(node.values[idx])
+                        return out
+                out.append((key, set(node.values[idx])))
+                if len(out) >= limit:
+                    return out
                 idx += 1
             node = node.next_leaf
             idx = 0
+        return out
 
-    def _range_scan_reversed(self, lo: Any, hi: Any,
-                             include_lo: bool, include_hi: bool
-                             ) -> Iterator[tuple[Any, set[Hashable]]]:
-        """Descending leaf walk.  Leaves only link forward, so the walk
-        descends the tree right-to-left with an explicit stack instead
-        of following ``next_leaf`` pointers.
+    def _collect_reversed(self, lo: Any, hi: Any,
+                          include_lo: bool, include_hi: bool, limit: int
+                          ) -> list[tuple[Any, set[Hashable]]]:
+        """Up to *limit* pairs, descending.  Leaves only link forward,
+        so the walk descends the tree right-to-left with an explicit
+        stack instead of following ``next_leaf`` pointers.
 
         Subtrees entirely outside ``[lo, hi]`` are pruned during the
         descent (child ``i`` holds keys in ``[keys[i-1], keys[i])``),
         so a bounded walk seeks its start leaf instead of skipping
-        every key above ``hi`` one by one.
+        every key above ``hi`` one by one.  Caller holds the lock.
         """
+        out: list[tuple[Any, set[Hashable]]] = []
         stack: list[_Node] = [self._root]
         while stack:
             node = stack.pop()
@@ -168,8 +225,11 @@ class BTree:
                         continue
                 if lo is not None:
                     if key < lo or (key == lo and not include_lo):
-                        return
-                yield key, set(node.values[idx])
+                        return out
+                out.append((key, set(node.values[idx])))
+                if len(out) >= limit:
+                    return out
+        return out
 
     def items_reversed(self) -> Iterator[tuple[Any, set[Hashable]]]:
         """All ``(key, entries)`` pairs in descending key order."""
@@ -189,16 +249,18 @@ class BTree:
 
     def insert(self, key: Any, entry: Hashable) -> None:
         """Add *entry* under *key* (duplicates of the pair are idempotent)."""
-        root = self._root
-        if len(root.keys) > self._order:
-            raise IndexError_("internal invariant violated: oversized root")
-        inserted = self._insert_into(root, key, entry)
-        if inserted:
-            self._count += 1
-        if len(root.keys) > self._order:
-            new_root = _Node(leaf=False, children=[root])
-            self._split_child(new_root, 0)
-            self._root = new_root
+        with self._lock:
+            root = self._root
+            if len(root.keys) > self._order:
+                raise IndexError_(
+                    "internal invariant violated: oversized root")
+            inserted = self._insert_into(root, key, entry)
+            if inserted:
+                self._count += 1
+            if len(root.keys) > self._order:
+                new_root = _Node(leaf=False, children=[root])
+                self._split_child(new_root, 0)
+                self._root = new_root
 
     def _note_key(self, key: Any) -> None:
         """Track the key range and distinct-key count on insert."""
@@ -267,17 +329,18 @@ class BTree:
         read — physical compaction is a vacuum concern, not a correctness
         one.  Raises when the pair is absent.
         """
-        leaf = self._find_leaf(key)
-        idx = bisect.bisect_left(leaf.keys, key)
-        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
-            raise IndexError_(f"key {key!r} not in index")
-        bucket: set[Hashable] = leaf.values[idx]
-        if entry not in bucket:
-            raise IndexError_(f"entry {entry!r} not under key {key!r}")
-        bucket.discard(entry)
-        self._count -= 1
-        if not bucket:
-            self._distinct -= 1
+        with self._lock:
+            leaf = self._find_leaf(key)
+            idx = bisect.bisect_left(leaf.keys, key)
+            if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+                raise IndexError_(f"key {key!r} not in index")
+            bucket: set[Hashable] = leaf.values[idx]
+            if entry not in bucket:
+                raise IndexError_(f"entry {entry!r} not under key {key!r}")
+            bucket.discard(entry)
+            self._count -= 1
+            if not bucket:
+                self._distinct -= 1
 
     # -- introspection ---------------------------------------------------------------
 
@@ -296,9 +359,10 @@ class BTree:
         Maintained incrementally (O(1)); deletes may leave the bounds
         slightly wide, which only pads the cost model's range estimates.
         """
-        if self._min_key is None:
-            return None
-        return (self._min_key, self._max_key)
+        with self._lock:
+            if self._min_key is None:
+                return None
+            return (self._min_key, self._max_key)
 
     def histogram(self, max_buckets: int = 32
                   ) -> tuple[HistogramBucket, ...] | None:
@@ -313,19 +377,22 @@ class BTree:
 
         The result is cached and rebuilt lazily once the entry count has
         drifted enough to matter, keeping the amortized cost of a call
-        O(1) for the cost model's purposes.
+        O(1) for the cost model's purposes.  Check and rebuild happen
+        under the tree lock so concurrent callers cannot interleave a
+        stale-count check with another thread's rebuild.
         """
-        if self._count == 0:
-            return None
-        if self._hist_cache is not None:
-            built, cached = self._hist_cache
-            drift = abs(self._count - built)
-            if drift <= max(_HIST_STALE_FLOOR, int(built
-                                                   * _HIST_STALE_FRACTION)):
-                return cached
-        buckets = self._build_histogram(max_buckets)
-        self._hist_cache = (self._count, buckets)
-        return buckets
+        with self._lock:
+            if self._count == 0:
+                return None
+            if self._hist_cache is not None:
+                built, cached = self._hist_cache
+                drift = abs(self._count - built)
+                if drift <= max(_HIST_STALE_FLOOR,
+                                int(built * _HIST_STALE_FRACTION)):
+                    return cached
+            buckets = self._build_histogram(max_buckets)
+            self._hist_cache = (self._count, buckets)
+            return buckets
 
     def _build_histogram(self, max_buckets: int
                          ) -> tuple[HistogramBucket, ...] | None:

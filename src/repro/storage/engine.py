@@ -16,6 +16,7 @@ out of explicit transaction plumbing.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -71,24 +72,44 @@ class StorageEngine:
     # ever keeps pointers to rolled-back row versions.
     _tx_index_log: dict[int, list[tuple[str, str, str, Any, TID]]] \
         = field(default_factory=dict)
+    # Serializes all mutating paths (DDL, DML, commit/abort, WAL
+    # appends).  Readers never take it: they work off an immutable
+    # `Snapshot` plus structures that are individually safe to read
+    # while written (append-only heap, internally locked indexes), so a
+    # reader is never blocked by the writer.  Reentrant because `update`
+    # composes `delete` + `insert` and auto-commit wrappers compose
+    # begin/DML/commit.  Lock order: engine lock, then the transaction
+    # manager's or an index's internal lock — never the reverse.
+    _write_lock: threading.RLock = field(default_factory=threading.RLock,
+                                         repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.catalog = Catalog(types=self.types)
         self.transactions.on_abort(self._purge_aborted_index_entries)
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_write_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._write_lock = threading.RLock()
 
     # -- DDL -----------------------------------------------------------------
 
     def create_relation(self, name: str, columns: list[tuple[str, str]],
                         tx: Transaction | None = None) -> Schema:
         """Create a relation; logs the DDL."""
-        schema = self.catalog.create(name, columns)
-        self._relations[name] = _RelationState(heap=HeapFile(name=name))
-        self.wal.append(
-            LogKind.CREATE_RELATION,
-            xid=tx.xid if tx else 0,
-            payload={"relation": name, "columns": list(columns)},
-        )
-        return schema
+        with self._write_lock:
+            schema = self.catalog.create(name, columns)
+            self._relations[name] = _RelationState(heap=HeapFile(name=name))
+            self.wal.append(
+                LogKind.CREATE_RELATION,
+                xid=tx.xid if tx else 0,
+                payload={"relation": name, "columns": list(columns)},
+            )
+            return schema
 
     def _buildable_versions(self, state: _RelationState
                             ) -> Iterator[tuple[TID, TupleVersion]]:
@@ -123,79 +144,92 @@ class StorageEngine:
         version, which invalidates cached plans) and maintained by every
         subsequent insert/delete/rollback.
         """
-        state = self._state(relation)
-        schema = self.catalog.get(relation)
-        position = schema.index_of(column)
-        if column in state.btrees:
-            raise StorageError(f"index on {relation}.{column} already exists")
-        index = self.catalog.add_index(relation, column, "btree", name=name)
-        tree = BTree(order=order)
-        for tid, version in self._buildable_versions(state):
-            tree.insert(version.values[position], tid)
-            self._log_if_uncommitted(version.xmin, relation, "btree", column,
-                                     version.values[position], tid)
-        state.btrees[column] = tree
-        return index
+        with self._write_lock:
+            state = self._state(relation)
+            schema = self.catalog.get(relation)
+            position = schema.index_of(column)
+            if column in state.btrees:
+                raise StorageError(
+                    f"index on {relation}.{column} already exists")
+            index = self.catalog.add_index(relation, column, "btree",
+                                           name=name)
+            tree = BTree(order=order)
+            for tid, version in self._buildable_versions(state):
+                tree.insert(version.values[position], tid)
+                self._log_if_uncommitted(version.xmin, relation, "btree",
+                                         column, version.values[position],
+                                         tid)
+            state.btrees[column] = tree
+            return index
 
     def create_spatial_index(self, relation: str, column: str,
                              universe: Box, nx: int = 16, ny: int = 16,
                              name: str | None = None) -> IndexDef:
         """Attach a grid index over a box-typed column."""
-        state = self._state(relation)
-        schema = self.catalog.get(relation)
-        if schema.type_of(column) != "box":
-            raise StorageError(f"{relation}.{column} is not box-typed")
-        index = self.catalog.add_index(relation, column, "spatial", name=name)
-        state.spatial = GridIndex(universe=universe, nx=nx, ny=ny)
-        state.spatial_column = column
-        position = schema.index_of(column)
-        for tid, version in self._buildable_versions(state):
-            state.spatial.insert(tid, version.values[position])
-            self._log_if_uncommitted(version.xmin, relation, "spatial", column,
-                                     version.values[position], tid)
-        return index
+        with self._write_lock:
+            state = self._state(relation)
+            schema = self.catalog.get(relation)
+            if schema.type_of(column) != "box":
+                raise StorageError(f"{relation}.{column} is not box-typed")
+            index = self.catalog.add_index(relation, column, "spatial",
+                                           name=name)
+            state.spatial = GridIndex(universe=universe, nx=nx, ny=ny)
+            state.spatial_column = column
+            position = schema.index_of(column)
+            for tid, version in self._buildable_versions(state):
+                state.spatial.insert(tid, version.values[position])
+                self._log_if_uncommitted(version.xmin, relation, "spatial",
+                                         column, version.values[position],
+                                         tid)
+            return index
 
     def create_temporal_index(self, relation: str, column: str,
                               name: str | None = None) -> IndexDef:
         """Attach a timeline over an abstime-typed column."""
-        state = self._state(relation)
-        schema = self.catalog.get(relation)
-        if schema.type_of(column) != "abstime":
-            raise StorageError(f"{relation}.{column} is not abstime-typed")
-        index = self.catalog.add_index(relation, column, "temporal", name=name)
-        state.temporal = Timeline()
-        state.temporal_column = column
-        position = schema.index_of(column)
-        for tid, version in self._buildable_versions(state):
-            state.temporal.add(version.values[position], tid)
-            self._log_if_uncommitted(version.xmin, relation, "temporal",
-                                     column, version.values[position], tid)
-        return index
+        with self._write_lock:
+            state = self._state(relation)
+            schema = self.catalog.get(relation)
+            if schema.type_of(column) != "abstime":
+                raise StorageError(
+                    f"{relation}.{column} is not abstime-typed")
+            index = self.catalog.add_index(relation, column, "temporal",
+                                           name=name)
+            state.temporal = Timeline()
+            state.temporal_column = column
+            position = schema.index_of(column)
+            for tid, version in self._buildable_versions(state):
+                state.temporal.add(version.values[position], tid)
+                self._log_if_uncommitted(version.xmin, relation, "temporal",
+                                         column, version.values[position],
+                                         tid)
+            return index
 
     def drop_index(self, relation: str, column: str) -> None:
         """Drop the B-tree on ``relation.column`` (catalog + structure)."""
-        state = self._state(relation)
-        if column not in state.btrees:
-            raise StorageError(f"no index on {relation}.{column}")
-        index = self.catalog.find_index(relation, column, "btree")
-        if index is not None:
-            self.catalog.drop_index(index.name)
-        del state.btrees[column]
+        with self._write_lock:
+            state = self._state(relation)
+            if column not in state.btrees:
+                raise StorageError(f"no index on {relation}.{column}")
+            index = self.catalog.find_index(relation, column, "btree")
+            if index is not None:
+                self.catalog.drop_index(index.name)
+            del state.btrees[column]
 
     def drop_index_named(self, name: str) -> IndexDef:
         """Drop any secondary index by its catalog name."""
-        index = self.catalog.index_named(name)
-        state = self._state(index.relation)
-        self.catalog.drop_index(name)
-        if index.kind == "btree":
-            state.btrees.pop(index.column, None)
-        elif index.kind == "spatial":
-            state.spatial = None
-            state.spatial_column = None
-        else:
-            state.temporal = None
-            state.temporal_column = None
-        return index
+        with self._write_lock:
+            index = self.catalog.index_named(name)
+            state = self._state(index.relation)
+            self.catalog.drop_index(name)
+            if index.kind == "btree":
+                state.btrees.pop(index.column, None)
+            elif index.kind == "spatial":
+                state.spatial = None
+                state.spatial_column = None
+            else:
+                state.temporal = None
+                state.temporal_column = None
+            return index
 
     def has_index(self, relation: str, column: str) -> bool:
         """Whether a B-tree exists on ``relation.column``."""
@@ -215,16 +249,18 @@ class StorageEngine:
 
     def begin(self) -> Transaction:
         """Start a transaction (logged)."""
-        tx = self.transactions.begin()
-        self.wal.append(LogKind.BEGIN, xid=tx.xid)
-        return tx
+        with self._write_lock:
+            tx = self.transactions.begin()
+            self.wal.append(LogKind.BEGIN, xid=tx.xid)
+            return tx
 
     def commit(self, tx: Transaction) -> None:
         """Commit (logged — the commit record is the durability point)."""
-        self.wal.append(LogKind.COMMIT, xid=tx.xid)
-        self.transactions.commit(tx)
-        # Committed index entries are permanent: drop the undo log.
-        self._tx_index_log.pop(tx.xid, None)
+        with self._write_lock:
+            self.wal.append(LogKind.COMMIT, xid=tx.xid)
+            self.transactions.commit(tx)
+            # Committed index entries are permanent: drop the undo log.
+            self._tx_index_log.pop(tx.xid, None)
 
     def abort(self, tx: Transaction) -> None:
         """Abort (logged); the transaction's versions stay dead forever.
@@ -233,8 +269,9 @@ class StorageEngine:
         transaction manager's abort hook), so indexes never point at
         rolled-back versions.
         """
-        self.wal.append(LogKind.ABORT, xid=tx.xid)
-        self.transactions.abort(tx)
+        with self._write_lock:
+            self.wal.append(LogKind.ABORT, xid=tx.xid)
+            self.transactions.abort(tx)
 
     def _purge_aborted_index_entries(self, xid: int) -> None:
         """Abort hook: undo every index insertion logged under *xid*."""
@@ -264,49 +301,54 @@ class StorageEngine:
     def insert(self, relation: str, values: tuple[Any, ...],
                tx: Transaction) -> TID:
         """Insert a row version under *tx*; maintains all indexes."""
-        state = self._state(relation)
-        normalized = self.catalog.validate_row(relation, values)
-        version = TupleVersion(values=normalized, xmin=tx.xid)
-        tid = state.heap.insert(version)
-        self.wal.append(
-            LogKind.INSERT, xid=tx.xid,
-            payload={"relation": relation, "tid": tid, "values": normalized},
-        )
-        schema = self.catalog.get(relation)
-        for column, tree in state.btrees.items():
-            key = normalized[schema.index_of(column)]
-            tree.insert(key, tid)
-            self._log_if_uncommitted(tx.xid, relation, "btree", column,
-                                     key, tid)
-        if state.spatial is not None and state.spatial_column is not None:
-            box = normalized[schema.index_of(state.spatial_column)]
-            state.spatial.insert(tid, box)
-            self._log_if_uncommitted(tx.xid, relation, "spatial",
-                                     state.spatial_column, box, tid)
-        if state.temporal is not None and state.temporal_column is not None:
-            at = normalized[schema.index_of(state.temporal_column)]
-            state.temporal.add(at, tid)
-            self._log_if_uncommitted(tx.xid, relation, "temporal",
-                                     state.temporal_column, at, tid)
-        return tid
+        with self._write_lock:
+            state = self._state(relation)
+            normalized = self.catalog.validate_row(relation, values)
+            version = TupleVersion(values=normalized, xmin=tx.xid)
+            tid = state.heap.insert(version)
+            self.wal.append(
+                LogKind.INSERT, xid=tx.xid,
+                payload={"relation": relation, "tid": tid,
+                         "values": normalized},
+            )
+            schema = self.catalog.get(relation)
+            for column, tree in state.btrees.items():
+                key = normalized[schema.index_of(column)]
+                tree.insert(key, tid)
+                self._log_if_uncommitted(tx.xid, relation, "btree", column,
+                                         key, tid)
+            if state.spatial is not None and state.spatial_column is not None:
+                box = normalized[schema.index_of(state.spatial_column)]
+                state.spatial.insert(tid, box)
+                self._log_if_uncommitted(tx.xid, relation, "spatial",
+                                         state.spatial_column, box, tid)
+            if state.temporal is not None \
+                    and state.temporal_column is not None:
+                at = normalized[schema.index_of(state.temporal_column)]
+                state.temporal.add(at, tid)
+                self._log_if_uncommitted(tx.xid, relation, "temporal",
+                                         state.temporal_column, at, tid)
+            return tid
 
     def delete(self, relation: str, tid: TID, tx: Transaction) -> None:
         """No-overwrite delete: stamp ``xmax``; the version remains stored."""
-        state = self._state(relation)
-        version = state.heap.get(tid)
-        if version.xmax is not None:
-            raise TupleNotFoundError(f"{relation}{tid} is already deleted")
-        version.xmax = tx.xid
-        self.wal.append(
-            LogKind.DELETE, xid=tx.xid,
-            payload={"relation": relation, "tid": tid},
-        )
+        with self._write_lock:
+            state = self._state(relation)
+            version = state.heap.get(tid)
+            if version.xmax is not None:
+                raise TupleNotFoundError(f"{relation}{tid} is already deleted")
+            version.xmax = tx.xid
+            self.wal.append(
+                LogKind.DELETE, xid=tx.xid,
+                payload={"relation": relation, "tid": tid},
+            )
 
     def update(self, relation: str, tid: TID, values: tuple[Any, ...],
                tx: Transaction) -> TID:
         """Postgres-style update: delete the old version, insert a new one."""
-        self.delete(relation, tid, tx)
-        return self.insert(relation, values, tx)
+        with self._write_lock:
+            self.delete(relation, tid, tx)
+            return self.insert(relation, values, tx)
 
     # -- reads -----------------------------------------------------------------------
 
@@ -495,24 +537,26 @@ class StorageEngine:
 
     def insert_row(self, relation: str, values: tuple[Any, ...]) -> TID:
         """Insert inside a fresh, immediately committed transaction."""
-        tx = self.begin()
-        try:
-            tid = self.insert(relation, values, tx)
-        except Exception:
-            self.abort(tx)
-            raise
-        self.commit(tx)
-        return tid
+        with self._write_lock:
+            tx = self.begin()
+            try:
+                tid = self.insert(relation, values, tx)
+            except Exception:
+                self.abort(tx)
+                raise
+            self.commit(tx)
+            return tid
 
     def delete_row(self, relation: str, tid: TID) -> None:
         """Delete inside a fresh, immediately committed transaction."""
-        tx = self.begin()
-        try:
-            self.delete(relation, tid, tx)
-        except Exception:
-            self.abort(tx)
-            raise
-        self.commit(tx)
+        with self._write_lock:
+            tx = self.begin()
+            try:
+                self.delete(relation, tid, tx)
+            except Exception:
+                self.abort(tx)
+                raise
+            self.commit(tx)
 
     # -- statistics -------------------------------------------------------------------------
 

@@ -9,9 +9,10 @@ version exists for that snapshot.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable
+from typing import Any, Callable
 
 from ..errors import TransactionError
 from .tuples import TupleVersion
@@ -76,13 +77,29 @@ class TransactionManager:
     # The engine registers its index-maintenance purge here so secondary
     # indexes never keep entries for rolled-back versions.
     _abort_hooks: list[Callable[[int], None]] = field(default_factory=list)
+    # Guards xid allocation, state transitions, and snapshot capture so
+    # readers snapshotting concurrently with a commit get either the
+    # before- or after-commit committed-set, never a torn one.
+    # Reentrant: abort hooks may call back into the manager.
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def begin(self) -> Transaction:
         """Start a new transaction."""
-        tx = Transaction(xid=self._next_xid)
-        self._next_xid += 1
-        self._transactions[tx.xid] = tx
-        return tx
+        with self._lock:
+            tx = Transaction(xid=self._next_xid)
+            self._next_xid += 1
+            self._transactions[tx.xid] = tx
+            return tx
 
     def _get_active(self, tx: Transaction) -> Transaction:
         stored = self._transactions.get(tx.xid)
@@ -96,22 +113,29 @@ class TransactionManager:
 
     def commit(self, tx: Transaction) -> None:
         """Commit *tx*; its writes become visible to later snapshots."""
-        stored = self._get_active(tx)
-        stored.status = TxStatus.COMMITTED
-        tx.status = TxStatus.COMMITTED
-        self._committed.add(tx.xid)
+        with self._lock:
+            stored = self._get_active(tx)
+            stored.status = TxStatus.COMMITTED
+            tx.status = TxStatus.COMMITTED
+            self._committed.add(tx.xid)
 
     def on_abort(self, hook: Callable[[int], None]) -> None:
         """Register *hook* to run (with the xid) after every abort."""
         self._abort_hooks.append(hook)
 
     def abort(self, tx: Transaction) -> None:
-        """Abort *tx*; its writes never become visible."""
-        stored = self._get_active(tx)
-        stored.status = TxStatus.ABORTED
-        tx.status = TxStatus.ABORTED
-        for hook in self._abort_hooks:
-            hook(tx.xid)
+        """Abort *tx*; its writes never become visible.
+
+        The abort hooks (index purge) run under the lock: a snapshot
+        taken before the abort never saw the xid anyway, and one taken
+        after must not observe half-purged index state.
+        """
+        with self._lock:
+            stored = self._get_active(tx)
+            stored.status = TxStatus.ABORTED
+            tx.status = TxStatus.ABORTED
+            for hook in self._abort_hooks:
+                hook(tx.xid)
 
     def status_of(self, xid: int) -> TxStatus:
         """Status of the transaction with id *xid*."""
@@ -137,19 +161,23 @@ class TransactionManager:
     def snapshot(self, for_tx: Transaction | None = None) -> Snapshot:
         """Take a snapshot of everything committed so far, optionally on
         behalf of *for_tx* (which then sees its own writes)."""
-        return Snapshot(
-            committed=frozenset(self._committed),
-            own_xid=for_tx.xid if for_tx is not None else None,
-        )
+        with self._lock:
+            return Snapshot(
+                committed=frozenset(self._committed),
+                own_xid=for_tx.xid if for_tx is not None else None,
+            )
 
     # -- recovery hooks (used by WAL replay) ----------------------------------
 
     def restore_xid_floor(self, next_xid: int) -> None:
         """Ensure freshly allocated xids stay above replayed history."""
-        self._next_xid = max(self._next_xid, next_xid)
+        with self._lock:
+            self._next_xid = max(self._next_xid, next_xid)
 
     def force_committed(self, xid: int) -> None:
         """Mark *xid* committed during WAL replay."""
-        self._transactions[xid] = Transaction(xid=xid, status=TxStatus.COMMITTED)
-        self._committed.add(xid)
-        self.restore_xid_floor(xid + 1)
+        with self._lock:
+            self._transactions[xid] = Transaction(
+                xid=xid, status=TxStatus.COMMITTED)
+            self._committed.add(xid)
+            self.restore_xid_floor(xid + 1)

@@ -9,8 +9,9 @@ missing timestamp — the inputs temporal interpolation needs.
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Any, Hashable
 
 from ..errors import TemporalError
 from .abstime import AbsTime
@@ -24,34 +25,51 @@ class Timeline:
 
     _stamps: list[AbsTime] = field(default_factory=list)
     _objects: dict[AbsTime, set[Hashable]] = field(default_factory=dict)
+    # Readers copy buckets and bisect the stamp list; the lock keeps
+    # those consistent against a concurrent add/remove.
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._stamps)
 
     def add(self, at: AbsTime, object_id: Hashable) -> None:
         """Record that *object_id* exists at time *at*."""
-        if at not in self._objects:
-            bisect.insort(self._stamps, at)
-            self._objects[at] = set()
-        self._objects[at].add(object_id)
+        with self._lock:
+            if at not in self._objects:
+                bisect.insort(self._stamps, at)
+                self._objects[at] = set()
+            self._objects[at].add(object_id)
 
     def remove(self, at: AbsTime, object_id: Hashable) -> None:
         """Forget *object_id* at time *at*."""
-        bucket = self._objects.get(at)
-        if bucket is None or object_id not in bucket:
-            raise TemporalError(f"no object {object_id!r} at {at}")
-        bucket.discard(object_id)
-        if not bucket:
-            del self._objects[at]
-            self._stamps.remove(at)
+        with self._lock:
+            bucket = self._objects.get(at)
+            if bucket is None or object_id not in bucket:
+                raise TemporalError(f"no object {object_id!r} at {at}")
+            bucket.discard(object_id)
+            if not bucket:
+                del self._objects[at]
+                self._stamps.remove(at)
 
     def at(self, stamp: AbsTime) -> set[Hashable]:
         """Object ids stored exactly at *stamp* (empty set if none)."""
-        return set(self._objects.get(stamp, set()))
+        with self._lock:
+            return set(self._objects.get(stamp, set()))
 
     def timestamps(self) -> list[AbsTime]:
         """All populated timestamps in ascending order."""
-        return list(self._stamps)
+        with self._lock:
+            return list(self._stamps)
 
     def bracketing(self, stamp: AbsTime) -> tuple[AbsTime | None, AbsTime | None]:
         """The nearest populated timestamps ``(before, after)`` around
@@ -61,12 +79,13 @@ class Timeline:
         *stamp* itself is populated it is returned on both sides, which
         lets interpolation degrade to exact retrieval.
         """
-        if stamp in self._objects:
-            return (stamp, stamp)
-        idx = bisect.bisect_left(self._stamps, stamp)
-        before = self._stamps[idx - 1] if idx > 0 else None
-        after = self._stamps[idx] if idx < len(self._stamps) else None
-        return (before, after)
+        with self._lock:
+            if stamp in self._objects:
+                return (stamp, stamp)
+            idx = bisect.bisect_left(self._stamps, stamp)
+            before = self._stamps[idx - 1] if idx > 0 else None
+            after = self._stamps[idx] if idx < len(self._stamps) else None
+            return (before, after)
 
     def nearest(self, stamp: AbsTime) -> AbsTime | None:
         """The populated timestamp closest to *stamp* (ties -> earlier)."""
@@ -83,6 +102,7 @@ class Timeline:
         """Populated timestamps within ``[start, end]``."""
         if start > end:
             raise TemporalError(f"bad range [{start}, {end}]")
-        lo = bisect.bisect_left(self._stamps, start)
-        hi = bisect.bisect_right(self._stamps, end)
-        return self._stamps[lo:hi]
+        with self._lock:
+            lo = bisect.bisect_left(self._stamps, start)
+            hi = bisect.bisect_right(self._stamps, end)
+            return self._stamps[lo:hi]

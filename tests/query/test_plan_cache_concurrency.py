@@ -1,0 +1,121 @@
+"""Regression test: the plan-cache LRU is safe under concurrent use.
+
+Before the cache was locked, ``lookup``'s ``move_to_end`` raced with
+``store``'s eviction: two threads interleaving the multi-step
+OrderedDict mutation could raise KeyError (moving a concurrently
+evicted key), lose counter increments, or grow past ``maxsize``.
+This hammers one shared cache from many threads and checks exact
+bookkeeping afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import connect
+from repro.query.optimizer import PlanCache
+
+_THREADS = 8
+_ROUNDS = 300
+
+
+class TestPlanCacheUnderThreads:
+    def test_hammered_cache_keeps_exact_counters(self):
+        cache = PlanCache(maxsize=4)
+        version = ("v1",)
+        nodes = ()
+        errors: list[BaseException] = []
+        gate = threading.Barrier(_THREADS)
+
+        def worker(seed: int):
+            try:
+                gate.wait()
+                for i in range(_ROUNDS):
+                    key = f"q{(seed * 7 + i) % 10}"  # > maxsize keys
+                    if cache.lookup(key, version) is None:
+                        cache.store(key, version, nodes)
+            except BaseException as exc:  # noqa: BLE001 — must catch KeyError
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, f"cache raced: {errors[0]!r}"
+        # Every round was exactly one hit or one miss — none lost.
+        assert cache.hits + cache.misses == _THREADS * _ROUNDS
+        assert len(cache) <= 4
+
+    def test_invalidation_racing_lookups(self):
+        """Schema-version bumps mid-hammer only ever produce full
+        re-plans, never a stale hit or a corrupted dict."""
+        cache = PlanCache(maxsize=8)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                generation = 0
+                while not stop.is_set():
+                    version = (f"v{generation}",)
+                    if cache.lookup("q", version) is None:
+                        cache.store("q", version, (("gen", generation),))
+                    else:
+                        got = cache.lookup("q", version)
+                        # A hit must carry the current generation, never
+                        # a stale plan from before the bump.
+                        if got is not None and got[0][1] != generation:
+                            errors.append(
+                                AssertionError(f"stale plan {got}")
+                            )
+                            return
+                    generation += 1
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, f"invalidation raced: {errors[0]!r}"
+
+    def test_shared_connection_compiles_from_many_threads(self):
+        """The end-to-end surface: one Connection, one plan cache, many
+        threads compiling the same statements concurrently."""
+        conn = connect()
+        conn.cursor().execute("""
+            DEFINE CLASS land_cover (
+              ATTRIBUTES: label = char16;
+              SPATIAL EXTENT: spatialextent = box;
+              TEMPORAL EXTENT: timestamp = abstime;
+            )
+        """)
+        errors: list[BaseException] = []
+        gate = threading.Barrier(6)
+
+        def worker(seed: int):
+            try:
+                gate.wait()
+                for i in range(50):
+                    day = (seed + i) % 5
+                    conn.prepare(
+                        f"SELECT FROM land_cover WHERE timestamp = "
+                        f"'1986-01-0{day + 1}'"
+                    )
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, f"shared compile raced: {errors[0]!r}"
+        assert conn.cache_hits + conn.cache_misses == 6 * 50

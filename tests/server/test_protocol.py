@@ -1,0 +1,154 @@
+"""Tests for the wire protocol: framing and the value codec."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.adt import Image
+from repro.core.classes import SciObject
+from repro.errors import GaeaError
+from repro.server.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_value,
+    encode_value,
+    recv_frame,
+    send_frame,
+)
+from repro.spatial import Box
+from repro.temporal import AbsTime
+
+
+def _roundtrip(value):
+    import json
+    encoded = encode_value(value)
+    json.dumps(encoded)  # must be JSON-representable
+    return decode_value(encoded)
+
+
+class TestValueCodec:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert _roundtrip(value) == value
+
+    def test_numpy_scalars_become_python(self):
+        assert _roundtrip(np.int32(7)) == 7
+        assert _roundtrip(np.float64(2.5)) == 2.5
+
+    def test_box_roundtrip(self):
+        box = Box(-20.0, -35.0, 52.0, 38.0)
+        assert _roundtrip(box) == box
+
+    def test_abstime_roundtrip(self):
+        stamp = AbsTime.from_ymd(1986, 1, 15)
+        assert _roundtrip(stamp) == stamp
+
+    def test_image_roundtrip_preserves_pixels(self):
+        array = np.arange(12, dtype=np.int16).reshape(3, 4)
+        image = Image.from_array(array, filepath="scene.img")
+        back = _roundtrip(image)
+        assert back.pixtype == image.pixtype
+        assert back.filepath == "scene.img"
+        assert np.array_equal(back.data, array)
+
+    def test_sciobject_roundtrip_with_nested_adts(self):
+        obj = SciObject(class_name="land_cover", oid=9, values={
+            "label": "forest",
+            "spatialextent": Box(0, 0, 10, 10),
+            "timestamp": AbsTime(days=100),
+        })
+        back = _roundtrip(obj)
+        assert back == obj
+
+    def test_containers_encode_elementwise(self):
+        assert _roundtrip([Box(0, 0, 1, 1), AbsTime(1)]) == \
+            [Box(0, 0, 1, 1), AbsTime(1)]
+        assert _roundtrip({"a": AbsTime(2)}) == {"a": AbsTime(2)}
+        assert _roundtrip((1, 2)) == [1, 2]  # tuples arrive as lists
+
+    def test_unknown_types_become_opaque(self):
+        class Weird:
+            def __repr__(self):
+                return "Weird()"
+        encoded = encode_value(Weird())
+        assert encoded == {"$opaque": {"type": "Weird", "repr": "Weird()"}}
+        assert decode_value(encoded) == encoded  # stays tagged, lossy
+
+
+class TestFraming:
+    def _pair(self):
+        server, client = socket.socketpair()
+        return server, client
+
+    def test_send_recv_roundtrip(self):
+        a, b = self._pair()
+        try:
+            send_frame(a, {"op": "hello", "n": 1})
+            assert recv_frame(b) == {"op": "hello", "n": 1}
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_frames_in_order(self):
+        a, b = self._pair()
+        try:
+            done = threading.Event()
+
+            def pump():
+                for i in range(50):
+                    send_frame(a, {"i": i})
+                done.set()
+
+            thread = threading.Thread(target=pump)
+            thread.start()
+            for i in range(50):
+                assert recv_frame(b) == {"i": i}
+            thread.join()
+            assert done.is_set()
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = self._pair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = self._pair()
+        try:
+            a.sendall(b"\x00\x00\x00\x10abc")  # announces 16, sends 3
+            a.close()
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_announcement_rejected(self):
+        a, b = self._pair()
+        try:
+            a.sendall((MAX_FRAME + 1).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_garbage_body_raises(self):
+        a, b = self._pair()
+        try:
+            body = b"not json"
+            a.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_protocol_error_is_a_gaea_error(self):
+        assert issubclass(ProtocolError, GaeaError)

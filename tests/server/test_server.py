@@ -1,0 +1,246 @@
+"""End-to-end tests for GaeaServer + remote_connect.
+
+Each test starts a real server on an ephemeral port and speaks to it
+through :func:`repro.client.remote_connect` — the full wire path:
+framing, value codec, per-connection sessions, transactions, and
+cross-connection isolation.
+"""
+
+import threading
+
+import pytest
+
+from repro.client import remote_connect
+from repro.errors import InterfaceError, PlanningError, TransactionError
+from repro.server import GaeaServer
+from repro.spatial import Box
+from repro.temporal import AbsTime
+
+DDL = """
+DEFINE CLASS land_cover (
+  ATTRIBUTES: label = char16;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+)
+"""
+
+
+@pytest.fixture()
+def server():
+    with GaeaServer() as srv:
+        conn = remote_connect(srv.host, srv.port)
+        conn.cursor().execute(DDL)
+        conn.close()
+        yield srv
+
+
+def _connect(server):
+    return remote_connect(server.host, server.port)
+
+
+def _store(conn, label, x=0.0, day=100):
+    return conn.store("land_cover", {
+        "label": label,
+        "spatialextent": Box(x, 0, x + 5, 5),
+        "timestamp": AbsTime(days=day),
+    })
+
+
+class TestBasics:
+    def test_hello_reports_version(self, server):
+        conn = _connect(server)
+        assert conn.server_version
+        conn.close()
+
+    def test_execute_store_and_fetch(self, server):
+        conn = _connect(server)
+        _store(conn, "forest")
+        cur = conn.cursor()
+        cur.execute("SELECT FROM land_cover WHERE timestamp = ?",
+                    [AbsTime(days=100)])
+        rows = cur.fetchall()
+        assert [row["label"] for row in rows] == ["forest"]
+        assert rows[0].class_name == "land_cover"
+        assert rows[0]["spatialextent"] == Box(0, 0, 5, 5)
+        assert cur.rowcount == 1
+        conn.close()
+
+    def test_description_and_results(self, server):
+        conn = _connect(server)
+        cur = conn.cursor()
+        cur.execute("SHOW CLASSES")
+        assert any("land_cover" in r["message"] for r in cur.results)
+        cur.execute("SELECT FROM land_cover")
+        names = [column[0] for column in cur.description]
+        assert "label" in names and "timestamp" in names
+        conn.close()
+
+    def test_fetchmany_batching_and_iteration(self, server):
+        conn = _connect(server)
+        for i in range(10):
+            _store(conn, f"c{i}", x=float(i))
+        cur = conn.cursor()
+        cur.execute("SELECT FROM land_cover")
+        first = cur.fetchmany(3)
+        assert len(first) == 3
+        rest = list(cur)
+        assert len(first) + len(rest) == 10
+        conn.close()
+
+    def test_explain_over_the_wire(self, server):
+        conn = _connect(server)
+        plan = conn.cursor().explain("SELECT FROM land_cover")
+        assert "retrieve land_cover" in plan
+        conn.close()
+
+    def test_bind_parameters_with_adts(self, server):
+        conn = _connect(server)
+        _store(conn, "forest", x=0.0)
+        _store(conn, "desert", x=50.0)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT FROM land_cover WHERE spatialextent OVERLAPS ?",
+            [Box(-1.0, -1.0, 6.0, 6.0)],
+        )
+        assert [row["label"] for row in cur.fetchall()] == ["forest"]
+        conn.close()
+
+    def test_server_error_keeps_connection_alive(self, server):
+        conn = _connect(server)
+        _store(conn, "forest")
+        cur = conn.cursor()
+        with pytest.raises(PlanningError):
+            cur.execute("SELECT FROM no_such_class")
+        cur.execute("SELECT FROM land_cover")
+        assert len(cur.fetchall()) == 1
+        conn.close()
+
+    def test_statements_past_retrieval_deliver_messages_on_drain(self, server):
+        conn = _connect(server)
+        _store(conn, "forest")
+        cur = conn.cursor()
+        cur.execute("SELECT FROM land_cover; SHOW CLASSES")
+        cur.fetchall()
+        assert any("CLASS land_cover" in r["message"] for r in cur.results)
+        conn.close()
+
+    def test_closed_connection_rejects_use(self, server):
+        conn = _connect(server)
+        conn.close()
+        with pytest.raises(InterfaceError):
+            conn.cursor()
+
+
+class TestTransactions:
+    def test_rollback_discards_stores(self, server):
+        conn = _connect(server)
+        _store(conn, "keeper")  # committed baseline
+        conn.begin()
+        _store(conn, "doomed")
+        conn.rollback()
+        cur = conn.cursor()
+        cur.execute("SELECT FROM land_cover")
+        assert [row["label"] for row in cur.fetchall()] == ["keeper"]
+        conn.close()
+
+    def test_commit_publishes_to_other_connections(self, server):
+        writer, reader = _connect(server), _connect(server)
+        _store(writer, "base")  # committed baseline
+        writer.begin()
+        _store(writer, "forest", x=20.0)
+        cur = reader.cursor()
+        cur.execute("SELECT FROM land_cover")
+        assert len(cur.fetchall()) == 1  # uncommitted: invisible elsewhere
+        writer.commit()
+        cur.execute("SELECT FROM land_cover")
+        assert len(cur.fetchall()) == 2
+        writer.close()
+        reader.close()
+
+    def test_single_writer_across_connections(self, server):
+        first, second = _connect(server), _connect(server)
+        first.begin()
+        with pytest.raises(TransactionError):
+            second.begin()
+        first.rollback()
+        second.begin()  # the write slot freed up
+        second.rollback()
+        first.close()
+        second.close()
+
+    def test_read_only_transactions_run_concurrently(self, server):
+        writer, reader = _connect(server), _connect(server)
+        _store(writer, "forest")
+        reader.begin(read_only=True)  # pin: sees exactly one object
+        writer.begin()
+        _store(writer, "water", x=20.0)
+        writer.commit()
+        cur = reader.cursor()
+        cur.execute("SELECT FROM land_cover")
+        assert len(cur.fetchall()) == 1  # frozen view
+        reader.commit()
+        cur.execute("SELECT FROM land_cover")
+        assert len(cur.fetchall()) == 2  # released: current state
+        writer.close()
+        reader.close()
+
+    def test_dead_connection_rolls_back_without_disturbing_others(
+            self, server):
+        doomed, bystander = _connect(server), _connect(server)
+        _store(doomed, "base")  # committed baseline
+        bystander.begin(read_only=True)
+        doomed.begin()
+        _store(doomed, "doomed")
+        # Abrupt socket death mid-transaction (no close op, no rollback).
+        doomed._sock.close()
+        doomed._closed = True
+        # The server must notice, roll back, and free the writer slot.
+        deadline = threading.Event()
+        for _ in range(100):
+            try:
+                bystander2 = _connect(server)
+                bystander2.begin()
+                bystander2.rollback()
+                bystander2.close()
+                deadline.set()
+                break
+            except TransactionError:
+                import time
+                time.sleep(0.05)
+        assert deadline.is_set(), "dead client's transaction never released"
+        cur = bystander.cursor()
+        cur.execute("SELECT FROM land_cover")
+        labels = [row["label"] for row in cur.fetchall()]
+        assert labels == ["base"]  # rolled back, bystander undisturbed
+        bystander.close()
+
+
+class TestConcurrentWire:
+    def test_parallel_readers_on_separate_connections(self, server):
+        seed = _connect(server)
+        for i in range(8):
+            _store(seed, f"c{i}", x=float(10 * i))
+        seed.close()
+
+        failures = []
+
+        def worker():
+            try:
+                conn = _connect(server)
+                for _ in range(5):
+                    cur = conn.cursor()
+                    cur.execute("SELECT FROM land_cover")
+                    rows = cur.fetchall()
+                    if len(rows) != 8:
+                        failures.append(f"saw {len(rows)} rows")
+                conn.close()
+            except Exception as exc:  # noqa: BLE001 — collect everything
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+        assert not failures, failures[0]
