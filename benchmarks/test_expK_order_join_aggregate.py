@@ -174,7 +174,12 @@ def test_expK_index_order_beats_explicit_sort():
         ],
         header=("configuration", "total ms"),
     )
-    assert speedup >= 2.0
+    # Vectorized execution (EXP-M) made the explicit-Sort baseline much
+    # faster in absolute terms — batch argsort instead of a Python
+    # heap — so the ordered index walk's relative margin narrowed from
+    # ~2.5× to ~1.7×. Sort avoidance still wins; assert the win, not
+    # the pre-vectorization margin.
+    assert speedup >= 1.3
 
 
 def test_expK_hash_join_beats_python_nested_loop():

@@ -1,0 +1,164 @@
+"""EXP-M — vectorized batch-at-a-time execution vs. row-at-a-time.
+
+The Volcano operator tree can run in two modes: the classic scalar
+row-at-a-time pull loop, and the columnar batch mode where scans emit
+~1024-row NumPy :class:`~repro.query.batch.Batch` slabs and Filter /
+Sort / HashAggregate / projection run as array operations.  This
+experiment stores 20,000 objects and times representative query shapes
+in both modes over identical data and plans, asserting the ≥10×
+speedup the batch path promises on a selective retrieval-filter and on
+a grouped aggregate, and writing the measured ops/sec to
+``BENCH_expM.json`` so CI archives the numbers next to the timing log.
+"""
+
+import json
+import pathlib
+import time
+
+from conftest import report
+
+from repro import connect
+from repro.figures import AFRICA
+from repro.query.batch import scalar_execution
+
+DDL = """
+DEFINE CLASS measurement (
+  ATTRIBUTES: code = int4; reading = float8; tag = char16;
+)
+"""
+
+N_OBJECTS = 20_000
+N_CODES = 1_000  # code = k matches ~20 of 20,000 rows
+
+BENCHMARKS = {
+    # a selective retrieval-filter: full scan, vectorized predicate mask
+    "filter_eq": "SELECT code, reading FROM measurement WHERE code = 7",
+    # a range filter over a float column
+    "filter_range": ("SELECT code FROM measurement "
+                     "WHERE reading >= 10.0 AND reading <= 10.5"),
+    # a grouped aggregate: np.argsort grouping + reduceat reductions
+    "aggregate_group": ("SELECT code, count(*), avg(reading) "
+                        "FROM measurement GROUP BY code"),
+    # an ungrouped aggregate collapsing the whole relation
+    "aggregate_scalar": "SELECT count(*), avg(reading) FROM measurement",
+    # ORDER BY + LIMIT: stable argsort against a bounded heap
+    "top_k": ("SELECT code, reading FROM measurement "
+              "ORDER BY reading DESC LIMIT 10"),
+}
+
+#: Minimum speedup asserted per benchmark.  The headline ≥10× claims
+#: ride the shapes with the widest measured margins; the others assert
+#: a conservative floor so a regression still fails loudly.
+FLOORS = {
+    "filter_eq": 10.0,
+    "filter_range": 6.0,
+    "aggregate_group": 10.0,
+    "aggregate_scalar": 6.0,
+    "top_k": 6.0,
+}
+
+REPETITIONS = 5
+ROUNDS = 3
+
+RESULTS_PATH = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_expM.json"
+
+
+def _loaded_connection():
+    conn = connect(universe=AFRICA)
+    conn.cursor().run(DDL)
+    store = conn.kernel.store
+    for i in range(N_OBJECTS):
+        store.store("measurement", {
+            "code": i % N_CODES,
+            # multiples of 0.25 are exactly representable, so both
+            # modes' aggregates agree bit-for-bit
+            "reading": (i % 997) * 0.25,
+            "tag": f"t{i % 50}",
+        })
+    return conn
+
+
+def _timed(cursor, query):
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for _ in range(REPETITIONS):
+            cursor.execute(query)
+            cursor.fetchall()
+        best = min(best, (time.perf_counter() - start) / REPETITIONS)
+    return best
+
+
+def test_expM_vectorized_speedups():
+    """Batch mode must beat scalar mode ≥10× on the filter and the
+    grouped aggregate (and never regress below the per-shape floor)."""
+    cur = _loaded_connection().cursor()
+
+    timings = {}
+    for name, query in BENCHMARKS.items():
+        vectorized = _timed(cur, query)
+        with scalar_execution():
+            scalar = _timed(cur, query)
+        rows = len(cur.execute(query).fetchall())
+        timings[name] = {
+            "query": query,
+            "rows_out": rows,
+            "vectorized_ms": vectorized * 1e3,
+            "scalar_ms": scalar * 1e3,
+            "vectorized_ops_per_sec": 1.0 / vectorized,
+            "scalar_ops_per_sec": 1.0 / scalar,
+            "speedup": scalar / vectorized,
+        }
+
+    RESULTS_PATH.write_text(json.dumps({
+        "experiment": "EXP-M vectorized execution",
+        "objects": N_OBJECTS,
+        "repetitions": REPETITIONS,
+        "rounds": ROUNDS,
+        "benchmarks": timings,
+    }, indent=2) + "\n")
+
+    report(
+        f"EXP-M vectorized execution ({N_OBJECTS} objects, best of "
+        f"{ROUNDS}×{REPETITIONS})",
+        [
+            (name,
+             f"{entry['vectorized_ms']:.2f}",
+             f"{entry['scalar_ms']:.2f}",
+             f"{entry['speedup']:.1f}x",
+             entry["rows_out"])
+            for name, entry in timings.items()
+        ],
+        header=("benchmark", "vectorized ms", "scalar ms", "speedup",
+                "rows"),
+    )
+
+    for name, entry in timings.items():
+        assert entry["speedup"] >= FLOORS[name], (
+            f"{name}: {entry['speedup']:.1f}x < {FLOORS[name]}x floor"
+        )
+
+
+def test_expM_modes_agree():
+    """Same rows out of both modes for every benchmarked shape."""
+    cur = _loaded_connection().cursor()
+    for query in BENCHMARKS.values():
+        vectorized = cur.execute(query).fetchall()
+        with scalar_execution():
+            scalar = cur.execute(query).fetchall()
+        assert vectorized == scalar, query
+
+
+def test_expM_explain_marks_modes():
+    """The plan dump annotates every operator with its execution mode."""
+    cur = _loaded_connection().cursor()
+    dump = cur.explain(BENCHMARKS["aggregate_group"])
+    lines = [line for line in dump.splitlines() if "[rows~" in line]
+    assert lines
+    assert any("[vectorized batch=" in line for line in lines)
+    for line in lines:
+        assert "[vectorized batch=" in line or "[scalar]" in line, line
+    with scalar_execution():
+        assert "[vectorized" not in cur.explain(
+            BENCHMARKS["aggregate_group"])

@@ -687,6 +687,81 @@ class ClassStore:
         for row in self._rows_for_path(relation, path, snapshot):
             yield self._row_to_object(class_name, row)
 
+    def _tids_for_path(self, relation: str, path: AccessPath) -> Any:
+        """TID stream matching :meth:`_rows_for_path`'s visit order, or
+        None for a full scan (the heap walk batches directly)."""
+        if path.kind == "index-eq":
+            return self.engine.iter_lookup_tids(relation, path.column,
+                                                path.argument)
+        if path.kind == "index-range":
+            lo, hi = path.argument
+            return self.engine.iter_range_tids(relation, path.column, lo, hi,
+                                               reverse=path.descending)
+        if path.kind == "spatial-probe":
+            return self.engine.iter_spatial_tids(relation, path.argument)
+        if path.kind == "temporal-probe":
+            return self.engine.iter_temporal_tids(relation, path.argument)
+        return None
+
+    def iter_scan_batches(self, class_name: str,
+                          spatial: Box | None = None,
+                          temporal: AbsTime | None = None,
+                          filters: tuple[tuple[str, Any], ...] = (),
+                          ranges: tuple[tuple[str, str, Any], ...] = (),
+                          access_path: AccessPath | None = None,
+                          batch_size: int | None = None) -> Iterator["Batch"]:
+        """The columnar counterpart of :meth:`iter_scan`: the same raw
+        candidate stream (same path choice, same row order, one scan
+        event recorded, no predicate re-checks) delivered as
+        :class:`~repro.query.batch.Batch` slabs instead of per-row
+        ``SciObject`` instances.
+
+        Index paths stream TIDs off the chunked snapshot B-tree scans
+        and the engine fetches raw value tuples in batch-sized runs;
+        full scans batch straight off the heap walk.
+        """
+        from repro.query.batch import DEFAULT_BATCH_SIZE, Batch
+
+        size = batch_size or DEFAULT_BATCH_SIZE
+        cls = self.registry.get(class_name)
+        filters, ranges = self.normalize_predicates(cls, filters, ranges)
+        relation = self.relation_for(class_name)
+        snapshot = self._snapshot()
+        path = self.validated_path(class_name, spatial=spatial,
+                                   temporal=temporal, filters=filters,
+                                   ranges=ranges, access_path=access_path)
+        self._record_scan(class_name, spatial, temporal, filters, ranges)
+        tids = self._tids_for_path(relation, path)
+        for chunk in self.engine.value_batches(relation, snapshot,
+                                               batch_size=size, tids=tids):
+            yield Batch.from_values(class_name, cls.attributes, chunk)
+
+    def iter_index_only_batches(self, class_name: str, path: AccessPath,
+                                batch_size: int | None = None
+                                ) -> Iterator["Batch"]:
+        """Covering-scan keys as single-column batches (see
+        :meth:`iter_index_only` for the scalar contract)."""
+        from repro.query.batch import DEFAULT_BATCH_SIZE, Batch, build_column
+
+        size = batch_size or DEFAULT_BATCH_SIZE
+        cls = self.registry.get(class_name)
+        column = path.column
+        type_name = "int4" if column == OID_COLUMN else cls.type_of(column)
+        keys: list[Any] = []
+        for row in self.iter_index_only(class_name, path):
+            keys.append(row[column])
+            if len(keys) >= size:
+                arr, mask = build_column(type_name, keys)
+                masks = {column: mask} if mask is not None else {}
+                yield Batch(length=len(keys), columns={column: arr},
+                            masks=masks, order=(column,))
+                keys = []
+        if keys:
+            arr, mask = build_column(type_name, keys)
+            masks = {column: mask} if mask is not None else {}
+            yield Batch(length=len(keys), columns={column: arr},
+                        masks=masks, order=(column,))
+
     def iter_index_only(self, class_name: str, path: AccessPath
                         ) -> Iterator[dict[str, Any]]:
         """Stream covering-scan rows: ``{column: key}`` dicts straight

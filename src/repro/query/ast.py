@@ -293,8 +293,9 @@ class Select(Statement):
     qualified_ranges: tuple[tuple[str, str, str, Any], ...] = ()
     group_by: tuple[ColumnRef, ...] = ()
     order_by: tuple[OrderItem, ...] = ()
-    limit: int | None = None
-    offset: int = 0
+    #: LIMIT/OFFSET counts; a :class:`Param` binds at execute time.
+    limit: int | Param | None = None
+    offset: int | Param = 0
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,403 @@
+"""Columnar batches for vectorized query execution.
+
+A :class:`Batch` is a fixed-length slab of rows stored column-wise as NumPy
+arrays.  Numeric attribute types (``int4``/``float4``/``float8``/``bool``)
+become typed arrays with an optional boolean *null mask* (``True`` marks a
+SQL NULL); every other type — ``char16``/``text`` strings and the ADTs
+(``Box``, ``AbsTime``, ``Image``, matrices) — is carried in an
+``object``-dtype array holding the original Python objects, so a round trip
+through a batch is exact.
+
+Batches flow between vectorized physical operators (see
+``query/operators.py``).  ``to_rows()`` is the escape hatch at the scalar
+boundary: it rebuilds :class:`~repro.core.classes.SciObject` rows (when the
+batch is class-backed) or plain dict rows (projection/aggregate output) one
+final time, at the consumer edge only.
+
+The module-level toggle :func:`set_vectorized_default` /
+:func:`scalar_execution` exists for the equivalence test-suite and the
+scalar-baseline benchmarks; production code paths leave it on.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.classes import NonPrimitiveClass, SciObject
+
+DEFAULT_BATCH_SIZE = 1024
+
+#: Attribute types that get typed (non-object) column arrays.
+NUMERIC_DTYPES: dict[str, Any] = {
+    "int4": np.int64,
+    "float4": np.float64,
+    "float8": np.float64,
+    "bool": np.bool_,
+}
+
+OID_TYPE = "int4"
+
+_state = threading.local()
+_VECTORIZED_DEFAULT = True
+_toggle_lock = threading.Lock()
+
+
+def vectorized_default() -> bool:
+    """Whether planners build vectorized (batch-at-a-time) trees by default."""
+    local = getattr(_state, "override", None)
+    if local is not None:
+        return local
+    return _VECTORIZED_DEFAULT
+
+
+def set_vectorized_default(enabled: bool) -> None:
+    """Process-wide toggle; prefer :func:`scalar_execution` in tests."""
+    global _VECTORIZED_DEFAULT
+    with _toggle_lock:
+        _VECTORIZED_DEFAULT = bool(enabled)
+
+
+@contextmanager
+def scalar_execution() -> Iterator[None]:
+    """Force tuple-at-a-time plans for the current thread (tests/benchmarks)."""
+    previous = getattr(_state, "override", None)
+    _state.override = False
+    try:
+        yield
+    finally:
+        _state.override = previous
+
+
+def object_column(values: Sequence[Any]) -> np.ndarray:
+    """Build an object-dtype column without NumPy broadcasting surprises.
+
+    ``np.asarray`` would try to interpret array-shaped elements (raster
+    ``Image`` payloads, matrices) as extra dimensions; ``fromiter`` treats
+    every element as an opaque scalar.
+    """
+    return np.fromiter(values, dtype=object, count=len(values))
+
+
+def typed_column(values: Sequence[Any], dtype: Any) -> tuple[np.ndarray, np.ndarray | None]:
+    """Build a typed column, demoting NULLs to a fill value + mask."""
+    try:
+        return np.asarray(values, dtype=dtype), None
+    except (TypeError, ValueError):
+        mask = np.fromiter((v is None for v in values), dtype=bool, count=len(values))
+        filled = [0 if v is None else v for v in values]
+        return np.asarray(filled, dtype=dtype), mask
+
+
+def build_column(type_name: str | None, values: Sequence[Any]) -> tuple[np.ndarray, np.ndarray | None]:
+    """Column array + null mask for one attribute's values."""
+    dtype = NUMERIC_DTYPES.get(type_name) if type_name else None
+    if dtype is not None:
+        return typed_column(values, dtype)
+    arr = object_column(values)
+    return arr, None
+
+
+@dataclass
+class Batch:
+    """A columnar slab of rows.
+
+    ``columns`` maps column name → array of length ``length``.  ``masks``
+    holds null masks for typed columns only (object columns carry ``None``
+    in-band).  ``class_name`` is set when the rows are full class objects —
+    then an ``oid`` column is present and ``to_rows`` yields ``SciObject``
+    instances; otherwise rows are plain dicts.
+    """
+
+    length: int
+    columns: dict[str, np.ndarray]
+    masks: dict[str, np.ndarray] = field(default_factory=dict)
+    class_name: str | None = None
+    order: tuple[str, ...] | None = None  # column order for dict rows
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(
+        cls,
+        class_name: str,
+        attributes: Sequence[tuple[str, str]],
+        rows: Sequence[tuple],
+    ) -> "Batch":
+        """Batch from raw storage value tuples ``(_oid, attr0, attr1, ...)``."""
+        n = len(rows)
+        columns: dict[str, np.ndarray] = {}
+        masks: dict[str, np.ndarray] = {}
+        if n:
+            transposed = list(zip(*rows))
+        else:
+            transposed = [()] * (len(attributes) + 1)
+        arr, mask = build_column(OID_TYPE, transposed[0])
+        columns["oid"] = arr
+        if mask is not None:
+            masks["oid"] = mask
+        for index, (name, type_name) in enumerate(attributes, start=1):
+            arr, mask = build_column(type_name, transposed[index])
+            columns[name] = arr
+            if mask is not None:
+                masks[name] = mask
+        return cls(length=n, columns=columns, masks=masks, class_name=class_name)
+
+    @classmethod
+    def from_objects(cls, objects: Sequence["SciObject"], klass: "NonPrimitiveClass") -> "Batch":
+        """Batch from materialized objects (fallback-path re-batching)."""
+        rows = [
+            (obj.oid,) + tuple(obj.values.get(name) for name, _ in klass.attributes)
+            for obj in objects
+        ]
+        return cls.from_values(klass.name, klass.attributes, rows)
+
+    @classmethod
+    def from_dict_rows(cls, names: Sequence[str], rows: Sequence[dict]) -> "Batch":
+        """Batch of plain dict rows (projection shapes), object dtype columns."""
+        columns = {
+            name: object_column([row.get(name) for row in rows]) for name in names
+        }
+        return cls(length=len(rows), columns=columns, order=tuple(names))
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray | None:
+        return self.columns.get(name)
+
+    def mask(self, name: str) -> np.ndarray | None:
+        """Null mask for *name*: True where NULL (never None once computed).
+
+        Computed lazily and memoized — repeat callers (filter, sort,
+        aggregate over the same column) pay the object-column scan once.
+        """
+        existing = self.masks.get(name)
+        if existing is not None:
+            return existing
+        arr = self.columns.get(name)
+        if arr is None:
+            return None
+        if arr.dtype == object:
+            mask = np.fromiter((v is None for v in arr), dtype=bool,
+                               count=self.length)
+        else:
+            mask = np.zeros(self.length, dtype=bool)
+        self.masks[name] = mask
+        return mask
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def take(self, selector: np.ndarray) -> "Batch":
+        """Row subset/reorder by boolean mask or index array."""
+        columns = {name: arr[selector] for name, arr in self.columns.items()}
+        masks = {name: arr[selector] for name, arr in self.masks.items()}
+        length = next(iter(columns.values())).shape[0] if columns else 0
+        return Batch(
+            length=int(length),
+            columns=columns,
+            masks=masks,
+            class_name=self.class_name,
+            order=self.order,
+        )
+
+    def slice_rows(self, start: int, stop: int | None = None) -> "Batch":
+        sl = slice(start, stop)
+        columns = {name: arr[sl] for name, arr in self.columns.items()}
+        masks = {name: arr[sl] for name, arr in self.masks.items()}
+        length = next(iter(columns.values())).shape[0] if columns else 0
+        return Batch(
+            length=int(length),
+            columns=columns,
+            masks=masks,
+            class_name=self.class_name,
+            order=self.order,
+        )
+
+    def project(self, names: Sequence[str]) -> "Batch":
+        """Column slice: keeps arrays, drops class identity (rows become dicts)."""
+        columns: dict[str, np.ndarray] = {}
+        masks: dict[str, np.ndarray] = {}
+        for name in names:
+            arr = self.columns.get(name)
+            if arr is None:
+                arr = np.full(self.length, None, dtype=object)
+            columns[name] = arr
+            mask = self.masks.get(name)
+            if mask is not None:
+                masks[name] = mask
+        return Batch(
+            length=self.length,
+            columns=columns,
+            masks=masks,
+            order=tuple(names),
+        )
+
+    @classmethod
+    def concat(cls, batches: Sequence["Batch"]) -> "Batch":
+        """Concatenate same-shape batches into one (sort/aggregate staging)."""
+        if not batches:
+            return cls(length=0, columns={}, masks={})
+        first = batches[0]
+        if len(batches) == 1:
+            return first
+        columns: dict[str, np.ndarray] = {}
+        masks: dict[str, np.ndarray] = {}
+        for name in first.columns:
+            columns[name] = np.concatenate([b.columns[name] for b in batches])
+        mask_names = {name for b in batches for name in b.masks}
+        for name in mask_names:
+            masks[name] = np.concatenate(
+                [
+                    b.masks.get(name, np.zeros(b.length, dtype=bool))
+                    for b in batches
+                ]
+            )
+        return cls(
+            length=sum(b.length for b in batches),
+            columns=columns,
+            masks=masks,
+            class_name=first.class_name,
+            order=first.order,
+        )
+
+    # ------------------------------------------------------------------
+    # scalar boundary
+    # ------------------------------------------------------------------
+    def to_rows(self) -> Iterator[Any]:
+        """Rebuild row objects — the one place batches become Python rows."""
+        if self.length == 0:
+            return
+        lists: dict[str, list] = {}
+        for name, arr in self.columns.items():
+            values = arr.tolist()
+            mask = self.masks.get(name)
+            if mask is not None and mask.any():
+                values = [None if m else v for v, m in zip(values, mask.tolist())]
+            lists[name] = values
+        if self.class_name is not None:
+            from repro.core.classes import SciObject
+
+            oids = lists.pop("oid")
+            names = tuple(lists)
+            value_lists = tuple(lists[name] for name in names)
+            for i, oid in enumerate(oids):
+                yield SciObject(
+                    class_name=self.class_name,
+                    oid=oid,
+                    values={name: vals[i] for name, vals in zip(names, value_lists)},
+                )
+        else:
+            names = self.order if self.order is not None else tuple(lists)
+            value_lists = tuple(lists[name] for name in names)
+            for i in range(self.length):
+                yield {name: vals[i] for name, vals in zip(names, value_lists)}
+
+
+# ----------------------------------------------------------------------
+# ordering helpers (shared by vectorized Sort and HashAggregate)
+# ----------------------------------------------------------------------
+def stable_argsort(values: np.ndarray, descending: bool = False) -> np.ndarray:
+    """Stable argsort; ties keep input order even when descending."""
+    if not descending:
+        return np.argsort(values, kind="stable")
+    # Stable descending: sort the reversed array ascending, then mirror the
+    # positions back — equal keys keep their original relative order.
+    n = values.shape[0]
+    return (n - 1 - np.argsort(values[::-1], kind="stable"))[::-1]
+
+
+def fill_nulls(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Replace NULL slots with an in-dtype filler so comparisons never see None.
+
+    Callers must pair this with a mask-ordering pass; the filler value itself
+    is arbitrary (first non-null element, or zero for all-null columns).
+    """
+    if not mask.any():
+        return values
+    out = values.copy()
+    non_null = np.flatnonzero(~mask)
+    filler: Any = values[non_null[0]] if non_null.size else 0
+    out[mask] = filler
+    return out
+
+
+def order_by_keys(
+    keys: Sequence[tuple[np.ndarray, np.ndarray, bool]],
+    length: int,
+) -> np.ndarray:
+    """Row order for ``keys`` = [(values, null_mask, descending), ...].
+
+    Matches the scalar ``_SortKey`` contract: keys compared left to right,
+    NULLs sort after everything regardless of direction, ties keep input
+    order (stable).  Implemented as successive stable argsorts from the
+    least-significant key to the most-significant one.
+    """
+    order = np.arange(length)
+    for values, mask, descending in reversed(list(keys)):
+        filled = fill_nulls(values, mask)
+        by_value = stable_argsort(filled[order], descending)
+        order = order[by_value]
+        if mask.any():
+            # NULLs last regardless of direction, stable among themselves.
+            by_mask = np.argsort(mask[order], kind="stable")
+            order = order[by_mask]
+    return order
+
+
+def group_rows(
+    keys: Sequence[tuple[np.ndarray, np.ndarray]],
+    length: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group rows by key columns ``[(values, null_mask), ...]``.
+
+    Returns ``(order, starts, first_seen)`` where ``order`` sorts rows so
+    equal keys are adjacent, ``starts`` indexes segment starts within
+    ``order``, and ``first_seen`` gives, per segment, the smallest original
+    row index — used to emit groups in first-encountered order like the
+    scalar hash aggregate.  NULL keys form their own group (SQL GROUP BY
+    semantics: NULLs group together).
+    """
+    if length == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty, empty
+    if not keys:
+        # Single global group.
+        order = np.arange(length)
+        return order, np.array([0]), np.array([0])
+    order = np.arange(length)
+    filled_cols = []
+    for values, mask in keys:
+        filled = fill_nulls(values, mask)
+        filled_cols.append((filled, mask))
+    for filled, mask in reversed(filled_cols):
+        order = order[stable_argsort(filled[order], False)]
+        if mask.any():
+            order = order[np.argsort(mask[order], kind="stable")]
+    # Segment boundaries: adjacent sorted rows differing in any key column
+    # (treating two NULLs as equal).
+    boundary = np.zeros(length, dtype=bool)
+    boundary[0] = True
+    for filled, mask in filled_cols:
+        sorted_vals = filled[order]
+        sorted_mask = mask[order]
+        differs = sorted_vals[1:] != sorted_vals[:-1]
+        differs |= sorted_mask[1:] != sorted_mask[:-1]
+        # Two NULLs are equal even if fillers differ (they never do, but be
+        # explicit): a pair that is NULL on both sides does not differ.
+        both_null = sorted_mask[1:] & sorted_mask[:-1]
+        differs &= ~both_null
+        boundary[1:] |= differs.astype(bool)
+    starts = np.flatnonzero(boundary)
+    first_seen = np.minimum.reduceat(order, starts)
+    return order, starts, first_seen
+
+
+MaskFn = Callable[[Batch], np.ndarray]

@@ -52,6 +52,10 @@ def _params_of(node: PlanNode) -> Iterable[Param]:
         if node.join is not None:
             for inner in node.join.inputs:
                 yield from _params_of(inner)
+        if isinstance(node.limit, Param):
+            yield node.limit
+        if isinstance(node.offset, Param):
+            yield node.offset
         return
     if not isinstance(node, RetrieveNode):
         return
@@ -166,6 +170,19 @@ def _bind_temporal(temporal: Any, binder: _Binder) -> AbsTime | None:
     )
 
 
+def _bind_count(count: Any, binder: _Binder, clause: str) -> Any:
+    """A bound LIMIT/OFFSET count: a non-negative int."""
+    if not isinstance(count, Param):
+        return count
+    value = binder.value(count)
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise BindError(
+            f"parameter {count.describe()} in {clause} must be a "
+            f"non-negative integer, got {value!r}"
+        )
+    return value
+
+
 def _bind_node(node: PlanNode, binder: _Binder) -> PlanNode:
     if isinstance(node, ExplainNode):
         return ExplainNode(inner=tuple(
@@ -177,9 +194,12 @@ def _bind_node(node: PlanNode, binder: _Binder) -> PlanNode:
             join = replace(join, inputs=tuple(
                 _bind_node(inner, binder) for inner in join.inputs
             ))
-        return replace(node, join=join, inputs=tuple(
-            _bind_node(inner, binder) for inner in node.inputs
-        ))
+        return replace(
+            node, join=join,
+            inputs=tuple(_bind_node(inner, binder) for inner in node.inputs),
+            limit=_bind_count(node.limit, binder, "LIMIT"),
+            offset=_bind_count(node.offset, binder, "OFFSET"),
+        )
     if not isinstance(node, RetrieveNode):
         return node
     return replace(

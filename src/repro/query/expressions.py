@@ -18,13 +18,17 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable
 
+import numpy as np
+
 from ..adt.operators import OperatorRegistry
-from ..core.classes import SciObject
-from ..errors import ExecutionError
+from ..core.classes import COMPARISONS, SciObject
+from ..errors import DerivationError, ExecutionError
 from .ast import AggCall, ColumnRef, OpCall
+from .batch import Batch
 
 __all__ = ["JoinedRow", "resolve_column", "evaluate", "make_accumulator",
-           "Accumulator"]
+           "Accumulator", "compile_vector_expr", "compile_predicate_mask",
+           "compile_extent_mask", "VECTORIZABLE_OPERATORS"]
 
 
 class JoinedRow:
@@ -197,12 +201,236 @@ def sort_key_fn(keys: tuple[tuple[Any, bool], ...],
     return key
 
 
+
+# ----------------------------------------------------------------------
+# Vectorized expression compilation
+# ----------------------------------------------------------------------
+#
+# ``compile_vector_expr`` turns a value expression into a function over a
+# :class:`Batch` returning ``(values, null_mask)`` arrays, or ``None`` when
+# the expression cannot vectorize — the physical planner then inserts a
+# ``ScalarAdapter`` boundary and evaluates row-at-a-time.  Only operators
+# on the explicit whitelist below vectorize: their registry bodies are
+# cheap pure functions safe to drive through a ufunc; everything else
+# (ADT registry operators with arbitrary Python bodies) stays scalar.
+
+#: Registry operators dispatched as ufuncs (``np.frompyfunc`` over the
+#: type-checked ``OperatorRegistry.apply``, so per-element semantics are
+#: identical to scalar evaluation).
+VECTORIZABLE_OPERATORS = frozenset({
+    "area", "perimeter", "centroid_x", "centroid_y",
+    "add", "sub", "mul", "div", "neg", "abs",
+})
+
+#: ``fn(batch) -> (values, null_mask)`` — a compiled vector expression.
+VectorExpr = Callable[[Batch], tuple[np.ndarray, np.ndarray]]
+
+
+def _object_null_mask(values: np.ndarray) -> np.ndarray:
+    if values.dtype == object:
+        return np.fromiter((v is None for v in values), dtype=bool,
+                           count=values.shape[0])
+    return np.zeros(values.shape[0], dtype=bool)
+
+
+def _column_vector(ref: ColumnRef) -> VectorExpr:
+    attr = ref.attr
+    alias = ref.describe()
+
+    def fetch(batch: Batch) -> tuple[np.ndarray, np.ndarray]:
+        arr = batch.column(attr)
+        if arr is None and alias != attr:
+            arr = batch.column(alias)
+        if arr is None:
+            # Same contract as resolve_column on a dict row: missing
+            # columns read as NULL.
+            return (np.full(batch.length, None, dtype=object),
+                    np.ones(batch.length, dtype=bool))
+        mask = batch.mask(attr if batch.column(attr) is not None else alias)
+        return arr, mask
+
+    return fetch
+
+
+def _literal_vector(value: Any) -> VectorExpr:
+    def broadcast(batch: Batch) -> tuple[np.ndarray, np.ndarray]:
+        arr = np.full(batch.length, value, dtype=object) \
+            if not isinstance(value, (int, float, bool)) or value is None \
+            else np.full(batch.length, value)
+        null = np.full(batch.length, value is None, dtype=bool)
+        return arr, null
+
+    return broadcast
+
+
+def compile_vector_expr(expr: Any,
+                        operators: OperatorRegistry | None
+                        ) -> VectorExpr | None:
+    """Compile *expr* to a batch-level evaluator, or None if not possible."""
+    if isinstance(expr, ColumnRef):
+        return _column_vector(expr)
+    if isinstance(expr, OpCall):
+        if operators is None or expr.operator not in VECTORIZABLE_OPERATORS:
+            return None
+        arg_fns = []
+        all_literal = True
+        for arg in expr.args:
+            if isinstance(arg, (ColumnRef, OpCall, AggCall)):
+                all_literal = False
+            fn = compile_vector_expr(arg, operators)
+            if fn is None:
+                return None
+            arg_fns.append(fn)
+        if all_literal:
+            # Constant folding: evaluate once at compile time, broadcast.
+            folded = operators.apply(
+                expr.operator, *[evaluate(a, None, operators)
+                                 for a in expr.args]
+            )
+            return _literal_vector(folded)
+        name = expr.operator
+        ufunc = np.frompyfunc(
+            lambda *vals: operators.apply(name, *vals), len(arg_fns), 1
+        )
+
+        def run(batch: Batch) -> tuple[np.ndarray, np.ndarray]:
+            arg_arrays = [fn(batch)[0] for fn in arg_fns]
+            out = ufunc(*arg_arrays) if batch.length else \
+                np.empty(0, dtype=object)
+            out = np.asarray(out, dtype=object)
+            return out, _object_null_mask(out)
+
+        return run
+    if isinstance(expr, AggCall):
+        # Post-aggregate batches carry the computed value under the
+        # call's rendered alias (same contract as dict-row evaluation).
+        alias = expr.describe()
+
+        def fetch(batch: Batch) -> tuple[np.ndarray, np.ndarray]:
+            arr = batch.column(alias)
+            if arr is None:
+                return (np.full(batch.length, None, dtype=object),
+                        np.ones(batch.length, dtype=bool))
+            return arr, batch.mask(alias)
+
+        return fetch
+    return _literal_vector(expr)
+
+
+def compile_predicate_mask(
+    filters: tuple[tuple[str, Any], ...],
+    ranges: tuple[tuple[str, str, Any], ...],
+) -> Callable[[Batch], np.ndarray]:
+    """A batch-level predicate mask with :func:`matches_predicates`'s exact
+    semantics: equality filters first (NULL matches only a NULL literal),
+    then range predicates evaluated only on still-passing rows, raising
+    :class:`DerivationError` on incomparable stored values."""
+
+    def predicate(batch: Batch) -> np.ndarray:
+        keep = np.ones(batch.length, dtype=bool)
+        for attr, value in filters:
+            arr = batch.column(attr)
+            if arr is None:
+                arr = np.full(batch.length, None, dtype=object)
+            mask = batch.mask(attr)
+            if mask is None:
+                mask = np.zeros(batch.length, dtype=bool)
+            if value is None:
+                keep &= mask
+            else:
+                try:
+                    eq = np.asarray(arr == value, dtype=bool)
+                except (TypeError, ValueError):
+                    eq = np.fromiter((v == value for v in arr.tolist()),
+                                     dtype=bool, count=batch.length)
+                if eq.shape != keep.shape:  # non-broadcastable comparison
+                    eq = np.fromiter((v == value for v in arr.tolist()),
+                                     dtype=bool, count=batch.length)
+                keep &= eq & ~mask
+        for attr, op, value in ranges:
+            if not keep.any():
+                break
+            arr = batch.column(attr)
+            if arr is None:
+                arr = np.full(batch.length, None, dtype=object)
+            mask = batch.mask(attr)
+            if mask is None:
+                mask = _object_null_mask(arr)
+            live = np.flatnonzero(keep)
+            live_mask = mask[live]
+            if live_mask.any():
+                # Scalar evaluation raises on the first incomparable
+                # (None) value it reaches; mirror that contract.
+                raise DerivationError(
+                    f"range predicate {attr} {op} {value!r} is not "
+                    f"comparable with stored value None"
+                )
+            candidates = arr[live]
+            try:
+                if arr.dtype == object:
+                    comparator = COMPARISONS[op]
+                    passed = np.fromiter(
+                        (comparator(v, value) for v in candidates.tolist()),
+                        dtype=bool, count=candidates.shape[0],
+                    )
+                else:
+                    passed = np.asarray(
+                        COMPARISONS[op](candidates, value), dtype=bool
+                    )
+            except TypeError as exc:
+                bad = [v for v in candidates.tolist()
+                       if _incomparable(op, v, value)]
+                offender = bad[0] if bad else candidates.tolist()[0]
+                raise DerivationError(
+                    f"range predicate {attr} {op} {value!r} is not "
+                    f"comparable with stored value {offender!r}"
+                ) from exc
+            keep[live[~passed]] = False
+        return keep
+
+    return predicate
+
+
+def _incomparable(op: str, stored: Any, literal: Any) -> bool:
+    try:
+        COMPARISONS[op](stored, literal)
+        return False
+    except TypeError:
+        return True
+
+
+def compile_extent_mask(cls: Any, spatial: Any,
+                        temporal: Any) -> Callable[[Batch], np.ndarray]:
+    """Batch-level spatio-temporal extent mask (``matches_extents``
+    semantics: overlap for space, exact match for time)."""
+    spatial_attr = cls.spatial_attr if spatial is not None else None
+    temporal_attr = cls.temporal_attr if temporal is not None else None
+    overlaps = np.frompyfunc(lambda e: e.overlaps(spatial), 1, 1) \
+        if spatial_attr is not None else None
+
+    def extent(batch: Batch) -> np.ndarray:
+        keep = np.ones(batch.length, dtype=bool)
+        if overlaps is not None and batch.length:
+            extents = batch.column(spatial_attr)
+            keep &= overlaps(extents).astype(bool)
+        if temporal_attr is not None and batch.length:
+            stamps = batch.column(temporal_attr)
+            keep &= np.asarray(stamps == temporal, dtype=bool)
+        return keep
+
+    return extent
+
+
 class _SortKey:
     """Comparable wrapper for multi-key, per-key-direction ordering.
 
-    Only ``__lt__`` is needed (``sorted`` and ``heapq.nsmallest`` use
-    nothing else).  ``None`` sorts after everything — missing values
-    land last regardless of direction.
+    ``sorted`` uses only ``__lt__``; ``heapq.nsmallest`` additionally
+    needs ``__eq__`` — it decorates rows as ``(key, index, row)``
+    tuples, and tuple comparison consults key equality before falling
+    through to the tie-breaking index.  Without it, equal keys compare
+    unequal-but-unordered and the top-K heap loses sort stability.
+    ``None`` sorts after everything — missing values land last
+    regardless of direction.
     """
 
     __slots__ = ("values", "descs")
@@ -210,6 +438,11 @@ class _SortKey:
     def __init__(self, values: tuple[Any, ...], descs: tuple[bool, ...]):
         self.values = values
         self.descs = descs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _SortKey):
+            return NotImplemented
+        return self.values == other.values
 
     def __lt__(self, other: "_SortKey") -> bool:
         for mine, theirs, desc in zip(self.values, other.values, self.descs):

@@ -29,6 +29,16 @@ The operators:
 Operator instances are built fresh per execution and are stateful:
 after a drain, counters (``rows_out``) and outcomes (``path_taken``,
 ``plan_steps``, ``tasks``) describe what actually happened.
+
+Vectorized execution: operators whose ``vectorized`` flag is set also
+implement :meth:`~PhysicalOperator.run_batches`, streaming columnar
+:class:`~repro.query.batch.Batch` slabs instead of rows; their ``run()``
+falls back to lazily flattening those batches, so scalar consumers (and
+the client fetch path, which needs row-at-a-time DB-API semantics) work
+unchanged while all storage and predicate work happens per batch.  The
+explicit :class:`ScalarAdapter` marks the vectorized→scalar boundary
+inside mixed trees, and :func:`render_tree` annotates every operator
+``[vectorized batch=N]`` or ``[scalar]``.
 """
 
 from __future__ import annotations
@@ -37,6 +47,8 @@ import heapq
 import math
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Any, Callable, Iterator
+
+import numpy as np
 
 from ..core.classes import SciObject, matches_extents, matches_predicates
 from ..core.interpolation import InterpolationError
@@ -51,7 +63,15 @@ from ..spatial.box import Box
 from ..storage.access import AccessPath, INDEX_PROBE_COST, INDEX_ROW_COST
 from ..temporal.abstime import AbsTime
 from .ast import AggCall, ColumnRef, SelectItem
+from .batch import (
+    DEFAULT_BATCH_SIZE,
+    Batch,
+    group_rows,
+    object_column,
+    order_by_keys,
+)
 from .expressions import (
+    Accumulator,
     JoinedRow,
     evaluate,
     make_accumulator,
@@ -66,8 +86,10 @@ __all__ = [
     "IndexScan",
     "IndexOnlyScan",
     "Filter",
+    "VectorFilter",
     "Project",
     "ExprProject",
+    "ScalarAdapter",
     "Sort",
     "Limit",
     "HashAggregate",
@@ -84,6 +106,7 @@ __all__ = [
     "FILTER_ROW_COST",
     "SORT_ROW_COST",
     "HASH_ROW_COST",
+    "VECTOR_ROW_DISCOUNT",
 ]
 
 #: Cost guesses for the fallback operators.  Interpolation prices two
@@ -100,6 +123,11 @@ SORT_ROW_COST = 0.02
 #: Per-row cost of hashing into / probing a hash table (joins,
 #: aggregation groups).
 HASH_ROW_COST = 0.05
+#: Vectorized operators amortize the per-row interpreter overhead across
+#: a whole batch; their per-row costs shrink by this factor so the
+#: optimizer's plan comparisons (e.g. explicit Sort vs index order)
+#: price batch execution honestly.
+VECTOR_ROW_DISCOUNT = 0.125
 
 
 @dataclass
@@ -121,11 +149,19 @@ class PhysicalOperator:
     Subclasses set ``estimated_rows`` / ``estimated_cost`` at build
     time and stream rows from :meth:`run`.  ``rows_out`` counts what
     was actually produced once the iterator is drained.
+
+    Vectorized operators set ``vectorized`` and implement
+    :meth:`run_batches`; their default ``run()`` lazily flattens the
+    batch stream (``rows_out`` is counted once, in ``run_batches``).
     """
 
     estimated_rows: float = 0.0
     estimated_cost: float = 0.0
     rows_out: int = 0
+    #: True when this operator streams columnar batches natively.
+    vectorized: bool = False
+    #: Target batch row count (vectorized operators only).
+    batch_size: int | None = None
 
     @property
     def children(self) -> tuple["PhysicalOperator", ...]:
@@ -135,16 +171,38 @@ class PhysicalOperator:
         """One-line rendering for plan dumps (no cost suffix)."""
         raise NotImplementedError
 
+    def run_batches(self) -> Iterator[Batch]:
+        """Stream columnar batches (vectorized operators only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not execute vectorized"
+        )
+
     def run(self) -> Iterator[Any]:
         """Stream this operator's rows (stateful; drive once)."""
+        if self.vectorized:
+            yield from self._flatten()
+            return
         raise NotImplementedError
+
+    def _flatten(self) -> Iterator[Any]:
+        """Rows off the batch stream — the lazy scalar view of a
+        vectorized operator (row accounting stays in run_batches)."""
+        for batch in self.run_batches():
+            yield from batch.to_rows()
+
+    def mode_note(self) -> str:
+        """The EXPLAIN execution-mode annotation for this operator."""
+        if self.vectorized:
+            return f"vectorized batch={self.batch_size or DEFAULT_BATCH_SIZE}"
+        return "scalar"
 
 
 def render_tree(op: PhysicalOperator, prefix: str = "",
                 is_last: bool = True, is_root: bool = True) -> list[str]:
     """Pretty-print an operator tree with per-operator estimates."""
     line = (f"{op.label()} "
-            f"[rows~{op.estimated_rows:.0f} cost~{op.estimated_cost:.1f}]")
+            f"[rows~{op.estimated_rows:.0f} cost~{op.estimated_cost:.1f}]"
+            f" [{op.mode_note()}]")
     if is_root:
         lines = [line]
         child_prefix = ""
@@ -164,14 +222,21 @@ def render_tree(op: PhysicalOperator, prefix: str = "",
 
 
 class _StoreScan(PhysicalOperator):
-    """Common base of the stored-row scans: one recorded scan event."""
+    """Common base of the stored-row scans: one recorded scan event.
+
+    With ``batch_mode`` the scan emits columnar batches straight off the
+    storage layer (:meth:`ClassStore.iter_scan_batches`) — per-row
+    ``SciObject`` materialization is deferred to the scalar boundary.
+    """
 
     def __init__(self, ctx: ExecutionContext, class_name: str,
                  path: AccessPath,
                  spatial: Box | None = None,
                  temporal: AbsTime | None = None,
                  filters: tuple[tuple[str, Any], ...] = (),
-                 ranges: tuple[tuple[str, str, Any], ...] = ()):
+                 ranges: tuple[tuple[str, str, Any], ...] = (),
+                 batch_mode: bool = False,
+                 batch_size: int | None = None):
         self.ctx = ctx
         self.class_name = class_name
         self.path = path
@@ -179,6 +244,8 @@ class _StoreScan(PhysicalOperator):
         self.temporal = temporal
         self.filters = filters
         self.ranges = ranges
+        self.vectorized = batch_mode
+        self.batch_size = batch_size
         self.estimated_rows = path.estimated_rows
         self.estimated_cost = path.cost
 
@@ -186,7 +253,19 @@ class _StoreScan(PhysicalOperator):
     def relation(self) -> str:
         return self.ctx.kernel.store.relation_for(self.class_name)
 
+    def run_batches(self) -> Iterator[Batch]:
+        for batch in self.ctx.kernel.store.iter_scan_batches(
+            self.class_name, spatial=self.spatial, temporal=self.temporal,
+            filters=self.filters, ranges=self.ranges, access_path=self.path,
+            batch_size=self.batch_size,
+        ):
+            self.rows_out += batch.length
+            yield batch
+
     def run(self) -> Iterator[SciObject]:
+        if self.vectorized:
+            yield from self._flatten()
+            return
         for obj in self.ctx.kernel.store.iter_scan(
             self.class_name, spatial=self.spatial, temporal=self.temporal,
             filters=self.filters, ranges=self.ranges, access_path=self.path,
@@ -219,10 +298,13 @@ class IndexOnlyScan(PhysicalOperator):
     """
 
     def __init__(self, ctx: ExecutionContext, class_name: str,
-                 path: AccessPath):
+                 path: AccessPath, batch_mode: bool = False,
+                 batch_size: int | None = None):
         self.ctx = ctx
         self.class_name = class_name
         self.path = path
+        self.vectorized = batch_mode
+        self.batch_size = batch_size
         self.estimated_rows = path.estimated_rows
         self.estimated_cost = path.cost
 
@@ -231,7 +313,17 @@ class IndexOnlyScan(PhysicalOperator):
         return (f"IndexOnlyScan({relation}.{self.path.column}) "
                 f"{self.path.describe()}")
 
+    def run_batches(self) -> Iterator[Batch]:
+        for batch in self.ctx.kernel.store.iter_index_only_batches(
+            self.class_name, self.path, batch_size=self.batch_size,
+        ):
+            self.rows_out += batch.length
+            yield batch
+
     def run(self) -> Iterator[dict[str, Any]]:
+        if self.vectorized:
+            yield from self._flatten()
+            return
         for row in self.ctx.kernel.store.iter_index_only(self.class_name,
                                                          self.path):
             self.rows_out += 1
@@ -268,6 +360,77 @@ class Filter(PhysicalOperator):
                 yield row
 
 
+class VectorFilter(PhysicalOperator):
+    """Vectorized predicate: one boolean-mask evaluation per batch.
+
+    ``mask_fn`` is a compiled batch-level predicate (see
+    :func:`~repro.query.expressions.compile_predicate_mask` /
+    ``compile_extent_mask``) with exactly the scalar re-check semantics.
+    Labelled ``Filter(...)`` in plan dumps — the mode annotation is what
+    distinguishes it.
+    """
+
+    def __init__(self, child: PhysicalOperator,
+                 mask_fn: Callable[[Batch], np.ndarray],
+                 description: str, selectivity: float = 1.0):
+        self.child = child
+        self.mask_fn = mask_fn
+        self.description = description
+        self.vectorized = True
+        self.batch_size = child.batch_size
+        self.estimated_rows = max(1.0, child.estimated_rows * selectivity)
+        self.estimated_cost = child.estimated_cost \
+            + child.estimated_rows * FILTER_ROW_COST * VECTOR_ROW_DISCOUNT
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Filter({self.description})"
+
+    def run_batches(self) -> Iterator[Batch]:
+        for batch in self.child.run_batches():
+            mask = self.mask_fn(batch)
+            out = batch if bool(mask.all()) else batch.take(mask)
+            if out.length == 0:
+                continue
+            self.rows_out += out.length
+            yield out
+
+
+class ScalarAdapter(PhysicalOperator):
+    """The explicit vectorized→scalar boundary.
+
+    Flattens a vectorized child's batches into rows for a parent that
+    must run tuple-at-a-time (joins, non-vectorizable expressions, ADT
+    operators with Python bodies).  Exists as a visible operator so
+    EXPLAIN shows exactly where a plan leaves columnar execution.
+    """
+
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+        self.estimated_rows = child.estimated_rows
+        self.estimated_cost = child.estimated_cost
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    @property
+    def step(self) -> str:
+        return getattr(self.child, "step", "scan")
+
+    def label(self) -> str:
+        return "ScalarAdapter"
+
+    def run(self) -> Iterator[Any]:
+        for batch in self.child.run_batches():
+            for row in batch.to_rows():
+                self.rows_out += 1
+                yield row
+
+
 class Project(PhysicalOperator):
     """Projection: keep only the requested attributes, as plain dicts.
 
@@ -278,6 +441,8 @@ class Project(PhysicalOperator):
     def __init__(self, child: PhysicalOperator, attrs: tuple[str, ...]):
         self.child = child
         self.attrs = attrs
+        self.vectorized = child.vectorized
+        self.batch_size = child.batch_size
         self.estimated_rows = child.estimated_rows
         self.estimated_cost = child.estimated_cost
 
@@ -288,7 +453,16 @@ class Project(PhysicalOperator):
     def label(self) -> str:
         return f"Project({', '.join(self.attrs)})"
 
+    def run_batches(self) -> Iterator[Batch]:
+        for batch in self.child.run_batches():
+            out = batch.project(self.attrs)
+            self.rows_out += out.length
+            yield out
+
     def run(self) -> Iterator[dict[str, Any]]:
+        if self.vectorized:
+            yield from self._flatten()
+            return
         for row in self.child.run():
             self.rows_out += 1
             if isinstance(row, dict):
@@ -307,13 +481,19 @@ class ExprProject(PhysicalOperator):
     """
 
     def __init__(self, child: PhysicalOperator,
-                 items: tuple[SelectItem, ...], operators: Any):
+                 items: tuple[SelectItem, ...], operators: Any,
+                 vector_items: tuple[tuple[str, Any], ...] | None = None):
         self.child = child
         self.items = items
         self.operators = operators
+        self.vector_items = vector_items
+        self.vectorized = vector_items is not None and child.vectorized
+        self.batch_size = child.batch_size
+        row_cost = FILTER_ROW_COST * VECTOR_ROW_DISCOUNT \
+            if self.vectorized else FILTER_ROW_COST
         self.estimated_rows = child.estimated_rows
         self.estimated_cost = child.estimated_cost \
-            + child.estimated_rows * FILTER_ROW_COST
+            + child.estimated_rows * row_cost
 
     @property
     def children(self) -> tuple[PhysicalOperator, ...]:
@@ -322,7 +502,25 @@ class ExprProject(PhysicalOperator):
     def label(self) -> str:
         return f"ExprProject({', '.join(i.alias for i in self.items)})"
 
+    def run_batches(self) -> Iterator[Batch]:
+        aliases = tuple(alias for alias, _ in self.vector_items)
+        for batch in self.child.run_batches():
+            columns: dict[str, np.ndarray] = {}
+            masks: dict[str, np.ndarray] = {}
+            for alias, fn in self.vector_items:
+                values, null = fn(batch)
+                columns[alias] = values
+                if null is not None and null.any():
+                    masks[alias] = null
+            out = Batch(length=batch.length, columns=columns, masks=masks,
+                        order=aliases)
+            self.rows_out += out.length
+            yield out
+
     def run(self) -> Iterator[dict[str, Any]]:
+        if self.vectorized:
+            yield from self._flatten()
+            return
         for row in self.child.run():
             self.rows_out += 1
             yield {
@@ -342,17 +540,23 @@ class Sort(PhysicalOperator):
 
     def __init__(self, child: PhysicalOperator,
                  keys: tuple[tuple[Any, bool], ...], operators: Any,
-                 top_k: int | None = None):
+                 top_k: int | None = None,
+                 vector_keys: tuple[Any, ...] | None = None):
         self.child = child
         self.keys = keys
         self.top_k = top_k
         self.key_fn = sort_key_fn(keys, operators)
+        self.vector_keys = vector_keys
+        self.vectorized = vector_keys is not None and child.vectorized
+        self.batch_size = child.batch_size
         n = max(1.0, child.estimated_rows)
         held = n if top_k is None else min(n, float(max(1, top_k)))
+        row_cost = SORT_ROW_COST * VECTOR_ROW_DISCOUNT \
+            if self.vectorized else SORT_ROW_COST
         self.estimated_rows = child.estimated_rows if top_k is None \
             else min(child.estimated_rows, float(top_k))
         self.estimated_cost = child.estimated_cost \
-            + n * math.log2(max(2.0, held)) * SORT_ROW_COST
+            + n * math.log2(max(2.0, held)) * row_cost
 
     @property
     def children(self) -> tuple[PhysicalOperator, ...]:
@@ -372,7 +576,33 @@ class Sort(PhysicalOperator):
         suffix = f" top-{self.top_k}" if self.top_k is not None else ""
         return f"Sort({', '.join(rendered)}{suffix})"
 
+    def run_batches(self) -> Iterator[Batch]:
+        # Sorting is a pipeline breaker either way; vectorized, the whole
+        # input concatenates into one slab and `np.argsort` (stable, with
+        # the scalar NULLs-last / tie-order contract — see
+        # ``batch.order_by_keys``) replaces the per-row key objects.
+        batches = list(self.child.run_batches())
+        if not batches:
+            return
+        big = Batch.concat(batches)
+        key_specs = []
+        for fn, (_, descending) in zip(self.vector_keys, self.keys):
+            values, null = fn(big)
+            if null is None:
+                null = np.zeros(big.length, dtype=bool)
+            key_specs.append((values, null, descending))
+        order = order_by_keys(key_specs, big.length)
+        if self.top_k is not None:
+            order = order[:self.top_k]
+        out = big.take(order)
+        self.rows_out += out.length
+        if out.length:
+            yield out
+
     def run(self) -> Iterator[Any]:
+        if self.vectorized:
+            yield from self._flatten()
+            return
         if self.top_k is not None:
             ordered = heapq.nsmallest(self.top_k, self.child.run(),
                                       key=self.key_fn)
@@ -391,6 +621,8 @@ class Limit(PhysicalOperator):
         self.child = child
         self.limit = limit
         self.offset = offset
+        self.vectorized = child.vectorized
+        self.batch_size = child.batch_size
         remaining = max(0.0, child.estimated_rows - offset)
         self.estimated_rows = remaining if limit is None \
             else min(remaining, float(limit))
@@ -408,7 +640,35 @@ class Limit(PhysicalOperator):
             parts.append(f"OFFSET {self.offset}")
         return f"Limit({' '.join(parts)})"
 
+    def run_batches(self) -> Iterator[Batch]:
+        # Batch slicing: offset rows are dropped and the final batch is
+        # cut at the limit boundary; the child stops being driven as
+        # soon as the quota is filled.
+        if self.limit == 0:
+            return
+        to_skip = self.offset
+        for batch in self.child.run_batches():
+            if to_skip:
+                if batch.length <= to_skip:
+                    to_skip -= batch.length
+                    continue
+                batch = batch.slice_rows(to_skip)
+                to_skip = 0
+            if self.limit is not None:
+                remaining = self.limit - self.rows_out
+                if batch.length > remaining:
+                    batch = batch.slice_rows(0, remaining)
+            if batch.length == 0:
+                continue
+            self.rows_out += batch.length
+            yield batch
+            if self.limit is not None and self.rows_out >= self.limit:
+                return
+
     def run(self) -> Iterator[Any]:
+        if self.vectorized:
+            yield from self._flatten()
+            return
         if self.limit == 0:
             return
         skipped = 0
@@ -433,14 +693,20 @@ class HashAggregate(PhysicalOperator):
 
     def __init__(self, child: PhysicalOperator,
                  group_refs: tuple[ColumnRef, ...],
-                 items: tuple[SelectItem, ...], operators: Any):
+                 items: tuple[SelectItem, ...], operators: Any,
+                 vector_plan: tuple | None = None):
         self.child = child
         self.group_refs = group_refs
         self.items = items
         self.operators = operators
+        self.vector_plan = vector_plan
+        self.vectorized = vector_plan is not None and child.vectorized
+        self.batch_size = child.batch_size
         n = child.estimated_rows
+        row_cost = HASH_ROW_COST * VECTOR_ROW_DISCOUNT \
+            if self.vectorized else HASH_ROW_COST
         self.estimated_rows = max(1.0, math.sqrt(n)) if group_refs else 1.0
-        self.estimated_cost = child.estimated_cost + n * HASH_ROW_COST
+        self.estimated_cost = child.estimated_cost + n * row_cost
 
     @property
     def children(self) -> tuple[PhysicalOperator, ...]:
@@ -460,7 +726,118 @@ class HashAggregate(PhysicalOperator):
             for item in self.items if isinstance(item.expr, AggCall)
         }
 
+    @staticmethod
+    def _segment_reduce(kind: str, values: np.ndarray, null: np.ndarray,
+                        order: np.ndarray, starts: np.ndarray,
+                        counts_all: np.ndarray) -> list:
+        """One aggregate column over the grouped slab, as a Python list.
+
+        Typed numeric columns reduce with ``np.add.reduceat`` /
+        ``minimum.reduceat`` over NULL-filled copies; object-dtype (and
+        bool) columns fall back to the scalar accumulator per segment,
+        preserving exact Python arithmetic semantics either way.
+        """
+        sorted_vals = values[order]
+        sorted_null = null[order]
+        counts = np.add.reduceat((~sorted_null).astype(np.int64), starts)
+        if kind == "count":
+            return counts.tolist()
+        numeric = sorted_vals.dtype != object \
+            and sorted_vals.dtype != np.bool_
+        if not numeric:
+            ends = np.append(starts[1:], order.shape[0])
+            out = []
+            for lo, hi in zip(starts.tolist(), ends.tolist()):
+                accumulator = Accumulator(kind)
+                vals = sorted_vals[lo:hi].tolist()
+                nulls = sorted_null[lo:hi].tolist()
+                for v, is_null in zip(vals, nulls):
+                    accumulator.add(None if is_null else v)
+                out.append(accumulator.result())
+            return out
+        is_int = np.issubdtype(sorted_vals.dtype, np.integer)
+        counts_list = counts.tolist()
+        if kind in ("sum", "avg"):
+            filled = np.where(sorted_null, 0, sorted_vals)
+            totals = np.add.reduceat(filled, starts)
+            if kind == "sum":
+                raw = totals.tolist()
+                return [None if c == 0 else v
+                        for v, c in zip(raw, counts_list)]
+            raw = totals.tolist()
+            return [None if c == 0 else v / c
+                    for v, c in zip(raw, counts_list)]
+        if kind == "min":
+            sentinel = np.iinfo(np.int64).max if is_int else np.inf
+            filled = np.where(sorted_null, sentinel, sorted_vals)
+            raw = np.minimum.reduceat(filled, starts).tolist()
+        else:  # max
+            sentinel = np.iinfo(np.int64).min if is_int else -np.inf
+            filled = np.where(sorted_null, sentinel, sorted_vals)
+            raw = np.maximum.reduceat(filled, starts).tolist()
+        return [None if c == 0 else v for v, c in zip(raw, counts_list)]
+
+    def run_batches(self) -> Iterator[Batch]:
+        group_fns, item_specs = self.vector_plan
+        batches = list(self.child.run_batches())
+        big = Batch.concat(batches) if batches else Batch(0, {})
+        n = big.length
+        if n == 0:
+            if self.group_refs:
+                return
+            # Scalar aggregate over nothing: one row of empty results.
+            names = tuple(alias for alias, _, _ in item_specs)
+            columns = {
+                alias: object_column([0 if kind.startswith("count") else None])
+                for alias, kind, _ in item_specs
+            }
+            self.rows_out += 1
+            yield Batch(length=1, columns=columns, order=names)
+            return
+        keys = []
+        for fn in group_fns:
+            values, null = fn(big)
+            if null is None:
+                null = np.zeros(n, dtype=bool)
+            keys.append((values, null))
+        order, starts, first_seen = group_rows(keys, n)
+        # Emit groups in first-encountered order, like the scalar hash.
+        emit = np.argsort(first_seen, kind="stable")
+        ends = np.append(starts[1:], n)
+        counts_all = (ends - starts)
+        names = tuple(alias for alias, _, _ in item_specs)
+        columns: dict[str, np.ndarray] = {}
+        for alias, kind, fn in item_specs:
+            if kind == "count_star":
+                columns[alias] = object_column(
+                    counts_all[emit].tolist()
+                )
+                continue
+            if kind == "expr":
+                values, null = fn(big)
+                if null is None:
+                    null = np.zeros(n, dtype=bool)
+                sample = first_seen[emit]
+                picked = values[sample].tolist()
+                picked_null = null[sample].tolist()
+                columns[alias] = object_column(
+                    [None if m else v for v, m in zip(picked, picked_null)]
+                )
+                continue
+            values, null = fn(big)
+            if null is None:
+                null = np.zeros(n, dtype=bool)
+            reduced = self._segment_reduce(kind, values, null, order,
+                                           starts, counts_all)
+            columns[alias] = object_column([reduced[i] for i in emit.tolist()])
+        out = Batch(length=int(starts.shape[0]), columns=columns, order=names)
+        self.rows_out += out.length
+        yield out
+
     def run(self) -> Iterator[dict[str, Any]]:
+        if self.vectorized:
+            yield from self._flatten()
+            return
         groups: dict[tuple, tuple[Any, dict[str, Any]]] = {}
         for row in self.child.run():
             key = tuple(
@@ -588,6 +965,12 @@ class IndexNestedLoopJoin(PhysicalOperator):
         self.filters = filters
         self.ranges = ranges
         self.per_probe_rows = per_probe_rows
+        # §2.1.5 on the probe side: the first probe miss triggers one
+        # interpolate/derive attempt for the right class at the join's
+        # extents; produced objects answer this and later misses.
+        self.probe_fallback: str | None = None
+        self._fallback_tried = False
+        self._fallback_objects: list[SciObject] = []
         l_rows = left.estimated_rows
         self.estimated_rows = max(1.0, l_rows * per_probe_rows)
         self.estimated_cost = left.estimated_cost + l_rows * (
@@ -639,12 +1022,66 @@ class IndexNestedLoopJoin(PhysicalOperator):
             ranges=self.ranges, access_path=path,
         )
 
+    def _attempt_probe_fallback(self) -> None:
+        """One-shot §2.1.5 fallback for probe misses: interpolate, then
+        derive, the right class at the join's extents.  Result objects
+        are kept aside (the statement snapshot predates them, so a
+        re-probe through storage would not see them) and matched
+        directly on later misses."""
+        self._fallback_tried = True
+        planner = self.ctx.kernel.planner
+        cls = self.ctx.kernel.classes.get(self.right_class)
+        result = None
+        if self.temporal is not None and cls.temporal_attr is not None:
+            try:
+                result = planner.interpolate(
+                    self.right_class, spatial=self.spatial,
+                    temporal=self.temporal,
+                )
+                self.probe_fallback = "interpolate"
+            except (InterpolationError, AssertionViolatedError):
+                result = None
+        if result is None:
+            try:
+                result = planner.derive(
+                    self.right_class, spatial=self.spatial,
+                    temporal=self.temporal,
+                    marking_cache=self.ctx.marking_cache,
+                )
+                self.probe_fallback = "derive"
+            except (UnderivableError, InterpolationError,
+                    AssertionViolatedError):
+                return
+        self._fallback_objects = list(result.objects)
+
+    def _fallback_matches(self, key: Any) -> list[SciObject]:
+        """Fallback-produced right rows matching *key* under the probe's
+        own extent + attribute predicates."""
+        cls = self.ctx.kernel.classes.get(self.right_class)
+        out = []
+        for obj in self._fallback_objects:
+            value = obj.oid if self.right_ref.attr == "oid" \
+                else obj.get(self.right_ref.attr)
+            if value != key:
+                continue
+            if not matches_extents(obj, cls, self.spatial, self.temporal):
+                continue
+            if not matches_predicates(obj, self.filters, self.ranges):
+                continue
+            out.append(obj)
+        return out
+
     def run(self) -> Iterator[JoinedRow]:
         for left_row in self.left.run():
             key = resolve_column(left_row, self.left_ref)
             if key is None:
                 continue
-            for right_row in self._probe(key):
+            matches = list(self._probe(key))
+            if not matches:
+                if not self._fallback_tried:
+                    self._attempt_probe_fallback()
+                matches = self._fallback_matches(key)
+            for right_row in matches:
                 self.rows_out += 1
                 yield JoinedRow({self.left_name: left_row,
                                  self.right_name: right_row})
@@ -742,7 +1179,8 @@ class FallbackSwitch(PhysicalOperator):
                  has_attr_predicates: bool,
                  observes_extents: bool,
                  exists_probe: Callable[[], bool],
-                 residual: Callable[[SciObject], bool] | None = None):
+                 residual: Callable[[SciObject], bool] | None = None,
+                 batch_builder: Callable[[list], Batch] | None = None):
         self.class_name = class_name
         self.stored = stored
         self.extent_counter = extent_counter
@@ -751,6 +1189,9 @@ class FallbackSwitch(PhysicalOperator):
         self.observes_extents = observes_extents
         self.exists_probe = exists_probe
         self.residual = residual
+        self.batch_builder = batch_builder
+        self.vectorized = stored.vectorized and batch_builder is not None
+        self.batch_size = stored.batch_size
         self.path_taken: str | None = None
         self.estimated_rows = stored.estimated_rows
         self.estimated_cost = stored.estimated_cost
@@ -771,23 +1212,9 @@ class FallbackSwitch(PhysicalOperator):
     def label(self) -> str:
         return f"FallbackSwitch({self.class_name})"
 
-    def run(self) -> Iterator[Any]:
-        produced = False
-        for row in self.stored.run():
-            produced = True
-            self.rows_out += 1
-            yield row
-        if produced:
-            self.path_taken = "retrieve"
-            return
-        if self.has_attr_predicates:
-            covered = self.extent_counter.rows_out > 0 \
-                if self.observes_extents else self.exists_probe()
-            if covered:
-                # Stored data covers the extents; the predicates
-                # rejected it all.  Fallbacks are for missing data.
-                self.path_taken = "retrieve"
-                return
+    def _fallback_rows(self) -> list[Any] | None:
+        """Run the §2.1.5 fallback children, residual-filtered; sets
+        ``path_taken``.  Raises when every fallback fails."""
         errors: list[str] = []
         for fallback in self.fallbacks:
             try:
@@ -797,16 +1224,60 @@ class FallbackSwitch(PhysicalOperator):
                 errors.append(f"{fallback.step}: {exc}")
                 continue
             self.path_taken = fallback.step
-            for obj in rows:
-                if self.residual is not None and not self.residual(obj):
-                    continue
-                self.rows_out += 1
-                yield obj
-            return
+            if self.residual is not None:
+                rows = [obj for obj in rows if self.residual(obj)]
+            return rows
         raise UnderivableError(
             f"cannot satisfy query on {self.class_name!r}"
             + (f" ({'; '.join(errors)})" if errors else "")
         )
+
+    def _should_fall_back(self) -> bool:
+        """After an empty stored drain: missing data, or predicates?"""
+        if self.has_attr_predicates:
+            covered = self.extent_counter.rows_out > 0 \
+                if self.observes_extents else self.exists_probe()
+            if covered:
+                # Stored data covers the extents; the predicates
+                # rejected it all.  Fallbacks are for missing data.
+                return False
+        return True
+
+    def run_batches(self) -> Iterator[Batch]:
+        produced = False
+        for batch in self.stored.run_batches():
+            if batch.length == 0:
+                continue
+            produced = True
+            self.rows_out += batch.length
+            yield batch
+        if produced or not self._should_fall_back():
+            self.path_taken = "retrieve"
+            return
+        rows = self._fallback_rows()
+        self.rows_out += len(rows)
+        if rows:
+            yield self.batch_builder(rows)
+
+    def run(self) -> Iterator[Any]:
+        if self.vectorized:
+            yield from self._flatten()
+            return
+        produced = False
+        for row in self.stored.run():
+            produced = True
+            self.rows_out += 1
+            yield row
+        if produced:
+            self.path_taken = "retrieve"
+            return
+        if not self._should_fall_back():
+            self.path_taken = "retrieve"
+            return
+        rows = self._fallback_rows()
+        for obj in rows:
+            self.rows_out += 1
+            yield obj
 
 
 class ConceptUnion(PhysicalOperator):
@@ -822,6 +1293,9 @@ class ConceptUnion(PhysicalOperator):
         self.concept = concept
         self.members = tuple(sorted(members,
                                     key=lambda op: op.estimated_cost))
+        self.vectorized = bool(self.members) \
+            and all(m.vectorized for m in self.members)
+        self.batch_size = self.members[0].batch_size if self.members else None
         self.estimated_rows = sum(m.estimated_rows for m in self.members)
         self.estimated_cost = sum(m.estimated_cost for m in self.members)
 
@@ -833,7 +1307,16 @@ class ConceptUnion(PhysicalOperator):
         return (f"ConceptUnion({self.concept}: "
                 f"{len(self.members)} members)")
 
+    def run_batches(self) -> Iterator[Batch]:
+        for member in self.members:
+            for batch in member.run_batches():
+                self.rows_out += batch.length
+                yield batch
+
     def run(self) -> Iterator[Any]:
+        if self.vectorized:
+            yield from self._flatten()
+            return
         for member in self.members:
             for row in member.run():
                 self.rows_out += 1

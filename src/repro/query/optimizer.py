@@ -146,8 +146,10 @@ class QueryNode(PlanNode):
     items: tuple[SelectItem, ...] = ()
     group_by: tuple[ColumnRef, ...] = ()
     order_by: tuple[OrderItem, ...] = ()
-    limit: int | None = None
-    offset: int = 0
+    #: LIMIT/OFFSET counts; a :class:`~repro.query.ast.Param` placeholder
+    #: survives planning so the cached plan binds per execution.
+    limit: int | Param | None = None
+    offset: int | Param = 0
 
 
 @dataclass(frozen=True)

@@ -786,7 +786,12 @@ class _Parser:
             self._match(TokenType.KEYWORD, "ASC")
         return OrderItem(key=key, descending=descending)
 
-    def _bounded_count(self, clause: str) -> int:
+    def _bounded_count(self, clause: str) -> int | Param:
+        param = self._placeholder()
+        if param is not None:
+            # Bindable LIMIT/OFFSET: one cached plan serves every page of
+            # a paginated fetch — the count binds at execute time.
+            return param
         token = self._expect(TokenType.NUMBER)
         if "." in token.text or int(token.text) < 0:
             raise ParseError(

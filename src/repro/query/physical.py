@@ -33,7 +33,14 @@ from ..core.classes import (
     matches_predicates,
 )
 from ..core.metadata_manager import MetadataManager
-from .ast import AggCall, ColumnRef, RunProcess
+from ..errors import BindError
+from .ast import AggCall, ColumnRef, Param, RunProcess
+from .batch import Batch, vectorized_default
+from .expressions import (
+    compile_extent_mask,
+    compile_predicate_mask,
+    compile_vector_expr,
+)
 from .operators import (
     ConceptUnion,
     Derive,
@@ -52,7 +59,9 @@ from .operators import (
     PhysicalOperator,
     Project,
     Run,
+    ScalarAdapter,
     Sort,
+    VectorFilter,
 )
 from .optimizer import (
     JoinSpec,
@@ -108,9 +117,23 @@ def group_nodes(nodes: Iterable[PlanNode]
 
 @dataclass
 class PhysicalPlanner:
-    """Compiles logical plan nodes into physical operator trees."""
+    """Compiles logical plan nodes into physical operator trees.
+
+    ``vectorize`` selects batch-at-a-time execution for the stored-data
+    spine (scans, filters, projection, sort, aggregate, limit); ``None``
+    follows the process-wide default (on, unless the equivalence tests
+    or benchmarks force scalar mode).  Operators that cannot vectorize
+    get an explicit :class:`~.operators.ScalarAdapter` below them.
+    """
 
     kernel: MetadataManager
+    vectorize: bool | None = None
+    batch_size: int | None = None
+
+    def _vectorizing(self) -> bool:
+        if self.vectorize is not None:
+            return self.vectorize
+        return vectorized_default()
 
     def context(self) -> ExecutionContext:
         """A fresh execution context (per statement or union)."""
@@ -152,8 +175,12 @@ class PhysicalPlanner:
             filters=filters, ranges=ranges, access_path=node.access_path,
             projection=node.projection,
         )
+        batch_mode = self._vectorizing()
         if path.index_only:
-            scan: PhysicalOperator = IndexOnlyScan(ctx, node.class_name, path)
+            scan: PhysicalOperator = IndexOnlyScan(
+                ctx, node.class_name, path,
+                batch_mode=batch_mode, batch_size=self.batch_size,
+            )
             extent_counter = scan
             stored = self._attr_filter(scan, filters, ranges)
             observes_extents = False  # probe consumed the predicates
@@ -161,7 +188,9 @@ class PhysicalPlanner:
             scan_cls = HeapScan if path.kind == "full-scan" else IndexScan
             scan = scan_cls(ctx, node.class_name, path,
                             spatial=node.spatial, temporal=node.temporal,
-                            filters=filters, ranges=ranges)
+                            filters=filters, ranges=ranges,
+                            batch_mode=batch_mode,
+                            batch_size=self.batch_size)
             stored = extent_counter = self._extent_filter(scan, cls, node)
             stored = self._attr_filter(stored, filters, ranges)
             observes_extents = path.observes_extents
@@ -200,6 +229,8 @@ class PhysicalPlanner:
                 n.class_name, spatial=n.spatial, temporal=n.temporal
             )),
             residual=residual,
+            batch_builder=(lambda rows, c=cls: Batch.from_objects(rows, c))
+            if stored.vectorized else None,
         )
         return self._project(tree, node)
 
@@ -216,12 +247,19 @@ class PhysicalPlanner:
             parts.append(f"{cls.temporal_attr}={node.temporal}")
         if not parts:
             return child
+        description = " AND ".join(parts)
+        if child.vectorized:
+            return VectorFilter(
+                child,
+                mask_fn=compile_extent_mask(cls, node.spatial, node.temporal),
+                description=description,
+            )
         return Filter(
             child,
             predicate=(lambda obj, c=cls, n=node: matches_extents(
                 obj, c, n.spatial, n.temporal
             )),
-            description=" AND ".join(parts),
+            description=description,
         )
 
     @staticmethod
@@ -230,17 +268,27 @@ class PhysicalPlanner:
                      ranges: tuple[tuple[str, str, Any], ...]
                      ) -> PhysicalOperator:
         """Attribute predicate re-check (works on objects and dicts —
-        both expose ``.get``); pass-through without predicates."""
+        both expose ``.get``); pass-through without predicates.  Over a
+        vectorized child the predicates compile to one boolean-mask
+        evaluation per batch."""
         if not (filters or ranges):
             return child
         parts = [f"{attr}={value!r}" for attr, value in filters]
         parts += [f"{attr}{op}{value!r}" for attr, op, value in ranges]
         selectivity = 0.5 ** (len(filters) + len(ranges))
+        description = " AND ".join(parts)
+        if child.vectorized:
+            return VectorFilter(
+                child,
+                mask_fn=compile_predicate_mask(filters, ranges),
+                description=description,
+                selectivity=max(0.1, selectivity),
+            )
         return Filter(
             child,
             predicate=(lambda row, f=filters, r=ranges:
                        matches_predicates(row, f, r)),
-            description=" AND ".join(parts),
+            description=description,
             selectivity=max(0.1, selectivity),
         )
 
@@ -294,6 +342,11 @@ class PhysicalPlanner:
         attribute the cost model may replace the Sort entirely with an
         ordered index scan (sort avoidance, visible in EXPLAIN).
         """
+        if isinstance(node.limit, Param) or isinstance(node.offset, Param):
+            raise BindError(
+                "query has unbound LIMIT/OFFSET parameters — supply bind "
+                "values (cursor.execute(source, params))"
+            )
         ctx = ctx or self.context()
         operators = self.kernel.operators
         aggregate = bool(node.group_by) or any(
@@ -318,14 +371,102 @@ class PhysicalPlanner:
         if node.join is not None:
             tree = self._join_tree(node, tree, ctx)
         if aggregate:
-            tree = HashAggregate(tree, node.group_by, node.items, operators)
+            tree = self._make_aggregate(tree, node, operators)
         if need_sort:
-            tree = Sort(tree, keys, operators, top_k=top_k)
+            tree = self._make_sort(tree, keys, top_k)
         if node.limit is not None or node.offset:
             tree = Limit(tree, node.limit, node.offset)
         if node.items and not aggregate:
-            tree = ExprProject(tree, node.items, operators)
+            tree = self._make_expr_project(tree, node.items, operators)
         return tree
+
+    @staticmethod
+    def _uniform_batches(tree: PhysicalOperator) -> bool:
+        """Whether every batch off *tree* shares one column layout.
+
+        Pipeline-breaking vectorized operators (Sort, HashAggregate)
+        concatenate their input batches; a concept union over several
+        classes streams per-class layouts, so those go through a
+        ScalarAdapter instead.
+        """
+        if isinstance(tree, ConceptUnion):
+            classes = {getattr(m, "class_name", None) for m in tree.members}
+            return len(classes) == 1 and None not in classes
+        if isinstance(tree, Limit):
+            return PhysicalPlanner._uniform_batches(tree.child)
+        return True
+
+    def _make_aggregate(self, tree: PhysicalOperator, node: QueryNode,
+                        operators: Any) -> PhysicalOperator:
+        """HashAggregate over *tree*, vectorized when every group key and
+        aggregate argument compiles to array ops; otherwise an explicit
+        scalar boundary under the scalar aggregate."""
+        vector_plan = None
+        if tree.vectorized and self._uniform_batches(tree):
+            vector_plan = self._vector_aggregate_plan(node, operators)
+        if tree.vectorized and vector_plan is None:
+            tree = ScalarAdapter(tree)
+        return HashAggregate(tree, node.group_by, node.items, operators,
+                             vector_plan=vector_plan)
+
+    def _vector_aggregate_plan(self, node: QueryNode, operators: Any
+                               ) -> tuple | None:
+        group_fns = []
+        for ref in node.group_by:
+            fn = compile_vector_expr(ref, operators)
+            if fn is None:
+                return None
+            group_fns.append(fn)
+        item_specs = []
+        for item in node.items:
+            expr = item.expr
+            if isinstance(expr, AggCall):
+                if expr.arg is None:
+                    item_specs.append((item.alias, "count_star", None))
+                    continue
+                fn = compile_vector_expr(expr.arg, operators)
+                if fn is None:
+                    return None
+                item_specs.append((item.alias, expr.func, fn))
+            else:
+                fn = compile_vector_expr(expr, operators)
+                if fn is None:
+                    return None
+                item_specs.append((item.alias, "expr", fn))
+        return (tuple(group_fns), tuple(item_specs))
+
+    def _make_sort(self, tree: PhysicalOperator,
+                   keys: tuple[tuple[Any, bool], ...],
+                   top_k: int | None) -> PhysicalOperator:
+        """Sort over *tree*: vectorized (argsort on key columns) when the
+        keys compile and the input batches are uniform."""
+        operators = self.kernel.operators
+        if tree.vectorized and self._uniform_batches(tree):
+            vector_keys = tuple(
+                compile_vector_expr(expr, operators) for expr, _ in keys
+            )
+            if all(fn is not None for fn in vector_keys):
+                return Sort(tree, keys, operators, top_k=top_k,
+                            vector_keys=vector_keys)
+        if tree.vectorized:
+            tree = ScalarAdapter(tree)
+        return Sort(tree, keys, operators, top_k=top_k)
+
+    def _make_expr_project(self, tree: PhysicalOperator,
+                           items: tuple, operators: Any
+                           ) -> PhysicalOperator:
+        """Expression projection: column slices / ufunc dispatch when
+        every item compiles, else a scalar boundary."""
+        if tree.vectorized:
+            vector_items = tuple(
+                (item.alias, compile_vector_expr(item.expr, operators))
+                for item in items
+            )
+            if all(fn is not None for _, fn in vector_items):
+                return ExprProject(tree, items, operators,
+                                   vector_items=vector_items)
+            tree = ScalarAdapter(tree)
+        return ExprProject(tree, items, operators)
 
     def _order_keys(self, node: QueryNode
                     ) -> tuple[tuple[Any, bool], ...]:
@@ -367,7 +508,7 @@ class PhysicalPlanner:
         returned.
         """
         base = self.build_retrieve(node, ctx)
-        explicit = Sort(base, keys, self.kernel.operators, top_k=top_k)
+        explicit = self._make_sort(base, keys, top_k)
         ref, descending = keys[0]
         if ref.attr == "oid":
             return explicit
@@ -397,6 +538,10 @@ class PhysicalPlanner:
         join = node.join
         store = self.kernel.store
         engine = self.kernel.engine
+        if left.vectorized:
+            # Joins match per-row; the build/probe sides cross an
+            # explicit scalar boundary.
+            left = ScalarAdapter(left)
         inlj: IndexNestedLoopJoin | None = None
         if len(join.inputs) == 1:
             right_node = join.inputs[0]
@@ -426,6 +571,8 @@ class PhysicalPlanner:
                     per_probe_rows=per_probe,
                 )
         right = self._inputs_tree(join.source, join.inputs, ctx)
+        if right.vectorized:
+            right = ScalarAdapter(right)
         hash_join = HashJoin(left, right, join.left_ref, join.right_ref,
                              node.source, join.source)
         if inlj is not None and inlj.estimated_cost < hash_join.estimated_cost:

@@ -394,6 +394,93 @@ class StorageEngine:
             except TupleNotFoundError:
                 continue
 
+    def value_batches(self, relation: str,
+                      snapshot: Snapshot | None = None,
+                      batch_size: int = 1024,
+                      tids: Iterator[TID] | None = None
+                      ) -> Iterator[list[tuple]]:
+        """Visible raw value tuples (schema order, ``_oid`` first) in
+        batches of at most *batch_size* — the columnar scan surface.
+
+        No :class:`Row` dicts are built: the version value tuples are
+        handed out by reference (sound under no-overwrite MVCC — a
+        committed version's values never mutate).  With *tids* given,
+        rows are fetched in that order, skipping invisible versions —
+        this is how index paths batch; the TID streams ride the chunked
+        B-tree ``range_scan`` (≤256 pairs per lock acquisition), so
+        batch assembly adds no extra copies.  Without *tids*, the whole
+        heap is walked in TID order like :meth:`scan`.
+        """
+        snap = snapshot or self.snapshot()
+        state = self._state(relation)
+        out: list[tuple] = []
+        if tids is None:
+            # Page-at-a-time with ``visible()`` inlined: the per-row
+            # function-call overhead would dominate a columnar scan that
+            # does nothing else per row (same predicate as
+            # :func:`repro.storage.transactions.visible`).
+            committed = snap.committed
+            own = snap.own_xid
+            for versions in state.heap.iter_version_lists():
+                out.extend(
+                    v.values for v in versions
+                    if (v.xmin in committed or v.xmin == own)
+                    and (v.xmax is None
+                         or (v.xmax not in committed and v.xmax != own))
+                )
+                while len(out) >= batch_size:
+                    yield out[:batch_size]
+                    out = out[batch_size:]
+        else:
+            for tid in tids:
+                try:
+                    version = state.heap.get(tid)
+                except TupleNotFoundError:
+                    continue
+                if visible(version, snap):
+                    out.append(version.values)
+                    if len(out) >= batch_size:
+                        yield out
+                        out = []
+        if out:
+            yield out
+
+    def iter_lookup_tids(self, relation: str, column: str, key: Any
+                         ) -> Iterator[TID]:
+        """TID stream of one equality probe, in the order
+        :meth:`iter_lookup` visits rows (visibility unchecked — the
+        batch fetch layer checks it)."""
+        state = self._state(relation)
+        tree = state.btrees.get(column)
+        if tree is None:
+            raise StorageError(f"no index on {relation}.{column}")
+        yield from sorted(tree.search(key))
+
+    def iter_range_tids(self, relation: str, column: str, lo: Any, hi: Any,
+                        reverse: bool = False) -> Iterator[TID]:
+        """TID stream of one range probe in key order (``iter_range``'s
+        visit order), riding the chunked snapshot ``range_scan``."""
+        state = self._state(relation)
+        tree = state.btrees.get(column)
+        if tree is None:
+            raise StorageError(f"no index on {relation}.{column}")
+        for _, bucket in tree.range_scan(lo, hi, reverse=reverse):
+            yield from sorted(bucket)
+
+    def iter_spatial_tids(self, relation: str, query: Box) -> Iterator[TID]:
+        """TID stream of a spatial-grid probe (``iter_spatial`` order)."""
+        state = self._state(relation)
+        if state.spatial is None:
+            raise StorageError(f"no spatial index on {relation}")
+        yield from sorted(state.spatial.query(query))
+
+    def iter_temporal_tids(self, relation: str, at: AbsTime) -> Iterator[TID]:
+        """TID stream of a timeline probe (``iter_temporal`` order)."""
+        state = self._state(relation)
+        if state.temporal is None:
+            raise StorageError(f"no temporal index on {relation}")
+        yield from sorted(state.temporal.at(at))
+
     def iter_lookup(self, relation: str, column: str, key: Any,
                     snapshot: Snapshot | None = None) -> Iterator[Row]:
         """Stream the visible rows with ``column == key`` via the B-tree.

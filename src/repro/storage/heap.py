@@ -63,6 +63,15 @@ class SlottedPage:
     def __iter__(self) -> Iterator[tuple[int, TupleVersion]]:
         return iter(enumerate(self._slots))
 
+    def versions(self) -> list[TupleVersion]:
+        """The page's versions in slot order, as the stored list.
+
+        Callers must not mutate it — this is the zero-copy surface the
+        columnar batch scan walks (slot numbers are implicit, so no TID
+        tuples are built per row).
+        """
+        return self._slots
+
 
 @dataclass
 class HeapFile:
@@ -116,6 +125,16 @@ class HeapFile:
         for page in self._pages:
             for slot, version in page:
                 yield TID(page=page.page_no, slot=slot), version
+
+    def iter_version_lists(self) -> Iterator[list[TupleVersion]]:
+        """Per-page version lists in TID order (no TID construction).
+
+        The columnar scan surface: :meth:`StorageEngine.value_batches`
+        filters these lists for visibility page-at-a-time instead of
+        paying a generator round-trip per row.
+        """
+        for page in self._pages:
+            yield page.versions()
 
     def version_count(self) -> int:
         """Total stored versions, live and dead (O(1))."""

@@ -1,0 +1,183 @@
+"""Property-based equivalence: vectorized execution ≡ scalar execution.
+
+Hypothesis generates small relations (with NULLs) and arbitrary query
+shapes over them — equality and range predicates, multi-key ORDER BY
+with mixed directions, LIMIT/OFFSET, grouped and scalar aggregates —
+and runs each query through both execution modes.  The results must be
+*identical*, row for row:
+
+* the ordering contract (stable sort, NULLs last regardless of
+  direction, first-seen group emit order) must hold byte-for-byte;
+* NULL semantics must match — stored rows are always fully typed (the
+  catalog rejects None), so NULLs enter through *missing attributes*:
+  concept members with differing schemas, and aggregates over empty
+  input;
+* float aggregates stay exactly equal because the generated values are
+  small multiples of 0.25 — exactly representable, so summation order
+  cannot introduce drift.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.figures import AFRICA
+from repro.query import open_session
+from repro.query.batch import scalar_execution
+
+DDL = """
+DEFINE CLASS obs (
+  ATTRIBUTES: k = int4; v = float8; tag = char16;
+)
+"""
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=-20, max_value=20).map(lambda n: n * 0.25),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    min_size=1, max_size=30,
+)
+
+order_strategy = st.lists(
+    st.tuples(st.sampled_from(["k", "v", "tag"]), st.booleans()),
+    min_size=0, max_size=3, unique_by=lambda kd: kd[0],
+)
+
+
+def _session_with(rows):
+    session = open_session(universe=AFRICA)
+    session.execute(DDL)
+    for k, v, tag in rows:
+        session.kernel.store.store("obs", {"k": k, "v": v, "tag": tag})
+    return session
+
+
+def _run(session, query):
+    result = session.execute_one(query)
+    out = []
+    for obj in result.objects:
+        if isinstance(obj, dict):
+            out.append(tuple(obj.items()))
+        else:
+            out.append(tuple(sorted(obj.values.items())))
+    return out
+
+
+def _both_modes(session, query):
+    vectorized = _run(session, query)
+    with scalar_execution():
+        scalar = _run(session, query)
+    assert vectorized == scalar, query
+    return vectorized
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=rows_strategy, order=order_strategy,
+       limit=st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
+       offset=st.integers(min_value=0, max_value=5),
+       where_tag=st.one_of(st.none(), st.sampled_from(["a", "b", "zz"])),
+       k_bound=st.one_of(st.none(), st.integers(min_value=0, max_value=6)))
+def test_retrieval_equivalence(rows, order, limit, offset, where_tag,
+                               k_bound):
+    session = _session_with(rows)
+    clauses = []
+    conditions = []
+    if where_tag is not None:
+        conditions.append(f"tag = '{where_tag}'")
+    if k_bound is not None:
+        conditions.append(f"k >= {k_bound}")
+    if conditions:
+        clauses.append("WHERE " + " AND ".join(conditions))
+    if order:
+        keys = ", ".join(f"{attr} {'DESC' if desc else 'ASC'}"
+                         for attr, desc in order)
+        clauses.append(f"ORDER BY {keys}")
+    if limit is not None:
+        clauses.append(f"LIMIT {limit}")
+        if offset:
+            clauses.append(f"OFFSET {offset}")
+    query = "SELECT k, v, tag FROM obs " + " ".join(clauses)
+    result = _both_modes(session, query)
+    if order and limit is None:
+        # the ordering contract itself: NULLs last, directions honoured
+        attr, desc = order[0]
+        head = [dict(r)[attr] for r in result]
+        non_null = [value for value in head if value is not None]
+        assert non_null == sorted(non_null, reverse=desc)
+        if None in head:
+            assert head.index(None) >= len(non_null)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=rows_strategy,
+       group_attr=st.sampled_from(["k", "tag"]),
+       where_tag=st.one_of(st.none(), st.sampled_from(["a", "b"])),
+       descending=st.booleans(),
+       limit=st.one_of(st.none(), st.integers(min_value=1, max_value=4)))
+def test_aggregate_equivalence(rows, group_attr, where_tag, descending,
+                               limit):
+    session = _session_with(rows)
+    where = f"WHERE tag = '{where_tag}' " if where_tag else ""
+    direction = "DESC" if descending else "ASC"
+    tail = f" LIMIT {limit}" if limit is not None else ""
+    query = (f"SELECT {group_attr}, count(*), count(v), sum(k), avg(v), "
+             f"min(v), max(k) FROM obs {where}"
+             f"GROUP BY {group_attr} ORDER BY {group_attr} {direction}"
+             f"{tail}")
+    _both_modes(session, query)
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows=rows_strategy)
+def test_scalar_aggregate_equivalence(rows):
+    session = _session_with(rows)
+    _both_modes(session,
+                "SELECT count(*), count(v), sum(v), avg(v), min(k), "
+                "max(v) FROM obs")
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows=rows_strategy,
+       limit=st.integers(min_value=0, max_value=6),
+       offset=st.integers(min_value=0, max_value=6))
+def test_projection_limit_equivalence(rows, limit, offset):
+    session = _session_with(rows)
+    _both_modes(session,
+                f"SELECT k FROM obs ORDER BY oid LIMIT {limit} "
+                f"OFFSET {offset}")
+
+
+MIXED_DDL = """
+DEFINE CLASS full_obs ( ATTRIBUTES: k = int4; v = float8; )
+DEFINE CLASS bare_obs ( ATTRIBUTES: k = int4; )
+DEFINE CONCEPT mixed MEMBERS full_obs, bare_obs
+"""
+
+
+@settings(max_examples=20, deadline=None)
+@given(full=st.lists(st.tuples(st.integers(0, 6),
+                               st.integers(-20, 20).map(lambda n: n * 0.25)),
+                     min_size=1, max_size=12),
+       bare=st.lists(st.integers(0, 6), min_size=1, max_size=12),
+       descending=st.booleans())
+def test_mixed_schema_union_null_ordering(full, bare, descending):
+    """A concept over classes with differing schemas reads the missing
+    attribute as NULL; ORDER BY must put those rows last in both
+    directions, identically in both modes."""
+    session = open_session(universe=AFRICA)
+    session.execute(MIXED_DDL)
+    for k, v in full:
+        session.kernel.store.store("full_obs", {"k": k, "v": v})
+    for k in bare:
+        session.kernel.store.store("bare_obs", {"k": k})
+    direction = "DESC" if descending else "ASC"
+    result = _both_modes(
+        session, f"SELECT k, v FROM mixed ORDER BY v {direction}, k"
+    )
+    values = [dict(r)["v"] for r in result]
+    non_null = [v for v in values if v is not None]
+    assert non_null == sorted(non_null, reverse=descending)
+    assert values[len(non_null):] == [None] * len(bare)

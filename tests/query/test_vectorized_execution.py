@@ -1,0 +1,361 @@
+"""Vectorized batch-at-a-time execution: regressions and contracts.
+
+The operator tree runs in two modes — scalar (row-at-a-time Volcano)
+and vectorized (NumPy columnar :class:`~repro.query.batch.Batch`
+slabs).  These tests pin the contracts the batch path must keep:
+
+* empty inputs and empty post-filter batches stream cleanly;
+* LIMIT/OFFSET land exactly on batch boundaries;
+* EXPLAIN annotates every operator ``vectorized``/``scalar``;
+* joins and non-vectorizable stages cross an explicit
+  :class:`~repro.query.operators.ScalarAdapter` boundary;
+* a mixed vectorized/scalar plan stays snapshot-consistent under a
+  concurrent writer;
+* the IndexNestedLoopJoin probe side runs the §2.1.5
+  interpolate/derive fallback on a probe miss;
+* LIMIT/OFFSET accept bind parameters, so one cached plan serves every
+  page of a paginated fetch.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.adt import Image
+from repro.errors import BindError
+from repro.query import render_tree
+from repro.query.ast import ColumnRef
+from repro.query.batch import Batch, scalar_execution
+from repro.query.operators import (
+    IndexNestedLoopJoin,
+    PhysicalOperator,
+    ScalarAdapter,
+)
+from repro.query.physical import PhysicalPlanner
+from repro.spatial import Box
+from repro.temporal import AbsTime
+
+UNIVERSE = Box(0.0, 0.0, 100.0, 100.0)
+
+DDL = """
+DEFINE CLASS reading (
+  ATTRIBUTES: station = int4; value = float8; tag = char16;
+  SPATIAL EXTENT: cell = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+)
+"""
+
+STAMP = AbsTime.from_ymd(1990, 6, 1)
+
+
+def _load(conn, n, *, nulls=False):
+    store = conn.kernel.store
+    for i in range(n):
+        store.store("reading", {
+            "station": i % 7,
+            "value": None if nulls and i % 5 == 0 else i * 0.5,
+            "tag": f"t{i % 3}",
+            "cell": Box(float(i % 9), 0.0, float(i % 9) + 1.0, 1.0),
+            "timestamp": STAMP,
+        })
+
+
+@pytest.fixture()
+def conn():
+    connection = repro.connect(universe=UNIVERSE)
+    connection.cursor().execute(DDL)
+    return connection
+
+
+def _rows(cur, query, params=None):
+    cur.execute(query, params)
+    return cur.fetchall()
+
+
+class TestEmptyInputs:
+    def test_empty_class_fails_identically_in_both_modes(self, conn):
+        # An empty base class triggers the §2.1.5 fallback chain, which
+        # ends in UnderivableError — in both execution modes.
+        from repro.errors import UnderivableError
+        cur = conn.cursor()
+        query = "SELECT station FROM reading ORDER BY station"
+        with pytest.raises(UnderivableError):
+            _rows(cur, query)
+        with scalar_execution():
+            with pytest.raises(UnderivableError):
+                _rows(cur, query)
+
+    def test_filter_matching_nothing(self, conn):
+        _load(conn, 40)
+        cur = conn.cursor()
+        assert _rows(cur, "SELECT station FROM reading "
+                          "WHERE tag = 'absent' ORDER BY station") == []
+
+    def test_aggregate_over_empty_input(self, conn):
+        _load(conn, 40)
+        cur = conn.cursor()
+        vec = _rows(cur, "SELECT count(*), sum(station), avg(value) "
+                         "FROM reading WHERE tag = 'absent'")
+        with scalar_execution():
+            sca = _rows(cur, "SELECT count(*), sum(station), avg(value) "
+                             "FROM reading WHERE tag = 'absent'")
+        assert vec == sca
+        (row,) = vec
+        assert row["count(*)"] == 0
+        assert row["sum(station)"] is None
+
+
+class TestBatchBoundaries:
+    """Tiny batch sizes force every boundary case through the slab
+    slicing in Limit/Sort/HashAggregate."""
+
+    @pytest.mark.parametrize("limit,offset", [
+        (4, 0), (4, 4), (8, 0), (3, 7), (0, 0), (12, 2), (100, 0),
+    ])
+    def test_limit_offset_across_batch_edges(self, conn, limit, offset):
+        _load(conn, 12)
+        planner = PhysicalPlanner(kernel=conn.kernel, vectorize=True,
+                                  batch_size=4)
+        from repro.query.parser import parse
+        from repro.query.optimizer import Optimizer
+        optimizer = Optimizer(conn.kernel)
+        source = (f"SELECT station FROM reading ORDER BY oid "
+                  f"LIMIT {limit} OFFSET {offset}")
+        (node,) = optimizer.plan(parse(source)[0])
+        tree = planner.build(node)
+        got = [row["station"] for row in tree.run()]
+        expect = [i % 7 for i in range(12)][offset:offset + limit]
+        assert got == expect
+
+    def test_batch_sized_exactly_at_limit(self, conn):
+        _load(conn, 8)
+        planner = PhysicalPlanner(kernel=conn.kernel, vectorize=True,
+                                  batch_size=8)
+        from repro.query.parser import parse
+        from repro.query.optimizer import Optimizer
+        optimizer = Optimizer(conn.kernel)
+        (node,) = optimizer.plan(
+            parse("SELECT station FROM reading ORDER BY oid LIMIT 8")[0]
+        )
+        got = list(planner.build(node).run())
+        assert len(got) == 8
+
+
+class TestExplainAnnotations:
+    def test_every_operator_carries_a_mode(self, conn):
+        _load(conn, 10)
+        cur = conn.cursor()
+        plan = cur.explain("SELECT tag, count(*) FROM reading "
+                           "WHERE station >= 2 GROUP BY tag "
+                           "ORDER BY tag LIMIT 2")
+        operator_lines = [line for line in plan.splitlines()
+                          if "[rows~" in line]
+        assert operator_lines
+        for line in operator_lines:
+            assert "[vectorized batch=" in line or "[scalar]" in line, line
+
+    def test_vectorized_spine_scalar_fallback(self, conn):
+        _load(conn, 10)
+        cur = conn.cursor()
+        plan = cur.explain("SELECT station FROM reading WHERE tag = 't1'")
+        assert "Filter(tag='t1') [" in plan
+        assert "[vectorized batch=" in plan
+        # the §2.1.5 derive fallback stays a scalar operator
+        assert "[scalar]" in plan
+
+    def test_join_inputs_cross_scalar_adapter(self, conn):
+        _load(conn, 10)
+        cur = conn.cursor()
+        cur.execute("DEFINE CLASS station_info "
+                    "( ATTRIBUTES: sid = int4; label = char16; )")
+        conn.kernel.store.store("station_info", {"sid": 1, "label": "a"})
+        plan = cur.explain("SELECT count(*) FROM reading "
+                           "JOIN station_info "
+                           "ON reading.station = station_info.sid")
+        assert "ScalarAdapter" in plan
+
+    def test_scalar_mode_plans_report_scalar(self, conn):
+        _load(conn, 10)
+        cur = conn.cursor()
+        with scalar_execution():
+            plan = cur.explain("SELECT station FROM reading "
+                               "ORDER BY station LIMIT 3")
+        assert "[vectorized" not in plan
+
+
+class TestMixedPlanUnderConcurrentWriter:
+    def test_vectorized_reads_stay_snapshot_consistent(self, conn):
+        """Each fetch sees a committed prefix: count(*) equals the
+        number of distinct stations summed, never a torn batch."""
+        _load(conn, 14)  # two full stations to start
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer():
+            store = conn.kernel.store
+            try:
+                for i in range(300):
+                    if stop.is_set():
+                        return
+                    store.store("reading", {
+                        "station": i % 7, "value": 1.0, "tag": "w",
+                        "cell": Box(0.0, 0.0, 1.0, 1.0),
+                        "timestamp": STAMP,
+                    })
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            cur = conn.cursor()
+            for _ in range(40):
+                cur.execute("SELECT count(*) FROM reading")
+                (total_row,) = cur.fetchall()
+                cur.execute("SELECT tag, count(*) FROM reading "
+                            "GROUP BY tag ORDER BY tag")
+                grouped = cur.fetchall()
+                # Monotonic prefix: both aggregates ran under their own
+                # snapshot, so each is internally consistent.
+                assert total_row["count(*)"] >= 14
+                assert sum(r["count(*)"] for r in grouped) >= 14
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors
+
+
+class _RowSource(PhysicalOperator):
+    """A fixed scalar row source for driving join operators directly."""
+
+    def __init__(self, rows):
+        self._rows = rows
+        self.estimated_rows = float(len(rows))
+        self.estimated_cost = float(len(rows))
+
+    def label(self) -> str:
+        return f"RowSource({len(self._rows)})"
+
+    def run(self):
+        for row in self._rows:
+            self.rows_out += 1
+            yield row
+
+
+class TestProbeSideFallback:
+    DERIVED_DDL = """
+    DEFINE CLASS summary (
+      ATTRIBUTES: station = int4; data = image;
+      SPATIAL EXTENT: cell = box;
+      TEMPORAL EXTENT: timestamp = abstime;
+      DERIVED BY: summarize
+    )
+    DEFINE PROCESS summarize
+    OUTPUT summary
+    ARGUMENT ( source src )
+    TEMPLATE {
+      MAPPINGS:
+        summary.station = src.station;
+        summary.data = img_threshold(src.data, 0.5);
+        summary.cell = src.cell;
+        summary.timestamp = src.timestamp;
+    }
+    """
+
+    @pytest.fixture()
+    def derived_conn(self):
+        connection = repro.connect(universe=UNIVERSE)
+        cur = connection.cursor()
+        cur.execute("DEFINE CLASS source ( ATTRIBUTES: station = int4; "
+                    "data = image; SPATIAL EXTENT: cell = box; "
+                    "TEMPORAL EXTENT: timestamp = abstime; )")
+        cur.execute(self.DERIVED_DDL)
+        connection.kernel.store.store("source", {
+            "station": 3,
+            "data": Image.from_array(np.full((4, 4), 0.9), "float4"),
+            "cell": Box(0.0, 0.0, 10.0, 10.0),
+            "timestamp": STAMP,
+        })
+        cur.execute("CREATE INDEX ON summary (station)")
+        return connection
+
+    def test_probe_miss_triggers_derivation(self, derived_conn):
+        planner = PhysicalPlanner(kernel=derived_conn.kernel)
+        ctx = planner.context()
+        left = _RowSource([{"station": 3}, {"station": 3}, {"station": 8}])
+        join = IndexNestedLoopJoin(
+            ctx, left,
+            ColumnRef(attr="station"), "summary",
+            ColumnRef(attr="station"), "left", "summary",
+        )
+        rows = list(join.run())
+        # the one derived summary object matches both station=3 rows;
+        # station=8 finds nothing even after the fallback
+        assert len(rows) == 2
+        assert join.probe_fallback == "derive"
+        for row in rows:
+            assert row.resolve("summary", "station") == 3
+
+    def test_fallback_attempted_once(self, derived_conn):
+        planner = PhysicalPlanner(kernel=derived_conn.kernel)
+        ctx = planner.context()
+        calls = []
+        real_derive = derived_conn.kernel.planner.derive
+
+        def counting_derive(*args, **kwargs):
+            calls.append(args)
+            return real_derive(*args, **kwargs)
+
+        derived_conn.kernel.planner.derive = counting_derive
+        try:
+            left = _RowSource([{"station": 9}, {"station": 10},
+                               {"station": 11}])
+            join = IndexNestedLoopJoin(
+                ctx, left,
+                ColumnRef(attr="station"), "summary",
+                ColumnRef(attr="station"), "left", "summary",
+            )
+            assert list(join.run()) == []
+        finally:
+            derived_conn.kernel.planner.derive = real_derive
+        assert len(calls) == 1
+
+
+class TestBindableLimitOffset:
+    def test_paginated_fetch_reuses_one_plan(self, conn):
+        _load(conn, 20)
+        cur = conn.cursor()
+        pages = []
+        for offset in (0, 5, 10, 15):
+            cur.execute("SELECT station FROM reading ORDER BY oid "
+                        "LIMIT ? OFFSET ?", (5, offset))
+            pages.append([row["station"] for row in cur.fetchall()])
+        assert sum(pages, []) == [i % 7 for i in range(20)]
+
+    def test_named_parameters(self, conn):
+        _load(conn, 10)
+        cur = conn.cursor()
+        cur.execute("SELECT station FROM reading ORDER BY oid "
+                    "LIMIT :n OFFSET :skip", {"n": 3, "skip": 2})
+        assert [row["station"] for row in cur.fetchall()] == [2, 3, 4]
+
+    def test_limit_parameter_must_be_bound(self, conn):
+        _load(conn, 5)
+        cur = conn.cursor()
+        with pytest.raises(BindError):
+            cur.execute("SELECT station FROM reading LIMIT ?")
+
+    @pytest.mark.parametrize("value", [-1, 2.5, "three", True, None])
+    def test_limit_parameter_validated(self, conn, value):
+        _load(conn, 5)
+        cur = conn.cursor()
+        with pytest.raises(BindError):
+            cur.execute("SELECT station FROM reading LIMIT ?", (value,))
+
+    def test_zero_limit_parameter(self, conn):
+        _load(conn, 5)
+        cur = conn.cursor()
+        cur.execute("SELECT station FROM reading LIMIT ?", (0,))
+        assert cur.fetchall() == []

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Lint the vectorized operator hot loops for per-row dict building.
+
+The whole point of ``run_batches`` is that columns flow as NumPy
+arrays; the classic performance regression is someone "fixing" a batch
+operator by rebuilding a Python dict per row inside the batch loop,
+which silently reverts the operator to row-at-a-time speed while the
+EXPLAIN output still says ``[vectorized]``.
+
+This check parses the target modules and fails when a ``run_batches``
+body constructs a populated dict (literal with keys, ``dict(...)``
+with arguments, or a dict comprehension) inside loop context — a
+``for``/``while`` statement or a comprehension, i.e. anything executed
+once per element.  Empty ``{}`` accumulators and batch-level dicts
+built outside loops are the intended idiom and stay legal.
+
+Usage::
+
+    python tools/lint_vectorized.py [path ...]
+
+Defaults to ``src/repro/query/operators.py``.  Exits non-zero and
+prints one ``file:line: message`` per violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+DEFAULT_TARGETS = ("src/repro/query/operators.py",)
+
+_LOOPS = (ast.For, ast.While, ast.AsyncFor,
+          ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+
+
+def _dict_violation(node: ast.AST) -> str | None:
+    """A message if *node* builds a populated dict, else None."""
+    if isinstance(node, ast.Dict) and node.keys:
+        return "dict literal built per iteration"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension built per iteration"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id == "dict" and (node.args or node.keywords):
+        return "dict(...) built per iteration"
+    return None
+
+
+def _scan_loop_context(node: ast.AST, violations: list[tuple[int, str]],
+                       in_loop: bool) -> None:
+    """Walk *node*, recording populated-dict construction under loops."""
+    for child in ast.iter_child_nodes(node):
+        child_in_loop = in_loop or isinstance(child, _LOOPS)
+        if child_in_loop:
+            message = _dict_violation(child)
+            # A DictComp is itself loop context, but only flag it when
+            # it executes repeatedly (i.e. it sits under another loop).
+            if message is not None and (in_loop
+                                        or not isinstance(child,
+                                                          ast.DictComp)):
+                violations.append((child.lineno, message))
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested helpers get their own fresh context.
+            _scan_loop_context(child, violations, in_loop=False)
+        else:
+            _scan_loop_context(child, violations, child_in_loop)
+
+
+def check_source(source: str, filename: str = "<string>"
+                 ) -> list[tuple[int, str]]:
+    """``(line, message)`` violations for every run_batches in *source*."""
+    tree = ast.parse(source, filename=filename)
+    violations: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name == "run_batches":
+            _scan_loop_context(node, violations, in_loop=False)
+    return sorted(violations)
+
+
+def check_paths(paths: list[str]) -> list[str]:
+    """Formatted ``file:line: message`` violations across *paths*."""
+    out = []
+    for path in paths:
+        text = pathlib.Path(path).read_text()
+        for line, message in check_source(text, filename=path):
+            out.append(f"{path}:{line}: run_batches {message} "
+                       "(per-row dict building defeats vectorization)")
+    return out
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or list(DEFAULT_TARGETS)
+    problems = check_paths(targets)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"lint_vectorized: {len(targets)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
